@@ -1,0 +1,85 @@
+// Advisor audit: implement your own index advisor against the trap
+// Advisor interface and put it through the same adversarial robustness
+// assessment as the paper's ten advisors — the intended downstream use
+// of this library. Only the public trap API is used.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	trap "github.com/trap-repro/trap"
+)
+
+// FrequencyAdvisor is a deliberately naive custom advisor: index the
+// most frequently filtered columns, ignoring what-if costs entirely.
+// The audit below shows how brittle that is.
+type FrequencyAdvisor struct {
+	TopK int
+}
+
+// Name implements trap.Advisor.
+func (f *FrequencyAdvisor) Name() string { return "FrequencyTopK" }
+
+// Recommend implements trap.Advisor.
+func (f *FrequencyAdvisor) Recommend(e *trap.Engine, w *trap.Workload, c trap.Constraint) (trap.Config, error) {
+	counts := map[trap.ColumnRef]int{}
+	for _, it := range w.Items {
+		for _, p := range it.Query.Filters {
+			counts[p.Col]++
+		}
+	}
+	type kv struct {
+		col trap.ColumnRef
+		n   int
+	}
+	var ranked []kv
+	for col, n := range counts {
+		ranked = append(ranked, kv{col, n})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].n != ranked[j].n {
+			return ranked[i].n > ranked[j].n
+		}
+		return ranked[i].col.String() < ranked[j].col.String()
+	})
+	var cfg trap.Config
+	for _, r := range ranked {
+		if f.TopK > 0 && len(cfg) >= f.TopK {
+			break
+		}
+		ix := trap.Index{Table: r.col.Table, Columns: []string{r.col.Column}}
+		if c.Fits(e.Schema(), cfg, ix) {
+			cfg = cfg.Add(ix)
+		}
+	}
+	return cfg, nil
+}
+
+func main() {
+	assessor, err := trap.NewAssessor("tpch", trap.TPCH(200), trap.Quick(), 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mine := &FrequencyAdvisor{TopK: 4}
+
+	fmt.Println("auditing custom advisor", mine.Name(), "against the Extend reference")
+	for _, pc := range []trap.PerturbConstraint{trap.ValueOnly, trap.ColumnConsistent, trap.SharedTable} {
+		repMine, err := assessor.Assess(mine, pc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ref, err := trap.AdvisorByName("Extend")
+		if err != nil {
+			log.Fatal(err)
+		}
+		repRef, err := assessor.Assess(ref, pc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-18s IUDR: %s %.4f (n=%d)   Extend %.4f (n=%d)\n",
+			pc.String(), mine.Name(), repMine.MeanIUDR, repMine.N, repRef.MeanIUDR, repRef.N)
+	}
+	fmt.Println("\nhigher IUDR = less robust; a cost-blind advisor is easy prey for TRAP")
+}

@@ -1,0 +1,64 @@
+// Workload drift: simulate the three real-world drift types of the
+// paper's Table I on TPC-H and chart how much each degrades an advisor.
+// This is the scenario the paper's introduction motivates: a retailer
+// re-parameterizing template queries (ValueOnly), a customer re-sorting
+// search results (ColumnConsistent), and an analyst exploring with new
+// predicates (SharedTable).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	trap "github.com/trap-repro/trap"
+)
+
+func main() {
+	params := trap.Quick()
+	params.RLEpochs = 6
+	assessor, err := trap.NewAssessor("tpch", trap.TPCH(200), params, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("drift severity on TPC-H (advisor: AutoAdmin)")
+	fmt.Println()
+	type row struct {
+		constraint trap.PerturbConstraint
+		scenario   string
+	}
+	rows := []row{
+		{trap.ValueOnly, "template re-parameterization (seasonal sales reports)"},
+		{trap.ColumnConsistent, "result re-ordering (shoppers sorting by other columns)"},
+		{trap.SharedTable, "exploratory analysis (new predicates & payloads)"},
+	}
+	var iudrs []float64
+	for _, r := range rows {
+		adv, err := trap.AdvisorByName("AutoAdmin")
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := assessor.Assess(adv, r.constraint)
+		if err != nil {
+			log.Fatal(err)
+		}
+		iudrs = append(iudrs, rep.MeanIUDR)
+	}
+	maxV := 0.0001
+	for _, v := range iudrs {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	for i, r := range rows {
+		barLen := int(iudrs[i] / maxV * 40)
+		if barLen < 0 {
+			barLen = 0
+		}
+		fmt.Printf("%-18s IUDR %7.4f  %s\n", r.constraint.String(), iudrs[i], strings.Repeat("#", barLen))
+		fmt.Printf("%-18s %s\n\n", "", r.scenario)
+	}
+	fmt.Println("more flexible drifts expose larger performance loopholes,")
+	fmt.Println("matching the ordering of Figure 6 in the paper.")
+}

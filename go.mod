@@ -1,0 +1,3 @@
+module github.com/trap-repro/trap
+
+go 1.22

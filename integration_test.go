@@ -1,0 +1,69 @@
+package trap
+
+import (
+	"testing"
+)
+
+// TestTPCDSEndToEnd exercises the whole pipeline on the widest dataset:
+// suite construction over the 429-column TPC-DS schema, advisor training,
+// TRAP training and assessment.
+func TestTPCDSEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	p := apiParams()
+	a, err := NewAssessor("tpcds", TPCDS(400), p, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.AssessNamed("DTA", ColumnConsistent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range rep.Pairs {
+		for i := range pair.Orig.Items {
+			if d := EditDistance(pair.Orig.Items[i].Query, pair.Pert.Items[i].Query); d > p.Eps {
+				t.Errorf("edit distance %d over budget", d)
+			}
+		}
+	}
+}
+
+// TestTransactionLearnedAdvisorEndToEnd covers a learned advisor on the
+// banking dataset end to end.
+func TestTransactionLearnedAdvisorEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	a, err := NewAssessor("transaction", Transaction(400), apiParams(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AssessNamed("DRLindex", ValueOnly); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeterministicAssessments: the same seed must reproduce identical
+// results end to end (the repository's reproducibility guarantee).
+func TestDeterministicAssessments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	run := func() (float64, int) {
+		a, err := NewAssessor("tpch", TPCH(300), apiParams(), 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := a.AssessNamed("Extend", ValueOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.MeanIUDR, rep.N
+	}
+	i1, n1 := run()
+	i2, n2 := run()
+	if i1 != i2 || n1 != n2 {
+		t.Errorf("non-deterministic: (%v, %d) vs (%v, %d)", i1, n1, i2, n2)
+	}
+}

@@ -1,0 +1,204 @@
+// Package advisor implements the ten index advisors assessed in the paper
+// (Table III): six heuristic advisors — Extend, DB2Advis, AutoAdmin, Drop,
+// Relaxation, DTA — and four learning-based ones — SWIRL (PPO), DRLindex
+// (coarse-state DQN), DQN (rule-pruned DQN) and MCTS (UCT). All advisors
+// interact with the DBMS only through what-if cost estimates, matching the
+// opaque-box setting TRAP assumes.
+//
+// The package also exposes the ablation switches the paper's Section VI
+// analysis flips: state-representation granularity (Figure 12), candidate
+// pruning (Figure 13), index-interaction awareness (Figure 14), and
+// multi-column index usage (Figure 15).
+package advisor
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/trap-repro/trap/internal/engine"
+	"github.com/trap-repro/trap/internal/schema"
+	"github.com/trap-repro/trap/internal/sqlx"
+	"github.com/trap-repro/trap/internal/workload"
+)
+
+// Constraint is the tuning constraint: a storage budget in bytes, a
+// maximum index count, or both (zero means unconstrained).
+type Constraint struct {
+	StorageBytes float64
+	MaxIndexes   int
+}
+
+// Fits reports whether adding ix to cfg stays within the constraint.
+func (c Constraint) Fits(s *schema.Schema, cfg schema.Config, ix schema.Index) bool {
+	if c.MaxIndexes > 0 && len(cfg)+1 > c.MaxIndexes {
+		return false
+	}
+	if c.StorageBytes > 0 && cfg.SizeBytes(s)+ix.SizeBytes(s) > c.StorageBytes {
+		return false
+	}
+	return true
+}
+
+// Satisfied reports whether the whole configuration meets the constraint.
+func (c Constraint) Satisfied(s *schema.Schema, cfg schema.Config) bool {
+	if c.MaxIndexes > 0 && len(cfg) > c.MaxIndexes {
+		return false
+	}
+	if c.StorageBytes > 0 && cfg.SizeBytes(s) > c.StorageBytes {
+		return false
+	}
+	return true
+}
+
+// Advisor selects an index configuration for a workload (Definition 3.1).
+type Advisor interface {
+	// Name identifies the advisor ("Extend", "SWIRL", ...).
+	Name() string
+	// Recommend returns an index configuration within the constraint.
+	Recommend(e *engine.Engine, w *workload.Workload, c Constraint) (schema.Config, error)
+}
+
+// Trainable is a learning-based advisor that must be trained on workloads
+// before recommending.
+type Trainable interface {
+	Advisor
+	// Train fits the advisor on training workloads under the constraint.
+	Train(e *engine.Engine, train []*workload.Workload, c Constraint) error
+}
+
+// Options are the design knobs shared by the advisors, exposed for the
+// Section VI ablations.
+type Options struct {
+	// MultiColumn enables multi-column index candidates (Figure 15).
+	MultiColumn bool
+	// MaxWidth caps multi-column index width (default 2).
+	MaxWidth int
+	// Interaction makes benefit estimates configuration-aware: the benefit
+	// of an index is measured with the already-selected indexes in place.
+	// When false, every index is priced in isolation and multi-index
+	// benefits are averaged (Figure 14's "w/o interaction").
+	Interaction bool
+}
+
+// DefaultOptions returns the paper-faithful settings.
+func DefaultOptions() Options {
+	return Options{MultiColumn: true, MaxWidth: 2, Interaction: true}
+}
+
+// Candidates generates the syntactically relevant candidate indexes for a
+// workload: single-column indexes on every filter/join/order/group column,
+// and (when enabled) multi-column permutations of columns co-occurring in
+// the same query on the same table, equality columns leading.
+func Candidates(s *schema.Schema, w *workload.Workload, opt Options) []schema.Index {
+	if opt.MaxWidth < 2 {
+		opt.MaxWidth = 2
+	}
+	seen := map[string]bool{}
+	var out []schema.Index
+	add := func(ix schema.Index) {
+		k := ix.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, ix)
+		}
+	}
+	for _, it := range w.Items {
+		q := it.Query
+		var eqCols, rangeCols, otherCols []sqlx.ColumnRef
+		for _, p := range q.Filters {
+			if p.Op == sqlx.OpEq {
+				eqCols = append(eqCols, p.Col)
+			} else if p.Op != sqlx.OpNe {
+				rangeCols = append(rangeCols, p.Col)
+			}
+		}
+		otherCols = append(otherCols, q.JoinColumns()...)
+		otherCols = append(otherCols, q.GroupBy...)
+		otherCols = append(otherCols, q.OrderBy...)
+
+		all := append(append(append([]sqlx.ColumnRef(nil), eqCols...), rangeCols...), otherCols...)
+		for _, c := range all {
+			add(schema.Index{Table: c.Table, Columns: []string{c.Column}})
+		}
+		if !opt.MultiColumn {
+			continue
+		}
+		// Two-column candidates: equality columns lead, then a range or
+		// order column of the same table; also eq-eq pairs.
+		lead := append(append([]sqlx.ColumnRef(nil), eqCols...), otherCols...)
+		second := append(append(append([]sqlx.ColumnRef(nil), eqCols...), rangeCols...), otherCols...)
+		for _, a := range lead {
+			for _, b := range second {
+				if a.Table != b.Table || a.Column == b.Column {
+					continue
+				}
+				add(schema.Index{Table: a.Table, Columns: []string{a.Column, b.Column}})
+			}
+		}
+		// ORDER BY / GROUP BY composite prefixes (sort avoidance).
+		addComposite := func(cols []sqlx.ColumnRef) {
+			if len(cols) < 2 || len(cols) > opt.MaxWidth {
+				return
+			}
+			t := cols[0].Table
+			names := make([]string, 0, len(cols))
+			for _, c := range cols {
+				if c.Table != t {
+					return
+				}
+				names = append(names, c.Column)
+			}
+			add(schema.Index{Table: t, Columns: names})
+		}
+		addComposite(q.OrderBy)
+		addComposite(q.GroupBy)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// WhatIfCost is the estimated workload cost the advisors optimize — one
+// what-if optimizer call per query.
+func WhatIfCost(e *engine.Engine, w *workload.Workload, cfg schema.Config) float64 {
+	c, err := workload.Cost(e, w, cfg, engine.ModeEstimated)
+	if err != nil {
+		return 0
+	}
+	return c
+}
+
+// Benefit estimates the cost reduction of adding ix to cfg. With
+// interaction enabled the benefit is configuration-aware; without it the
+// index is priced against the empty configuration in isolation.
+func Benefit(e *engine.Engine, w *workload.Workload, cfg schema.Config, ix schema.Index, opt Options) float64 {
+	if opt.Interaction {
+		return WhatIfCost(e, w, cfg) - WhatIfCost(e, w, cfg.Add(ix))
+	}
+	return WhatIfCost(e, w, nil) - WhatIfCost(e, w, schema.Config{ix})
+}
+
+// UsedIndexes returns the indexes of cfg that appear in the workload's
+// cheapest plans — how DB2Advis attributes benefit from one what-if call.
+func UsedIndexes(e *engine.Engine, w *workload.Workload, cfg schema.Config) map[string]bool {
+	used := map[string]bool{}
+	for _, it := range w.Items {
+		p, err := e.Plan(it.Query, cfg, engine.ModeEstimated)
+		if err != nil {
+			continue
+		}
+		p.Walk(func(n *engine.PlanNode) {
+			if n.Index != nil {
+				used[n.Index.Key()] = true
+			}
+		})
+	}
+	return used
+}
+
+// validate double-checks an advisor's output against the constraint.
+func validate(name string, s *schema.Schema, cfg schema.Config, c Constraint) (schema.Config, error) {
+	if !c.Satisfied(s, cfg) {
+		return nil, fmt.Errorf("advisor %s: configuration %s violates constraint", name, cfg.Key())
+	}
+	return cfg, nil
+}

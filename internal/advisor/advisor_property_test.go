@@ -1,0 +1,168 @@
+package advisor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/trap-repro/trap/internal/bench"
+	"github.com/trap-repro/trap/internal/engine"
+	"github.com/trap-repro/trap/internal/workload"
+)
+
+// TestQuickHeuristicsNeverViolateConstraints is the safety property every
+// advisor must uphold: for arbitrary workloads and either constraint
+// kind, the recommendation fits and never raises the what-if cost.
+func TestQuickHeuristicsNeverViolateConstraints(t *testing.T) {
+	s := bench.TRANSACTION(400)
+	e := engine.New(s)
+	advisors := []Advisor{
+		&Extend{Opt: DefaultOptions()},
+		&DB2Advis{Opt: DefaultOptions()},
+		&AutoAdmin{Opt: DefaultOptions()},
+		&Drop{},
+		&Relaxation{Opt: DefaultOptions()},
+		&DTA{Opt: DefaultOptions(), MaxEvaluations: 60},
+	}
+	f := func(seed int64, sizePick, kindPick uint8) bool {
+		gen := workload.NewGenerator(s, seed, 4)
+		w := gen.Workload(1 + int(sizePick)%5)
+		var c Constraint
+		if kindPick%2 == 0 {
+			c = Constraint{StorageBytes: s.TotalSizeBytes() / 4}
+		} else {
+			c = Constraint{MaxIndexes: 1 + int(kindPick)%4}
+		}
+		base := WhatIfCost(e, w, nil)
+		for _, a := range advisors {
+			cfg, err := a.Recommend(e, w, c)
+			if err != nil {
+				t.Logf("%s: %v", a.Name(), err)
+				return false
+			}
+			if !c.Satisfied(s, cfg) {
+				t.Logf("%s violated constraint with %s", a.Name(), cfg.Key())
+				return false
+			}
+			if got := WhatIfCost(e, w, cfg); got > base+1e-9 {
+				t.Logf("%s raised cost %v -> %v", a.Name(), base, got)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLearnedAdvisorsRespectConstraintAfterTraining covers the RL
+// advisors on the same safety property.
+func TestLearnedAdvisorsRespectConstraintAfterTraining(t *testing.T) {
+	s := bench.TPCH(400)
+	e := engine.New(s)
+	gen := workload.NewGenerator(s, 3, 6)
+	var train []*workload.Workload
+	for i := 0; i < 4; i++ {
+		train = append(train, gen.Workload(4))
+	}
+	cases := []struct {
+		a Advisor
+		c Constraint
+	}{
+		{func() Advisor { a := NewSWIRL(1); a.Episodes = 8; return a }(), Constraint{StorageBytes: s.TotalSizeBytes() / 4}},
+		{func() Advisor { a := NewDRLindex(2); a.Episodes = 8; return a }(), Constraint{MaxIndexes: 2}},
+		{func() Advisor { a := NewDQN(3); a.Episodes = 8; return a }(), Constraint{MaxIndexes: 3}},
+		{NewMCTS(4), Constraint{MaxIndexes: 2}},
+	}
+	for _, tc := range cases {
+		if tr, ok := tc.a.(Trainable); ok {
+			if err := tr.Train(e, train, tc.c); err != nil {
+				t.Fatalf("%s train: %v", tc.a.Name(), err)
+			}
+		}
+		for i := 0; i < 4; i++ {
+			w := gen.Workload(3)
+			cfg, err := tc.a.Recommend(e, w, tc.c)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.a.Name(), err)
+			}
+			if !tc.c.Satisfied(s, cfg) {
+				t.Errorf("%s violated constraint: %s", tc.a.Name(), cfg.Key())
+			}
+		}
+	}
+}
+
+// TestAdvisorsImproveIndexableWorkload: on a workload with a clearly
+// index-friendly shape, every heuristic advisor must find a beneficial
+// configuration.
+func TestAdvisorsImproveIndexableWorkload(t *testing.T) {
+	s := bench.TPCH(200)
+	e := engine.New(s)
+	gen := workload.NewGenerator(s, 77, 10)
+	var w *workload.Workload
+	// Find a generated workload where indexes genuinely help.
+	for i := 0; i < 20; i++ {
+		cand := gen.Workload(6)
+		cands := Candidates(s, cand, DefaultOptions())
+		best := 0.0
+		for _, ix := range cands {
+			if b := Benefit(e, cand, nil, ix, DefaultOptions()); b > best {
+				best = b
+			}
+		}
+		if best > 0 {
+			w = cand
+			break
+		}
+	}
+	if w == nil {
+		t.Skip("no index-friendly workload found")
+	}
+	c := Constraint{StorageBytes: s.TotalSizeBytes()}
+	base := WhatIfCost(e, w, nil)
+	for _, a := range []Advisor{
+		&Extend{Opt: DefaultOptions()},
+		&DB2Advis{Opt: DefaultOptions()},
+		&DTA{Opt: DefaultOptions()},
+	} {
+		cfg, err := a.Recommend(e, w, c)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		if got := WhatIfCost(e, w, cfg); got >= base {
+			t.Errorf("%s found no improvement on indexable workload", a.Name())
+		}
+	}
+}
+
+func BenchmarkExtendRecommend(b *testing.B) {
+	s := bench.TPCH(200)
+	e := engine.New(s)
+	gen := workload.NewGenerator(s, 5, 8)
+	w := gen.Workload(8)
+	c := Constraint{StorageBytes: s.TotalSizeBytes() / 2}
+	a := &Extend{Opt: DefaultOptions()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ClearCache()
+		if _, err := a.Recommend(e, w, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMCTSRecommend(b *testing.B) {
+	s := bench.TPCH(200)
+	e := engine.New(s)
+	gen := workload.NewGenerator(s, 5, 8)
+	w := gen.Workload(6)
+	a := NewMCTS(1)
+	a.Iterations = 60
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Recommend(e, w, Constraint{MaxIndexes: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

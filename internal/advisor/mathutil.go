@@ -1,0 +1,20 @@
+package advisor
+
+import "math"
+
+func expSafe(x float64) float64 {
+	if x < -700 {
+		return 0
+	}
+	if x > 700 {
+		x = 700
+	}
+	return math.Exp(x)
+}
+
+func logSafe(x float64) float64 {
+	if x <= 0 {
+		return -27.6 // log(1e-12)
+	}
+	return math.Log(x)
+}

@@ -1,0 +1,160 @@
+package advisor
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/trap-repro/trap/internal/engine"
+	"github.com/trap-repro/trap/internal/schema"
+	"github.com/trap-repro/trap/internal/workload"
+)
+
+// MCTS is the budget-aware Monte-Carlo tree search advisor (Wu et al.
+// SIGMOD 2022 / AutoIndex, UCT variant): an online search over
+// add-index actions, guided by what-if utility, under a #index constraint.
+// It needs no training — the search runs per workload.
+type MCTS struct {
+	// Opt controls candidate generation.
+	Opt Options
+	// Iterations is the UCT simulation budget.
+	Iterations int
+	// Exploration is the UCT constant.
+	Exploration float64
+	// Seed drives the rollouts.
+	Seed int64
+}
+
+// NewMCTS builds an MCTS advisor with paper-faithful defaults.
+func NewMCTS(seed int64) *MCTS {
+	return &MCTS{Opt: DefaultOptions(), Iterations: 200, Exploration: 0.7, Seed: seed}
+}
+
+// Name implements Advisor.
+func (a *MCTS) Name() string { return "MCTS" }
+
+// mctsNode is one search-tree node: a configuration and its statistics.
+type mctsNode struct {
+	cfg      schema.Config
+	visits   float64
+	total    float64
+	children map[int]*mctsNode // action index -> child
+}
+
+// Recommend implements Advisor with UCT search.
+func (a *MCTS) Recommend(e *engine.Engine, w *workload.Workload, c Constraint) (schema.Config, error) {
+	rng := rand.New(rand.NewSource(a.Seed))
+	s := e.Schema()
+	cands := Candidates(s, w, a.Opt)
+	base := WhatIfCost(e, w, nil)
+	utility := func(cfg schema.Config) float64 {
+		if base <= 0 {
+			return 0
+		}
+		return 1 - WhatIfCost(e, w, cfg)/base
+	}
+	valid := func(cfg schema.Config, i int) bool {
+		return !cfg.Contains(cands[i]) && c.Fits(s, cfg, cands[i])
+	}
+	root := &mctsNode{children: map[int]*mctsNode{}}
+
+	iters := a.Iterations
+	if iters <= 0 {
+		iters = 200
+	}
+	for it := 0; it < iters; it++ {
+		// Selection + expansion.
+		node := root
+		var path []*mctsNode
+		path = append(path, node)
+		for depth := 0; depth < 8; depth++ {
+			var actions []int
+			for i := range cands {
+				if valid(node.cfg, i) {
+					actions = append(actions, i)
+				}
+			}
+			if len(actions) == 0 {
+				break
+			}
+			// Expand an untried action if any, otherwise UCT-select.
+			var next *mctsNode
+			untried := -1
+			for _, i := range actions {
+				if node.children[i] == nil {
+					untried = i
+					break
+				}
+			}
+			if untried >= 0 {
+				next = &mctsNode{cfg: node.cfg.Add(cands[untried]), children: map[int]*mctsNode{}}
+				node.children[untried] = next
+				node = next
+				path = append(path, node)
+				break
+			}
+			bestScore := math.Inf(-1)
+			for _, i := range actions {
+				ch := node.children[i]
+				score := ch.total/ch.visits + a.Exploration*math.Sqrt(math.Log(node.visits+1)/ch.visits)
+				if score > bestScore {
+					bestScore = score
+					next = ch
+				}
+			}
+			node = next
+			path = append(path, node)
+		}
+		// Rollout: random completion to the constraint.
+		cfg := node.cfg
+		for tries := 0; tries < 6; tries++ {
+			var actions []int
+			for i := range cands {
+				if valid(cfg, i) {
+					actions = append(actions, i)
+				}
+			}
+			if len(actions) == 0 {
+				break
+			}
+			cfg = cfg.Add(cands[actions[rng.Intn(len(actions))]])
+			if rng.Float64() < 0.3 {
+				break
+			}
+		}
+		reward := utility(cfg)
+		for _, n := range path {
+			n.visits++
+			n.total += reward
+		}
+	}
+
+	// Extract the best path by mean value, keeping only moves that help.
+	node := root
+	cfg := schema.Config{}
+	cur := base
+	for {
+		var bestChild *mctsNode
+		bestAct := -1
+		for i, ch := range node.children {
+			if ch.visits == 0 {
+				continue
+			}
+			if bestChild == nil || ch.total/ch.visits > bestChild.total/bestChild.visits {
+				bestChild = ch
+				bestAct = i
+			}
+		}
+		if bestChild == nil || !valid(cfg, bestAct) {
+			break
+		}
+		nextCfg := cfg.Add(cands[bestAct])
+		nc := WhatIfCost(e, w, nextCfg)
+		if nc >= cur-1e-9 {
+			break
+		}
+		cfg = nextCfg
+		cur = nc
+		node = bestChild
+	}
+	return validate(a.Name(), s, cfg, c)
+}

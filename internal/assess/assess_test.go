@@ -1,0 +1,265 @@
+package assess
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/trap-repro/trap/internal/advisor"
+	"github.com/trap-repro/trap/internal/bench"
+	"github.com/trap-repro/trap/internal/core"
+	"github.com/trap-repro/trap/internal/sqlx"
+	"github.com/trap-repro/trap/internal/workload"
+)
+
+// tinyParams shrinks QuickParams further for unit tests.
+func tinyParams() Params {
+	p := QuickParams()
+	p.Templates = 8
+	p.TrainWorkloads = 3
+	p.TestWorkloads = 3
+	p.WorkloadSize = 4
+	p.UtilitySamples = 200
+	p.PretrainPairs = 4
+	p.PretrainEpochs = 1
+	p.RLEpochs = 1
+	p.AdvisorEpisodes = 8
+	return p
+}
+
+func tinySuite(t testing.TB) *Suite {
+	t.Helper()
+	s, err := NewSuite("tpch", bench.TPCH(tinyParams().ScaleDown), tinyParams(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSuite(t *testing.T) {
+	s := tinySuite(t)
+	if len(s.Train) != 3 || len(s.Test) != 3 {
+		t.Fatal("workload counts wrong")
+	}
+	if s.Vocab.Size() == 0 {
+		t.Fatal("empty vocab")
+	}
+	if s.Storage.StorageBytes <= 0 || s.Count.MaxIndexes <= 0 {
+		t.Fatal("constraints unset")
+	}
+	if r2 := s.Utility.R2(s.E, s.Gen.Query, 100, 99); r2 < 0.3 {
+		t.Errorf("utility model R2 too low: %v", r2)
+	}
+}
+
+func TestTenAdvisorSpecs(t *testing.T) {
+	specs := TenAdvisors()
+	if len(specs) != 10 {
+		t.Fatalf("want 10 advisors, got %d", len(specs))
+	}
+	names := map[string]bool{}
+	for _, sp := range specs {
+		names[sp.Name] = true
+		a := sp.Make(1)
+		if a.Name() != sp.Name {
+			t.Errorf("spec %s builds advisor named %s", sp.Name, a.Name())
+		}
+	}
+	for _, want := range []string{"Extend", "DB2Advis", "AutoAdmin", "Drop",
+		"Relaxation", "DTA", "SWIRL", "DRLindex", "DQN", "MCTS"} {
+		if !names[want] {
+			t.Errorf("missing advisor %s", want)
+		}
+	}
+	if _, err := SpecByName("nope"); err == nil {
+		t.Error("unknown advisor accepted")
+	}
+	// Baseline pairing of Table III.
+	for name, base := range map[string]string{
+		"SWIRL": "Extend", "DRLindex": "Drop", "DQN": "AutoAdmin", "MCTS": "AutoAdmin",
+	} {
+		sp, _ := SpecByName(name)
+		if sp.Baseline != base {
+			t.Errorf("%s baseline = %s, want %s", name, sp.Baseline, base)
+		}
+	}
+}
+
+func TestBuildMethodsAndMeasure(t *testing.T) {
+	s := tinySuite(t)
+	adv := &advisor.Extend{Opt: advisor.DefaultOptions()}
+	for _, name := range MethodNames {
+		m, err := s.BuildMethod(name, core.ValueOnly, adv, nil, s.Storage, MethodConfig{})
+		if err != nil {
+			t.Fatalf("BuildMethod(%s): %v", name, err)
+		}
+		res, err := s.Measure(m, adv, nil, s.Storage)
+		if err != nil {
+			t.Fatalf("Measure(%s): %v", name, err)
+		}
+		if res.N == 0 {
+			t.Logf("Measure(%s): no properly-operating workloads (tiny scale)", name)
+		}
+		for _, p := range res.Pairs {
+			if p.Pert.Size() != p.Orig.Size() {
+				t.Errorf("%s: perturbed size mismatch", name)
+			}
+		}
+	}
+	// Random must produce its extra attempts.
+	m, _ := s.BuildMethod("Random", core.ValueOnly, adv, nil, s.Storage, MethodConfig{})
+	vs, err := m.Variants(s.Test[0])
+	if err != nil || len(vs) != s.P.RandomAttempts {
+		t.Errorf("Random attempts = %d (%v), want %d", len(vs), err, s.P.RandomAttempts)
+	}
+	if _, err := s.BuildMethod("bogus", core.ValueOnly, adv, nil, s.Storage, MethodConfig{}); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestPretrainCacheReused(t *testing.T) {
+	s := tinySuite(t)
+	adv := &advisor.Drop{}
+	if _, err := s.BuildMethod("TRAP", core.ValueOnly, adv, nil, s.Count, MethodConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.pretrained) != 1 {
+		t.Fatalf("pretrain cache size %d", len(s.pretrained))
+	}
+	snap := s.pretrained[core.ValueOnly]
+	if _, err := s.BuildMethod("TRAP", core.ValueOnly, adv, nil, s.Count, MethodConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.pretrained) != 1 || &s.pretrained[core.ValueOnly][0][0] != &snap[0][0] {
+		t.Error("pretrain snapshot not reused")
+	}
+}
+
+func TestSargableDetection(t *testing.T) {
+	s := tinySuite(t)
+	// A selective predicate on a large table is index-friendly.
+	good := workload.New(sqlx.MustParse(
+		"SELECT lineitem.l_extendedprice FROM lineitem WHERE lineitem.l_orderkey = 42"))
+	if !s.Sargable(good) {
+		t.Error("selective large-table workload should be sargable")
+	}
+	// OR-only predicates defeat every index.
+	bad := workload.New(sqlx.MustParse(
+		"SELECT lineitem.l_extendedprice FROM lineitem WHERE lineitem.l_orderkey = 42 OR lineitem.l_partkey != 7"))
+	if s.Sargable(bad) {
+		t.Error("OR/!= workload should be non-sargable")
+	}
+}
+
+func TestFig1AndTab1(t *testing.T) {
+	s := tinySuite(t)
+	tab := Fig1([]*Suite{s})
+	if len(tab.Rows) != 10 {
+		t.Errorf("Fig1 rows = %d, want 10", len(tab.Rows))
+	}
+	t1, err := Tab1(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1.Rows) != 4 {
+		t.Errorf("Tab1 rows = %d, want 4 (original + 3 constraints)", len(t1.Rows))
+	}
+	if !strings.Contains(t1.String(), "SELECT") {
+		t.Error("Tab1 missing SQL")
+	}
+}
+
+func TestFig6Slice(t *testing.T) {
+	s := tinySuite(t)
+	cells, tab, err := Fig6([]*Suite{s}, []string{"Extend", "Drop"},
+		[]string{"Random", "TRAP"}, []core.PerturbConstraint{core.ValueOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(cells))
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, c := range cells {
+		if c.Dataset != "tpch" {
+			t.Error("wrong dataset label")
+		}
+	}
+}
+
+func TestFig8(t *testing.T) {
+	s := tinySuite(t)
+	results, tab, err := Fig8(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 || len(tab.Rows) != 6 {
+		t.Fatalf("Fig8 results = %d, want 6", len(results))
+	}
+	for _, r := range results {
+		if r.EpochsTo80 < 0 || r.EpochsTo80 > s.P.RLEpochs {
+			t.Errorf("EpochsTo80 out of range: %d", r.EpochsTo80)
+		}
+	}
+}
+
+func TestFig14And15(t *testing.T) {
+	s := tinySuite(t)
+	t14, err := Fig14(s, core.ValueOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t14.Rows) != 6 {
+		t.Errorf("Fig14 rows = %d, want 6", len(t14.Rows))
+	}
+	t15, err := Fig15(s, core.ValueOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t15.Rows) != 6 {
+		t.Errorf("Fig15 rows = %d, want 6", len(t15.Rows))
+	}
+}
+
+func TestFig16And17(t *testing.T) {
+	s := tinySuite(t)
+	scores, dist, err := Fig16(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores.Rows) != 6 || len(dist.Rows) != 6 {
+		t.Errorf("Fig16 rows = %d/%d, want 6/6", len(scores.Rows), len(dist.Rows))
+	}
+	tsne, frac, err := Fig17(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tsne.Rows) != 2 {
+		t.Errorf("Fig17a groups = %d, want 2", len(tsne.Rows))
+	}
+	if len(frac.Rows) != 3 {
+		t.Errorf("Fig17b detectors = %d, want 3", len(frac.Rows))
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("demo", "a", "bb")
+	tab.Add("x", "y")
+	tab.Note("n=%d", 1)
+	out := tab.String()
+	for _, want := range []string{"demo", "a", "bb", "x", "y", "note: n=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	js, err := tab.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"title": "demo"`, `"x"`, `"n=1"`} {
+		if !strings.Contains(js, want) {
+			t.Errorf("JSON missing %q:\n%s", want, js)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package assess
+
+import (
+	"github.com/trap-repro/trap/internal/advisor"
+	"github.com/trap-repro/trap/internal/core"
+)
+
+// trainAdvisor trains a learned advisor on the suite's training set.
+func (s *Suite) trainAdvisor(a advisor.Advisor, ac advisor.Constraint) error {
+	if tr, ok := a.(advisor.Trainable); ok {
+		return tr.Train(s.E, s.Train, ac)
+	}
+	return nil
+}
+
+// measureTRAPAgainst builds a TRAP method against the advisor and
+// measures the IUDR.
+func (s *Suite) measureTRAPAgainst(a advisor.Advisor, base advisor.Advisor, ac advisor.Constraint, pc core.PerturbConstraint) (float64, int, error) {
+	m, err := s.BuildMethod("TRAP", pc, a, base, ac, MethodConfig{})
+	if err != nil {
+		return 0, 0, err
+	}
+	res, err := s.Measure(m, a, base, ac)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.MeanIUDR, res.N, nil
+}
+
+// Fig12 runs the state-representation ablation (Figure 12): the three RL
+// advisor backbones with fine-grained versus coarse-grained states,
+// attacked by TRAP under the given perturbation constraints.
+func Fig12(s *Suite, constraints []core.PerturbConstraint) (*Table, error) {
+	if len(constraints) == 0 {
+		constraints = []core.PerturbConstraint{core.SharedTable, core.ColumnConsistent}
+	}
+	t := NewTable("Figure 12: IUDR vs state representation granularity",
+		"backbone", "state", "constraint", "IUDR", "workloads")
+	type backbone struct {
+		name string
+		make func(kind advisor.StateKind) (advisor.Advisor, advisor.Advisor, advisor.Constraint)
+	}
+	backbones := []backbone{
+		{name: "SWIRL", make: func(kind advisor.StateKind) (advisor.Advisor, advisor.Advisor, advisor.Constraint) {
+			a := advisor.NewSWIRL(s.Seed)
+			a.State = kind
+			a.Episodes = s.P.AdvisorEpisodes
+			return a, &advisor.Extend{Opt: advisor.DefaultOptions()}, s.Storage
+		}},
+		{name: "DRLindex", make: func(kind advisor.StateKind) (advisor.Advisor, advisor.Advisor, advisor.Constraint) {
+			a := advisor.NewDRLindex(s.Seed)
+			a.State = kind
+			a.Episodes = s.P.AdvisorEpisodes
+			return a, &advisor.Drop{}, s.Count
+		}},
+		{name: "DQN", make: func(kind advisor.StateKind) (advisor.Advisor, advisor.Advisor, advisor.Constraint) {
+			a := advisor.NewDQN(s.Seed)
+			a.State = kind
+			a.Episodes = s.P.AdvisorEpisodes
+			return a, &advisor.AutoAdmin{Opt: advisor.DefaultOptions()}, s.Count
+		}},
+	}
+	for _, b := range backbones {
+		for _, kind := range []advisor.StateKind{advisor.FineState, advisor.CoarseState} {
+			a, base, ac := b.make(kind)
+			if err := s.trainAdvisor(a, ac); err != nil {
+				return nil, err
+			}
+			for _, pc := range constraints {
+				iudr, n, err := s.measureTRAPAgainst(a, base, ac, pc)
+				if err != nil {
+					return nil, err
+				}
+				t.Add(b.name, kind.String(), pc.String(), F(iudr), I(n))
+			}
+		}
+	}
+	return t, nil
+}
+
+// Fig13 runs the candidate-pruning ablation (Figure 13): SWIRL and DQN
+// with and without pruning of the action space, attacked by TRAP.
+func Fig13(s *Suite, pc core.PerturbConstraint) (*Table, error) {
+	t := NewTable("Figure 13: IUDR vs candidate pruning in the action space",
+		"advisor", "pruning", "IUDR", "workloads")
+	type variant struct {
+		name    string
+		pruning bool
+		make    func(pruning bool) (advisor.Advisor, advisor.Advisor, advisor.Constraint)
+	}
+	makeSWIRL := func(pruning bool) (advisor.Advisor, advisor.Advisor, advisor.Constraint) {
+		a := advisor.NewSWIRL(s.Seed)
+		a.Pruning = pruning
+		a.Episodes = s.P.AdvisorEpisodes
+		return a, &advisor.Extend{Opt: advisor.DefaultOptions()}, s.Storage
+	}
+	makeDQN := func(pruning bool) (advisor.Advisor, advisor.Advisor, advisor.Constraint) {
+		a := advisor.NewDQN(s.Seed)
+		a.Pruning = pruning
+		a.Episodes = s.P.AdvisorEpisodes
+		return a, &advisor.AutoAdmin{Opt: advisor.DefaultOptions()}, s.Count
+	}
+	variants := []variant{
+		{name: "SWIRL", pruning: true, make: makeSWIRL},
+		{name: "SWIRL", pruning: false, make: makeSWIRL},
+		{name: "DQN", pruning: true, make: makeDQN},
+		{name: "DQN", pruning: false, make: makeDQN},
+	}
+	for _, v := range variants {
+		a, base, ac := v.make(v.pruning)
+		if err := s.trainAdvisor(a, ac); err != nil {
+			return nil, err
+		}
+		iudr, n, err := s.measureTRAPAgainst(a, base, ac, pc)
+		if err != nil {
+			return nil, err
+		}
+		label := "with"
+		if !v.pruning {
+			label = "without"
+		}
+		t.Add(v.name, label, F(iudr), I(n))
+	}
+	return t, nil
+}
+
+// Fig14 runs the index-interaction ablation (Figure 14): heuristic
+// advisors valuing indexes with versus without interaction awareness,
+// attacked by TRAP.
+func Fig14(s *Suite, pc core.PerturbConstraint) (*Table, error) {
+	t := NewTable("Figure 14: IUDR vs index-interaction awareness",
+		"advisor", "interaction", "IUDR", "workloads")
+	for _, interaction := range []bool{true, false} {
+		opt := advisor.DefaultOptions()
+		opt.Interaction = interaction
+		cases := []struct {
+			a  advisor.Advisor
+			ac advisor.Constraint
+		}{
+			{a: &advisor.Extend{Opt: opt}, ac: s.Storage},
+			{a: &advisor.AutoAdmin{Opt: opt}, ac: s.Count},
+			{a: &advisor.DTA{Opt: opt}, ac: s.Storage},
+		}
+		for _, c := range cases {
+			iudr, n, err := s.measureTRAPAgainst(c.a, nil, c.ac, pc)
+			if err != nil {
+				return nil, err
+			}
+			label := "w/"
+			if !interaction {
+				label = "w/o"
+			}
+			t.Add(c.a.Name(), label, F(iudr), I(n))
+		}
+	}
+	return t, nil
+}
+
+// Fig15 runs the multi-column-index ablation (Figure 15): heuristic
+// advisors restricted to single-column candidates versus allowed
+// multi-column ones, attacked by TRAP.
+func Fig15(s *Suite, pc core.PerturbConstraint) (*Table, error) {
+	t := NewTable("Figure 15: IUDR vs multi-column index usage",
+		"advisor", "index type", "IUDR", "workloads")
+	for _, multi := range []bool{true, false} {
+		opt := advisor.DefaultOptions()
+		opt.MultiColumn = multi
+		cases := []struct {
+			a  advisor.Advisor
+			ac advisor.Constraint
+		}{
+			{a: &advisor.Extend{Opt: opt}, ac: s.Storage},
+			{a: &advisor.AutoAdmin{Opt: opt}, ac: s.Count},
+			{a: &advisor.DB2Advis{Opt: opt}, ac: s.Storage},
+		}
+		for _, c := range cases {
+			iudr, n, err := s.measureTRAPAgainst(c.a, nil, c.ac, pc)
+			if err != nil {
+				return nil, err
+			}
+			label := "multi-column"
+			if !multi {
+				label = "single-column"
+			}
+			t.Add(c.a.Name(), label, F(iudr), I(n))
+		}
+	}
+	return t, nil
+}

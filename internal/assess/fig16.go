@@ -1,0 +1,214 @@
+package assess
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/trap-repro/trap/internal/advisor"
+	"github.com/trap-repro/trap/internal/causal"
+	"github.com/trap-repro/trap/internal/core"
+	"github.com/trap-repro/trap/internal/outlier"
+	"github.com/trap-repro/trap/internal/workload"
+)
+
+// collectPairs gathers assessment pairs (including non-sargable ones)
+// from a sampled TRAP-style attack against Extend, providing the
+// observations Figures 16 and 17 analyze. Sampled (not greedy) decoding
+// diversifies the perturbations so both effective and ineffective
+// changes appear.
+func (s *Suite) collectPairs(pc core.PerturbConstraint, rounds int) ([]Pair, error) {
+	adv := &advisor.Extend{Opt: advisor.DefaultOptions()}
+	ac := s.Storage
+	m, err := s.BuildMethod("TRAP", pc, adv, nil, ac, MethodConfig{})
+	if err != nil {
+		return nil, err
+	}
+	var pairs []Pair
+	for round := 0; round < rounds; round++ {
+		for _, w := range s.Test {
+			u, err := s.UtilityOf(adv, nil, ac, w)
+			if err != nil || u <= s.P.Theta {
+				continue
+			}
+			pert, err := m.FW.GenerateSampled(w)
+			if err != nil {
+				return nil, err
+			}
+			pair := Pair{Orig: w, Pert: pert, U: u}
+			if !s.Sargable(pert) {
+				pair.NonSargable = true
+			} else if uPert, err := s.UtilityOf(adv, nil, ac, pert); err == nil {
+				pair.UPert = uPert
+				pair.IUDR = workload.IUDR(u, uPert)
+			}
+			pairs = append(pairs, pair)
+		}
+	}
+	return pairs, nil
+}
+
+// Fig16 reproduces the query-change analysis (Figure 16): (a) causal
+// scores of the six change types on IUDR, for the three causal models;
+// (b) the distribution of change types among non-sargable workloads.
+func Fig16(s *Suite, rounds int) (*Table, *Table, error) {
+	pairs, err := s.collectPairs(core.SharedTable, rounds)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Observation matrix: per pair, occurrence of each change type and
+	// the IUDR (non-sargable pairs are treated as fully degraded, since
+	// no index helps them — matching the paper's u < θ for all advisors).
+	occ := make([][]float64, workload.NumChangeTypes)
+	for i := range occ {
+		occ[i] = make([]float64, len(pairs))
+	}
+	ys := make([]float64, len(pairs))
+	nonSargCounts := make([]int, workload.NumChangeTypes)
+	nonSargTotal := 0
+	for pi, p := range pairs {
+		counts := workload.ChangeCounts(s.E, p.Orig, p.Pert)
+		for ct := workload.ChangeType(0); ct < workload.NumChangeTypes; ct++ {
+			if counts[ct] > 0 {
+				occ[ct][pi] = 1
+			}
+		}
+		if p.NonSargable {
+			ys[pi] = 1
+			nonSargTotal++
+			for ct := workload.ChangeType(0); ct < workload.NumChangeTypes; ct++ {
+				if counts[ct] > 0 {
+					nonSargCounts[ct]++
+				}
+			}
+		} else {
+			ys[pi] = clampIUDR(p.IUDR)
+		}
+	}
+	scores := NewTable("Figure 16a: causation scores of query changes on IUDR",
+		"change type", "CDS", "ANM", "RECI")
+	models := causal.Models()
+	for ct := workload.ChangeType(0); ct < workload.NumChangeTypes; ct++ {
+		row := []string{ct.String()}
+		for _, mdl := range models {
+			row = append(row, F(mdl.Score(occ[ct], ys)))
+		}
+		scores.Add(row...)
+	}
+	dist := NewTable("Figure 16b: change-type distribution in non-sargable workloads",
+		"change type", "share")
+	for ct := workload.ChangeType(0); ct < workload.NumChangeTypes; ct++ {
+		share := 0.0
+		if nonSargTotal > 0 {
+			share = float64(nonSargCounts[ct]) / float64(nonSargTotal)
+		}
+		dist.Add(ct.String(), F(share))
+	}
+	dist.Note("%d of %d perturbed workloads were non-sargable", nonSargTotal, len(pairs))
+	return scores, dist, nil
+}
+
+func clampIUDR(v float64) float64 {
+	if v > 1 {
+		return 1
+	}
+	if v < -1 {
+		return -1
+	}
+	return v
+}
+
+// Fig17 reproduces the OOD analysis (Figure 17): t-SNE coordinates of
+// original and perturbed query vectors (from TRAP's encoder), and the
+// fraction of perturbed queries flagged as outliers, split by effective
+// (IUDR > 0) versus ineffective (IUDR < 0) perturbations.
+func Fig17(s *Suite, rounds int) (*Table, *Table, error) {
+	pairs, err := s.collectPairs(core.SharedTable, rounds)
+	if err != nil {
+		return nil, nil, err
+	}
+	encoder := core.NewTRAPModel(s.Vocab, s.P.Sizes, rand.New(rand.NewSource(s.Seed+77)))
+
+	var vectors [][]float64
+	var isPert, isEffective []bool
+	for _, p := range pairs {
+		if p.NonSargable {
+			continue
+		}
+		for _, it := range p.Orig.Items {
+			vectors = append(vectors, encoder.EncodeVector(s.Vocab, it.Query))
+			isPert = append(isPert, false)
+			isEffective = append(isEffective, false)
+		}
+		for _, it := range p.Pert.Items {
+			vectors = append(vectors, encoder.EncodeVector(s.Vocab, it.Query))
+			isPert = append(isPert, true)
+			isEffective = append(isEffective, p.IUDR > 0)
+		}
+	}
+	if len(vectors) < 10 {
+		return nil, nil, errTooFew
+	}
+	// (a) t-SNE summary: centroid distance between original and perturbed
+	// clouds relative to their spread — indistinguishable clouds overlap.
+	emb := outlier.DefaultTSNE(s.Seed).Embed(vectors)
+	tsne := NewTable("Figure 17a: t-SNE of query vectors before/after perturbation",
+		"group", "points", "centroid-x", "centroid-y", "spread")
+	addGroup := func(name string, pert bool) {
+		var cx, cy, n float64
+		for i, p := range emb {
+			if isPert[i] != pert {
+				continue
+			}
+			cx += p[0]
+			cy += p[1]
+			n++
+		}
+		if n == 0 {
+			return
+		}
+		cx /= n
+		cy /= n
+		var spread float64
+		for i, p := range emb {
+			if isPert[i] != pert {
+				continue
+			}
+			dx, dy := p[0]-cx, p[1]-cy
+			spread += dx*dx + dy*dy
+		}
+		tsne.Add(name, I(int(n)), F2(cx), F2(cy), F2(math.Sqrt(spread/n)))
+	}
+	addGroup("original", false)
+	addGroup("perturbed", true)
+
+	// (b) outlier fractions per detector, effective vs ineffective.
+	frac := NewTable("Figure 17b: outlier fraction of perturbed queries",
+		"detector", "IUDR > 0", "IUDR < 0")
+	for _, det := range outlier.Detectors(s.Seed) {
+		scores := det.Scores(vectors)
+		maskEff := make([]bool, len(vectors))
+		maskIneff := make([]bool, len(vectors))
+		for i := range vectors {
+			if !isPert[i] {
+				continue
+			}
+			if isEffective[i] {
+				maskEff[i] = true
+			} else {
+				maskIneff[i] = true
+			}
+		}
+		fe := outlier.OutlierFraction(scores, 0.03, maskEff)
+		fi := outlier.OutlierFraction(scores, 0.03, maskIneff)
+		frac.Add(det.Name(), F(fe), F(fi))
+	}
+	frac.Note("low, similar fractions mean effective perturbations are not OOD")
+	return tsne, frac, nil
+}
+
+// errTooFew signals not enough observations for the OOD analysis.
+var errTooFew = errTooFewType{}
+
+type errTooFewType struct{}
+
+func (errTooFewType) Error() string { return "assess: too few query vectors for OOD analysis" }

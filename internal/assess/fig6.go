@@ -1,0 +1,104 @@
+package assess
+
+import (
+	"github.com/trap-repro/trap/internal/advisor"
+	"github.com/trap-repro/trap/internal/bench"
+	"github.com/trap-repro/trap/internal/core"
+)
+
+// Fig6Cell is one measurement of the main robustness grid.
+type Fig6Cell struct {
+	Dataset    string
+	Constraint core.PerturbConstraint
+	Advisor    string
+	Method     string
+	IUDR       float64
+	N          int
+}
+
+// Fig6 runs the headline robustness assessment (Figure 6): for every
+// suite × perturbation constraint × advisor × generation method, the mean
+// IUDR over the suite's properly-operating test workloads. The advisor
+// and method lists allow running slices of the grid.
+func Fig6(suites []*Suite, advisors, methods []string, constraints []core.PerturbConstraint) ([]Fig6Cell, *Table, error) {
+	if len(constraints) == 0 {
+		constraints = core.AllConstraints
+	}
+	var cells []Fig6Cell
+	t := NewTable("Figure 6: IUDR of index advisors under adversarial workloads",
+		"dataset", "constraint", "advisor", "method", "IUDR", "workloads")
+	for _, s := range suites {
+		for _, advName := range advisors {
+			spec, err := SpecByName(advName)
+			if err != nil {
+				return nil, nil, err
+			}
+			adv, err := s.BuildAdvisor(spec)
+			if err != nil {
+				return nil, nil, err
+			}
+			base := s.BaselineAdvisor(spec)
+			ac := s.ConstraintFor(spec)
+			for _, pc := range constraints {
+				for _, mname := range methods {
+					m, err := s.BuildMethod(mname, pc, adv, base, ac, MethodConfig{})
+					if err != nil {
+						return nil, nil, err
+					}
+					res, err := s.Measure(m, adv, base, ac)
+					if err != nil {
+						return nil, nil, err
+					}
+					cell := Fig6Cell{
+						Dataset: s.Name, Constraint: pc, Advisor: advName,
+						Method: mname, IUDR: res.MeanIUDR, N: res.N,
+					}
+					cells = append(cells, cell)
+					t.Add(s.Name, pc.String(), advName, mname, F(res.MeanIUDR), I(res.N))
+				}
+			}
+		}
+	}
+	return cells, t, nil
+}
+
+// Fig10 runs the scalability analysis on large, wide schemas against
+// Extend (Figure 10).
+func Fig10(p Params, columns []int, methods []string, seed int64) (*Table, error) {
+	if len(columns) == 0 {
+		columns = []int{809, 1031, 1265}
+	}
+	t := NewTable("Figure 10: scalability on large real-world-like schemas",
+		"columns", "method", "IUDR", "workloads")
+	for _, cols := range columns {
+		s, err := NewSuiteFromSchema("wide", cols, p, seed)
+		if err != nil {
+			return nil, err
+		}
+		adv := &advisor.Extend{Opt: advisor.DefaultOptions()}
+		ac := s.Storage
+		for _, mname := range methods {
+			m, err := s.BuildMethod(mname, core.SharedTable, adv, nil, ac, MethodConfig{})
+			if err != nil {
+				return nil, err
+			}
+			res, err := s.Measure(m, adv, nil, ac)
+			if err != nil {
+				return nil, err
+			}
+			t.Add(I(cols), mname, F(res.MeanIUDR), I(res.N))
+		}
+	}
+	return t, nil
+}
+
+// NewSuiteFromSchema builds a suite over a synthetic wide schema (used by
+// Figure 10).
+func NewSuiteFromSchema(name string, columns int, p Params, seed int64) (*Suite, error) {
+	rows := int64(2_000_000) / p.ScaleDown
+	if rows < 1000 {
+		rows = 1000
+	}
+	sch := bench.LargeSchema(name, columns, rows)
+	return NewSuite(name, sch, p, seed)
+}

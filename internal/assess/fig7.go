@@ -1,0 +1,194 @@
+package assess
+
+import (
+	"time"
+
+	"github.com/trap-repro/trap/internal/core"
+)
+
+// Fig7Tab4Result holds one generation-module measurement: IUDR against
+// the two reference advisors, parameter count, generation time, and the
+// RL training trace.
+type Fig7Tab4Result struct {
+	Module         string
+	IUDRExtend     float64
+	IUDRSWIRL      float64
+	Params         int
+	GenerationTime time.Duration
+	TraceExtend    []float64
+}
+
+// Fig7Tab4 runs the generation-module ablation (Figure 7) and the
+// efficiency comparison (Table IV) on one suite (TPC-H in the paper)
+// against Extend and SWIRL: the GRU decoder-only variant, the four PLM
+// stand-ins, and TRAP. genQueries is the number of queries to time
+// (1000 in the paper).
+func Fig7Tab4(s *Suite, genQueries int) ([]Fig7Tab4Result, *Table, *Table, error) {
+	extendSpec, err := SpecByName("Extend")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	swirlSpec, err := SpecByName("SWIRL")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	extend, err := s.BuildAdvisor(extendSpec)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	swirl, err := s.BuildAdvisor(swirlSpec)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	swirlBase := s.BaselineAdvisor(swirlSpec)
+
+	type module struct {
+		name string
+		make func() core.Scorer
+	}
+	modules := []module{
+		{name: "GRU", make: func() core.Scorer { return core.NewGRUModel(s.Vocab, s.P.Sizes, s.rng(101)) }},
+	}
+	for i, spec := range core.PLMSpecs() {
+		sp := spec
+		salt := int64(200 + i)
+		modules = append(modules, module{name: sp.Name, make: func() core.Scorer {
+			m := core.NewPLMModel(sp, s.Vocab, s.P.Sizes, s.rng(salt))
+			// Generic-corpus pretraining: the domain-mismatch handicap.
+			m.GenericPretrain(8*s.P.PretrainPairs, s.rng(salt+1))
+			return m
+		}})
+	}
+	modules = append(modules, module{name: "TRAP", make: nil})
+
+	var results []Fig7Tab4Result
+	pc := core.SharedTable
+	for _, mod := range modules {
+		var mExtend, mSWIRL *Method
+		if mod.name == "TRAP" {
+			mExtend, err = s.BuildMethod("TRAP", pc, extend, nil, s.Storage, MethodConfig{})
+			if err == nil {
+				mSWIRL, err = s.BuildMethod("TRAP", pc, swirl, swirlBase, s.Storage, MethodConfig{})
+			}
+		} else {
+			mExtend, err = s.BuildMethod(mod.name, pc, extend, nil, s.Storage, MethodConfig{Model: mod.make()})
+			if err == nil {
+				mSWIRL, err = s.BuildMethod(mod.name, pc, swirl, swirlBase, s.Storage, MethodConfig{Model: mod.make()})
+			}
+		}
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		resE, err := s.Measure(mExtend, extend, nil, s.Storage)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		resS, err := s.Measure(mSWIRL, swirl, swirlBase, s.Storage)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		nParams := 0
+		if p := mExtend.FW.Model.Params(); p != nil {
+			nParams = p.Count()
+		}
+		start := time.Now()
+		if err := s.GenerationCost(mExtend, genQueries); err != nil {
+			return nil, nil, nil, err
+		}
+		elapsed := time.Since(start)
+		results = append(results, Fig7Tab4Result{
+			Module:         mod.name,
+			IUDRExtend:     resE.MeanIUDR,
+			IUDRSWIRL:      resS.MeanIUDR,
+			Params:         nParams,
+			GenerationTime: elapsed,
+			TraceExtend:    mExtend.Trace,
+		})
+	}
+
+	fig7 := NewTable("Figure 7: IUDR per generation module (Extend & SWIRL)",
+		"module", "IUDR vs Extend", "IUDR vs SWIRL")
+	tab4 := NewTable("Table IV: generation-module efficiency",
+		"module", "#params", "generation time")
+	for _, r := range results {
+		fig7.Add(r.Module, F(r.IUDRExtend), F(r.IUDRSWIRL))
+		tab4.Add(r.Module, I(r.Params), r.GenerationTime.Round(time.Millisecond).String())
+	}
+	tab4.Note("timing covers perturbing %d queries", genQueries)
+	return results, fig7, tab4, nil
+}
+
+// Fig8Result holds one training-paradigm ablation measurement.
+type Fig8Result struct {
+	Variant     string
+	Advisor     string
+	IUDR        float64
+	Trace       []float64
+	EpochsTo80  int
+	FinalReward float64
+}
+
+// Fig8 runs the training-paradigm ablation (Figure 8): full TRAP versus
+// "w/o Cost Model" (raw what-if rewards) and "w/o Pretrain" (RL from
+// scratch), against Extend and SWIRL. EpochsTo80 is the number of RL
+// epochs needed to reach 80% of the full model's final reward — the
+// paper's epochs-to-desired-IUDR measure.
+func Fig8(s *Suite) ([]Fig8Result, *Table, error) {
+	variants := []struct {
+		name string
+		mc   MethodConfig
+	}{
+		{name: "TRAP", mc: MethodConfig{}},
+		{name: "w/o Cost Model", mc: MethodConfig{NoCostModel: true}},
+		{name: "w/o Pretrain", mc: MethodConfig{NoPretrain: true}},
+	}
+	advisors := []string{"Extend", "SWIRL"}
+	var results []Fig8Result
+	t := NewTable("Figure 8: training-paradigm ablation",
+		"variant", "advisor", "IUDR", "final reward", "epochs to 80%")
+
+	for _, advName := range advisors {
+		spec, err := SpecByName(advName)
+		if err != nil {
+			return nil, nil, err
+		}
+		adv, err := s.BuildAdvisor(spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		base := s.BaselineAdvisor(spec)
+		ac := s.ConstraintFor(spec)
+		var fullFinal float64
+		for vi, v := range variants {
+			m, err := s.BuildMethod("TRAP", core.SharedTable, adv, base, ac, v.mc)
+			if err != nil {
+				return nil, nil, err
+			}
+			res, err := s.Measure(m, adv, base, ac)
+			if err != nil {
+				return nil, nil, err
+			}
+			final := 0.0
+			if len(m.Trace) > 0 {
+				final = m.Trace[len(m.Trace)-1]
+			}
+			if vi == 0 {
+				fullFinal = final
+			}
+			target := 0.8 * fullFinal
+			epochs := len(m.Trace)
+			for i, r := range m.Trace {
+				if r >= target {
+					epochs = i + 1
+					break
+				}
+			}
+			results = append(results, Fig8Result{
+				Variant: v.name, Advisor: advName, IUDR: res.MeanIUDR,
+				Trace: m.Trace, EpochsTo80: epochs, FinalReward: final,
+			})
+			t.Add(v.name, advName, F(res.MeanIUDR), F(final), I(epochs))
+		}
+	}
+	return results, t, nil
+}

@@ -1,0 +1,101 @@
+package assess
+
+import (
+	"github.com/trap-repro/trap/internal/advisor"
+	"github.com/trap-repro/trap/internal/core"
+	"github.com/trap-repro/trap/internal/workload"
+)
+
+// Fig9 runs the hyper-parameter study (Figure 9) under SharedTable
+// against Extend: IUDR versus the initial utility threshold θ, the edit
+// budget ε, and the workload size |W|.
+func Fig9(s *Suite, methods []string) (*Table, error) {
+	adv := &advisor.Extend{Opt: advisor.DefaultOptions()}
+	ac := s.Storage
+	t := NewTable("Figure 9: IUDR vs θ, ε and |W| (SharedTable, Extend)",
+		"sweep", "value", "method", "IUDR", "workloads")
+
+	// (a) θ sweep: methods trained at the default θ, measured with
+	// progressively stricter filters.
+	builtDefault := map[string]*Method{}
+	for _, mname := range methods {
+		m, err := s.BuildMethod(mname, core.SharedTable, adv, nil, ac, MethodConfig{})
+		if err != nil {
+			return nil, err
+		}
+		builtDefault[mname] = m
+	}
+	for _, theta := range []float64{0.0, 0.1, 0.2, 0.3, 0.4, 0.5} {
+		saved := s.P.Theta
+		s.P.Theta = theta
+		for _, mname := range methods {
+			res, err := s.Measure(builtDefault[mname], adv, nil, ac)
+			if err != nil {
+				s.P.Theta = saved
+				return nil, err
+			}
+			t.Add("theta", F2(theta), mname, F(res.MeanIUDR), I(res.N))
+		}
+		s.P.Theta = saved
+	}
+
+	// (b) ε sweep: each budget needs its own trained method.
+	for _, eps := range []int{1, 3, 5, 7, 9} {
+		for _, mname := range methods {
+			m, err := s.BuildMethod(mname, core.SharedTable, adv, nil, ac, MethodConfig{Eps: eps})
+			if err != nil {
+				return nil, err
+			}
+			res, err := s.Measure(m, adv, nil, ac)
+			if err != nil {
+				return nil, err
+			}
+			t.Add("eps", I(eps), mname, F(res.MeanIUDR), I(res.N))
+		}
+	}
+
+	// (c) |W| sweep: fixed-size test workloads.
+	for _, size := range []int{1, 10, 25, 50} {
+		var tests []*workload.Workload
+		n := s.P.TestWorkloads
+		if n > 4 {
+			n = 4
+		}
+		for i := 0; i < n; i++ {
+			tests = append(tests, s.Gen.Workload(size))
+		}
+		for _, mname := range methods {
+			res, err := s.MeasureOn(builtDefault[mname], adv, nil, ac, tests)
+			if err != nil {
+				return nil, err
+			}
+			t.Add("workload-size", I(size), mname, F(res.MeanIUDR), I(res.N))
+		}
+	}
+	return t, nil
+}
+
+// Fig11 runs the storage-budget study (Figure 11): IUDR against Extend
+// under SharedTable as the budget grows from a sliver to most of the
+// dataset.
+func Fig11(s *Suite, methods []string) (*Table, error) {
+	adv := &advisor.Extend{Opt: advisor.DefaultOptions()}
+	t := NewTable("Figure 11: IUDR vs storage budget (SharedTable, Extend)",
+		"budget (frac of data)", "method", "IUDR", "workloads")
+	total := s.E.Schema().TotalSizeBytes()
+	for _, frac := range []float64{0.05, 0.1, 0.25, 0.5, 0.75} {
+		ac := advisor.Constraint{StorageBytes: total * frac}
+		for _, mname := range methods {
+			m, err := s.BuildMethod(mname, core.SharedTable, adv, nil, ac, MethodConfig{})
+			if err != nil {
+				return nil, err
+			}
+			res, err := s.Measure(m, adv, nil, ac)
+			if err != nil {
+				return nil, err
+			}
+			t.Add(F2(frac), mname, F(res.MeanIUDR), I(res.N))
+		}
+	}
+	return t, nil
+}

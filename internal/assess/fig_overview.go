@@ -1,0 +1,58 @@
+package assess
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/trap-repro/trap/internal/bench"
+	"github.com/trap-repro/trap/internal/core"
+	"github.com/trap-repro/trap/internal/nn"
+	"github.com/trap-repro/trap/internal/sqlx"
+)
+
+// Fig1 reproduces Figure 1: queries vs. templates per workload source —
+// the external benchmark metadata plus this repository's own generators.
+func Fig1(suites []*Suite) *Table {
+	t := NewTable("Figure 1: queries are variants of a small template set",
+		"source", "queries", "templates")
+	for _, st := range bench.TemplateStats() {
+		q := "unbounded"
+		if st.Queries != bench.Unbounded {
+			q = fmt.Sprintf("%d", st.Queries)
+		}
+		t.Add(st.Source, q, fmt.Sprintf("%d", st.Templates))
+	}
+	for _, s := range suites {
+		t.Add("this repo: "+s.Name+" generator", "unbounded", I(s.Gen.NumTemplates()))
+	}
+	t.Note("every source has orders of magnitude more queries than templates")
+	return t
+}
+
+// Tab1 reproduces Table I: an example perturbation per constraint on a
+// JOB-style query over the suite's schema.
+func Tab1(s *Suite) (*Table, error) {
+	t := NewTable("Table I: example perturbations per constraint", "constraint", "query")
+	q := s.Gen.Workload(1).Items[0].Query
+	t.Add("Original", q.String())
+	for _, pc := range core.AllConstraints {
+		rng := rand.New(rand.NewSource(s.Seed + int64(pc)))
+		var pert *sqlx.Query
+		// Search a few seeds for an example that actually changed.
+		for try := 0; try < 20; try++ {
+			r, err := core.Decode(nn.NewGraph(false), core.RandomModel{}, s.Vocab, q, pc, s.P.Eps, true, rng)
+			if err != nil {
+				return nil, err
+			}
+			if r.Edits > 0 {
+				pert = r.Query
+				break
+			}
+		}
+		if pert == nil {
+			pert = q
+		}
+		t.Add(pc.String(), pert.String())
+	}
+	return t, nil
+}

@@ -1,0 +1,129 @@
+package assess
+
+import (
+	"github.com/trap-repro/trap/internal/advisor"
+	"github.com/trap-repro/trap/internal/engine"
+	"github.com/trap-repro/trap/internal/schema"
+	"github.com/trap-repro/trap/internal/workload"
+)
+
+// Pair is one assessed (W, W') observation.
+type Pair struct {
+	Orig        *workload.Workload
+	Pert        *workload.Workload
+	U           float64
+	UPert       float64
+	IUDR        float64
+	NonSargable bool
+}
+
+// Assessment aggregates the measurement of one (advisor, method) cell.
+type Assessment struct {
+	MeanIUDR float64
+	N        int
+	Pairs    []Pair
+}
+
+// Sargable reports whether a workload can be helped by indexes at all:
+// with every relevant single-column index available, at least one query
+// plan must actually use one (the paper's sargability notion of
+// Section VI-C, used to exclude non-sargable W' from the assessment).
+func (s *Suite) Sargable(w *workload.Workload) bool {
+	cands := advisor.Candidates(s.E.Schema(), w, advisor.Options{MultiColumn: false})
+	if len(cands) == 0 {
+		return false
+	}
+	used := advisor.UsedIndexes(s.E, w, schema.Config(cands))
+	return len(used) > 0
+}
+
+// Measure assesses one method against one advisor over the suite's test
+// workloads: for every workload where the advisor is properly operating
+// (u > θ), the method's perturbed variants are generated, non-sargable
+// variants are excluded (Definition 3.3), and IUDR is averaged.
+func (s *Suite) Measure(m *Method, adv advisor.Advisor, base advisor.Advisor, ac advisor.Constraint) (*Assessment, error) {
+	return s.MeasureOn(m, adv, base, ac, s.Test)
+}
+
+// MeasureOn is Measure over an explicit workload set.
+func (s *Suite) MeasureOn(m *Method, adv advisor.Advisor, base advisor.Advisor, ac advisor.Constraint, tests []*workload.Workload) (*Assessment, error) {
+	out := &Assessment{}
+	var sum float64
+	for _, w := range tests {
+		u, err := s.UtilityOf(adv, base, ac, w)
+		if err != nil || u <= s.P.Theta {
+			continue
+		}
+		variants, err := m.Variants(w)
+		if err != nil {
+			return nil, err
+		}
+		var wSum float64
+		var wN int
+		for _, pert := range variants {
+			pair := Pair{Orig: w, Pert: pert, U: u}
+			if !s.Sargable(pert) {
+				pair.NonSargable = true
+				out.Pairs = append(out.Pairs, pair)
+				continue
+			}
+			uPert, err := s.UtilityOf(adv, base, ac, pert)
+			if err != nil {
+				continue
+			}
+			pair.UPert = uPert
+			pair.IUDR = workload.IUDR(u, uPert)
+			out.Pairs = append(out.Pairs, pair)
+			wSum += pair.IUDR
+			wN++
+		}
+		if wN > 0 {
+			sum += wSum / float64(wN)
+			out.N++
+		}
+	}
+	if out.N > 0 {
+		out.MeanIUDR = sum / float64(out.N)
+	}
+	return out, nil
+}
+
+// GenerationCost reports a method's decode throughput: the wall time to
+// perturb n queries is measured by the caller; this helper just produces
+// the query stream (Table IV's generation-time comparison).
+func (s *Suite) GenerationCost(m *Method, n int) error {
+	made := 0
+	for made < n {
+		for _, w := range s.Test {
+			variants, err := m.Variants(w)
+			if err != nil {
+				return err
+			}
+			for _, v := range variants {
+				made += v.Size()
+			}
+			if made >= n {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// WhatIfUtilityOf mirrors UtilityOf but with estimated costs — used by
+// ablations that compare reward signals.
+func (s *Suite) WhatIfUtilityOf(a advisor.Advisor, base advisor.Advisor, c advisor.Constraint, w *workload.Workload) (float64, error) {
+	cfg, err := a.Recommend(s.E, w, c)
+	if err != nil {
+		return 0, err
+	}
+	cb, err := workload.Cost(s.E, w, s.baselineConfig(base, c, w), engine.ModeEstimated)
+	if err != nil || cb <= 0 {
+		return 0, err
+	}
+	ci, err := workload.Cost(s.E, w, cfg, engine.ModeEstimated)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - ci/cb, nil
+}

@@ -1,0 +1,145 @@
+package assess
+
+import (
+	"fmt"
+
+	"github.com/trap-repro/trap/internal/advisor"
+	"github.com/trap-repro/trap/internal/core"
+	"github.com/trap-repro/trap/internal/workload"
+)
+
+// MethodNames lists the four workload generation methods of Section V-B
+// in paper order.
+var MethodNames = []string{"Random", "GRU", "Seq2Seq", "TRAP"}
+
+// Method is a generation method trained (where applicable) against a
+// specific advisor under a perturbation constraint.
+type Method struct {
+	Name     string
+	FW       *core.Framework
+	Attempts int // >1 for Random: extra sampled variants, averaged
+	// Trace is the RL reward trace recorded during training.
+	Trace []float64
+}
+
+// MethodConfig tweaks method construction for the ablations.
+type MethodConfig struct {
+	// NoPretrain skips the pretraining phase (Figure 8b).
+	NoPretrain bool
+	// NoCostModel uses raw what-if estimates as the reward (Figure 8a).
+	NoCostModel bool
+	// Model overrides the generation model (PLM variants of Figure 7).
+	Model core.Scorer
+	// RLEpochs overrides the training epochs.
+	RLEpochs int
+	// Eps overrides the edit budget.
+	Eps int
+	// Theta overrides the utility threshold.
+	Theta float64
+}
+
+// BuildMethod constructs and trains a generation method against an
+// advisor. TRAP gets pretraining (cached per constraint: it is an
+// advisor-independent one-time effort) and the learned-utility reward;
+// GRU and Seq2Seq are RL-trained with the same reward but without
+// attention/pretraining; Random needs no training.
+func (s *Suite) BuildMethod(name string, pc core.PerturbConstraint, adv advisor.Advisor, base advisor.Advisor, ac advisor.Constraint, mc MethodConfig) (*Method, error) {
+	epochs := s.P.RLEpochs
+	if mc.RLEpochs > 0 {
+		epochs = mc.RLEpochs
+	}
+	newFW := func(m core.Scorer) *core.Framework {
+		fw := core.NewFramework(m, s.Vocab, pc, s.Seed+int64(pc)*31)
+		fw.Eps = s.P.Eps
+		if mc.Eps > 0 {
+			fw.Eps = mc.Eps
+		}
+		fw.Theta = s.P.Theta
+		if mc.Theta != 0 {
+			fw.Theta = mc.Theta
+		}
+		if !mc.NoCostModel {
+			fw.Utility = s.Utility
+		}
+		return fw
+	}
+	rng := s.rng(int64(pc) + 7)
+	switch name {
+	case "Random":
+		fw := newFW(core.RandomModel{})
+		return &Method{Name: name, FW: fw, Attempts: s.P.RandomAttempts}, nil
+	case "GRU":
+		fw := newFW(core.NewGRUModel(s.Vocab, s.P.Sizes, rng))
+		trace, err := fw.RLTrain(s.E, adv, base, ac, s.Train, epochs)
+		if err != nil {
+			return nil, err
+		}
+		return &Method{Name: name, FW: fw, Attempts: 1, Trace: trace}, nil
+	case "Seq2Seq":
+		fw := newFW(core.NewSeq2Seq(s.Vocab, s.P.Sizes, rng))
+		trace, err := fw.RLTrain(s.E, adv, base, ac, s.Train, epochs)
+		if err != nil {
+			return nil, err
+		}
+		return &Method{Name: name, FW: fw, Attempts: 1, Trace: trace}, nil
+	case "TRAP":
+		model := core.NewTRAPModel(s.Vocab, s.P.Sizes, rng)
+		fw := newFW(model)
+		if !mc.NoPretrain {
+			if err := s.pretrainInto(fw, model, pc); err != nil {
+				return nil, err
+			}
+		}
+		trace, err := fw.RLTrain(s.E, adv, base, ac, s.Train, epochs)
+		if err != nil {
+			return nil, err
+		}
+		return &Method{Name: name, FW: fw, Attempts: 1, Trace: trace}, nil
+	default:
+		if mc.Model == nil {
+			return nil, fmt.Errorf("assess: unknown method %q", name)
+		}
+		fw := newFW(mc.Model)
+		trace, err := fw.RLTrain(s.E, adv, base, ac, s.Train, epochs)
+		if err != nil {
+			return nil, err
+		}
+		return &Method{Name: name, FW: fw, Attempts: 1, Trace: trace}, nil
+	}
+}
+
+// pretrainInto applies the advisor-independent pretraining phase to a
+// TRAP model, reusing a cached encoder snapshot per constraint.
+func (s *Suite) pretrainInto(fw *core.Framework, model *core.TRAPModel, pc core.PerturbConstraint) error {
+	if snap, ok := s.pretrained[pc]; ok {
+		model.EncoderParams().SetState(snap)
+		return nil
+	}
+	if _, err := fw.Pretrain(s.Gen, s.P.PretrainPairs, s.P.PretrainEpochs); err != nil {
+		return err
+	}
+	s.pretrained[pc] = model.EncoderParams().State()
+	return nil
+}
+
+// Variants produces the method's perturbed workload(s) for a test
+// workload: one greedy decode for trained models, Attempts sampled
+// decodes for Random.
+func (m *Method) Variants(w *workload.Workload) ([]*workload.Workload, error) {
+	if m.Attempts <= 1 {
+		p, err := m.FW.Generate(w)
+		if err != nil {
+			return nil, err
+		}
+		return []*workload.Workload{p}, nil
+	}
+	var out []*workload.Workload
+	for i := 0; i < m.Attempts; i++ {
+		p, err := m.FW.GenerateSampled(w)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,69 @@
+package assess
+
+import (
+	"github.com/trap-repro/trap/internal/advisor"
+	"github.com/trap-repro/trap/internal/core"
+	"github.com/trap-repro/trap/internal/stats"
+)
+
+// Oscillation quantifies the paper's Section V-B observation that some
+// advisors (DB2Advis in particular) exhibit high performance oscillation:
+// the standard deviation of the advisor's utility across slight sampled
+// perturbations of the same workloads. A robust advisor holds steady
+// utility; an oscillating one swings.
+func (s *Suite) Oscillation(adv advisor.Advisor, base advisor.Advisor, ac advisor.Constraint, pc core.PerturbConstraint, samplesPerWorkload int) (float64, error) {
+	if samplesPerWorkload < 2 {
+		samplesPerWorkload = 2
+	}
+	fw := core.NewFramework(core.RandomModel{}, s.Vocab, pc, s.Seed+99)
+	fw.Eps = s.P.Eps
+	var devs []float64
+	for _, w := range s.Test {
+		u, err := s.UtilityOf(adv, base, ac, w)
+		if err != nil || u <= s.P.Theta {
+			continue
+		}
+		utils := []float64{u}
+		for k := 0; k < samplesPerWorkload; k++ {
+			pert, err := fw.GenerateSampled(w)
+			if err != nil {
+				return 0, err
+			}
+			if !s.Sargable(pert) {
+				continue
+			}
+			up, err := s.UtilityOf(adv, base, ac, pert)
+			if err != nil {
+				continue
+			}
+			utils = append(utils, up)
+		}
+		if len(utils) >= 2 {
+			devs = append(devs, stats.Std(utils))
+		}
+	}
+	return stats.Mean(devs), nil
+}
+
+// OscillationTable compares the oscillation of several advisors — the
+// quantified version of the paper's DB2Advis finding.
+func OscillationTable(s *Suite, advisors []string, pc core.PerturbConstraint, samples int) (*Table, error) {
+	t := NewTable("Advisor utility oscillation under slight perturbations",
+		"advisor", "utility std-dev", "")
+	for _, name := range advisors {
+		spec, err := SpecByName(name)
+		if err != nil {
+			return nil, err
+		}
+		adv, err := s.BuildAdvisor(spec)
+		if err != nil {
+			return nil, err
+		}
+		osc, err := s.Oscillation(adv, s.BaselineAdvisor(spec), s.ConstraintFor(spec), pc, samples)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(name, F(osc), "")
+	}
+	return t, nil
+}

@@ -1,0 +1,39 @@
+package assess
+
+import (
+	"testing"
+
+	"github.com/trap-repro/trap/internal/core"
+)
+
+func TestOscillationTable(t *testing.T) {
+	s := tinySuite(t)
+	tab, err := OscillationTable(s, []string{"Extend", "DB2Advis"}, core.ValueOnly, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if r[1] == "" {
+			t.Errorf("%s missing oscillation value", r[0])
+		}
+	}
+}
+
+func TestOscillationNonNegative(t *testing.T) {
+	s := tinySuite(t)
+	spec, _ := SpecByName("Extend")
+	adv, err := s.BuildAdvisor(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	osc, err := s.Oscillation(adv, nil, s.Storage, core.ValueOnly, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if osc < 0 {
+		t.Errorf("oscillation %v negative", osc)
+	}
+}

@@ -1,0 +1,94 @@
+package assess
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// NewTable builds a table with a title and column header.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Note appends a footnote line.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	b.WriteString("== " + t.Title + " ==\n")
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	total := len(widths)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total) + "\n")
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		b.WriteString("note: " + n + "\n")
+	}
+	return b.String()
+}
+
+// F formats a float for table cells.
+func F(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// F2 formats a float with two decimals.
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// I formats an int.
+func I(v int) string { return fmt.Sprintf("%d", v) }
+
+// JSON renders the table as a JSON object with title, header, rows and
+// notes — for piping experiment results into other tooling.
+func (t *Table) JSON() (string, error) {
+	out, err := json.MarshalIndent(map[string]any{
+		"title":  t.Title,
+		"header": t.Header,
+		"rows":   t.Rows,
+		"notes":  t.Notes,
+	}, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out), nil
+}

@@ -1,0 +1,105 @@
+package assess
+
+import (
+	"testing"
+
+	"github.com/trap-repro/trap/internal/bench"
+	"github.com/trap-repro/trap/internal/core"
+	"github.com/trap-repro/trap/internal/schema"
+)
+
+// benchTPCH builds the scaled TPC-H schema for the sweep tests.
+func benchTPCH(t testing.TB) *schema.Schema {
+	t.Helper()
+	return bench.TPCH(sweepParams().ScaleDown)
+}
+
+// sweepParams shrinks everything as far as possible for the sweep-driver
+// tests (Random method only, so no generator training happens).
+func sweepParams() Params {
+	p := tinyParams()
+	p.TestWorkloads = 2
+	p.RandomAttempts = 2
+	return p
+}
+
+func TestFig9SweepsWithRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep driver test")
+	}
+	s, err := NewSuite("tpch", benchTPCH(t), sweepParams(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := Fig9(s, []string{"Random"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 theta values + 5 eps values + 4 workload sizes, one method each.
+	if len(tab.Rows) != 15 {
+		t.Errorf("Fig9 rows = %d, want 15", len(tab.Rows))
+	}
+	kinds := map[string]int{}
+	for _, r := range tab.Rows {
+		kinds[r[0]]++
+	}
+	if kinds["theta"] != 6 || kinds["eps"] != 5 || kinds["workload-size"] != 4 {
+		t.Errorf("sweep breakdown wrong: %v", kinds)
+	}
+}
+
+func TestFig10ScalabilityWithRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep driver test")
+	}
+	tab, err := Fig10(sweepParams(), []int{300}, []string{"Random"}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Errorf("Fig10 rows = %d, want 1", len(tab.Rows))
+	}
+}
+
+func TestFig11BudgetsWithRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep driver test")
+	}
+	s, err := NewSuite("tpch", benchTPCH(t), sweepParams(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := Fig11(s, []string{"Random"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Errorf("Fig11 rows = %d, want 5", len(tab.Rows))
+	}
+}
+
+func TestFig12And13SmallSlice(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep driver test")
+	}
+	p := sweepParams()
+	p.AdvisorEpisodes = 4
+	s, err := NewSuite("tpch", benchTPCH(t), p, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t12, err := Fig12(s, []core.PerturbConstraint{core.ValueOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t12.Rows) != 6 { // 3 backbones × 2 states × 1 constraint
+		t.Errorf("Fig12 rows = %d, want 6", len(t12.Rows))
+	}
+	t13, err := Fig13(s, core.ValueOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t13.Rows) != 4 {
+		t.Errorf("Fig13 rows = %d, want 4", len(t13.Rows))
+	}
+}

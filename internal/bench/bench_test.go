@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"testing"
+
+	"github.com/trap-repro/trap/internal/engine"
+	"github.com/trap-repro/trap/internal/schema"
+	"github.com/trap-repro/trap/internal/sqlx"
+)
+
+func TestTPCHShape(t *testing.T) {
+	s := TPCH(1)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Tables) != 8 {
+		t.Errorf("TPC-H tables = %d, want 8", len(s.Tables))
+	}
+	if s.ColumnCount() != 61 {
+		t.Errorf("TPC-H columns = %d, want 61", s.ColumnCount())
+	}
+	li := s.Table("lineitem")
+	if li == nil || li.Rows != 6_000_000 {
+		t.Errorf("lineitem rows wrong: %+v", li)
+	}
+	if s.Correlation("lineitem", "l_shipdate", "l_commitdate") == 0 {
+		t.Error("missing lineitem date correlation")
+	}
+}
+
+func TestTPCDSShape(t *testing.T) {
+	s := TPCDS(1)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Tables) != 25 {
+		t.Errorf("TPC-DS tables = %d, want 25", len(s.Tables))
+	}
+	if s.ColumnCount() != 429 {
+		t.Errorf("TPC-DS columns = %d, want 429", s.ColumnCount())
+	}
+	for _, tc := range []struct {
+		table string
+		cols  int
+	}{
+		{"store_sales", 23}, {"catalog_sales", 34}, {"web_sales", 34},
+		{"date_dim", 28}, {"item", 22}, {"customer", 18}, {"inventory", 4},
+	} {
+		tb := s.Table(tc.table)
+		if tb == nil {
+			t.Errorf("missing table %s", tc.table)
+			continue
+		}
+		if len(tb.Columns) != tc.cols {
+			t.Errorf("%s columns = %d, want %d", tc.table, len(tb.Columns), tc.cols)
+		}
+	}
+}
+
+func TestTransactionShape(t *testing.T) {
+	s := TRANSACTION(1)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Tables) != 10 {
+		t.Errorf("TRANSACTION tables = %d, want 10", len(s.Tables))
+	}
+	if s.ColumnCount() != 189 {
+		t.Errorf("TRANSACTION columns = %d, want 189", s.ColumnCount())
+	}
+}
+
+func TestScaleDown(t *testing.T) {
+	full := TPCH(1)
+	small := TPCH(100)
+	if small.Table("lineitem").Rows >= full.Table("lineitem").Rows {
+		t.Error("scaleDown did not shrink tables")
+	}
+	// Tiny dimension tables must not be scaled to nothing.
+	if small.Table("region").Rows < 5 {
+		t.Error("region over-scaled")
+	}
+	if small.ColumnCount() != full.ColumnCount() {
+		t.Error("scaling must not change the schema shape")
+	}
+}
+
+func TestLargeSchemas(t *testing.T) {
+	for _, cols := range []int{809, 1031, 1265} {
+		s := LargeSchema("wide", cols, 100_000)
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if s.ColumnCount() != cols {
+			t.Errorf("LargeSchema(%d) has %d columns", cols, s.ColumnCount())
+		}
+		if len(s.Joins) != len(s.Tables)-1 {
+			t.Errorf("LargeSchema join graph not spanning: %d joins, %d tables",
+				len(s.Joins), len(s.Tables))
+		}
+	}
+}
+
+func TestSchemasPlannable(t *testing.T) {
+	// Each benchmark schema must support planning a representative query.
+	cases := []struct {
+		s   *schema.Schema
+		sql string
+	}{
+		{TPCH(100), "SELECT lineitem.l_extendedprice FROM lineitem, orders " +
+			"WHERE lineitem.l_orderkey = orders.o_orderkey AND orders.o_orderdate < 500 " +
+			"AND lineitem.l_shipmode = 'l_shipmode_2'"},
+		{TPCDS(100), "SELECT item.i_category, COUNT(store_sales.ss_ticket_number) FROM store_sales, item, date_dim " +
+			"WHERE store_sales.ss_item_sk = item.i_item_sk AND store_sales.ss_sold_date_sk = date_dim.d_date_sk " +
+			"AND date_dim.d_year = 100 GROUP BY item.i_category"},
+		{TRANSACTION(100), "SELECT transactions.amount FROM transactions, accounts " +
+			"WHERE transactions.account_id = accounts.account_id AND accounts.status = 'status_1' " +
+			"ORDER BY transactions.amount"},
+	}
+	for _, tc := range cases {
+		e := engine.New(tc.s)
+		q := sqlx.MustParse(tc.sql)
+		for _, mode := range []engine.Mode{engine.ModeEstimated, engine.ModeTrue} {
+			c, err := e.QueryCost(q, nil, mode)
+			if err != nil {
+				t.Errorf("%s: %v", tc.s.Name, err)
+				continue
+			}
+			if c <= 0 {
+				t.Errorf("%s: non-positive cost", tc.s.Name)
+			}
+		}
+		ix := schema.Index{Table: q.Tables()[0], Columns: []string{q.Filters[0].Col.Column}}
+		if ix.Table != q.Filters[0].Col.Table {
+			ix.Table = q.Filters[0].Col.Table
+		}
+		with, err := e.QueryCost(q, schema.Config{ix}, engine.ModeEstimated)
+		without, _ := e.QueryCost(q, nil, engine.ModeEstimated)
+		if err != nil || with > without+1e-9 {
+			t.Errorf("%s: index raised cost (%v): %v -> %v", tc.s.Name, err, without, with)
+		}
+	}
+}
+
+func TestTemplateStats(t *testing.T) {
+	sts := TemplateStats()
+	if len(sts) != 9 {
+		t.Fatalf("want 9 sources (industry + 8 benchmarks), got %d", len(sts))
+	}
+	for _, st := range sts {
+		if st.Templates <= 0 {
+			t.Errorf("%s: non-positive template count", st.Source)
+		}
+		if st.Queries != Unbounded && st.Queries < st.Templates {
+			t.Errorf("%s: fewer queries than templates", st.Source)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package bench
+
+// TemplateStat records, for one workload source, how many concrete queries
+// were observed against how many underlying query templates — the
+// observation behind Figure 1 of the paper: real workloads are perturbed
+// variants of a small template set.
+type TemplateStat struct {
+	Source    string
+	Queries   int64 // -1 means unbounded (template benchmarks generate endlessly)
+	Templates int64
+}
+
+// Unbounded marks benchmarks whose query count is unlimited (parameter
+// re-binding generates arbitrarily many variants).
+const Unbounded int64 = -1
+
+// TemplateStats reproduces the per-source template statistics of Figure 1:
+// the industry trace from the workload-replatforming study the paper cites
+// (1.7B queries over 31M templates) and eight open-source benchmarks.
+func TemplateStats() []TemplateStat {
+	return []TemplateStat{
+		{Source: "industry (Fortune 500 / Global 2000 trace)", Queries: 1_700_000_000, Templates: 31_000_000},
+		{Source: "TPC-H", Queries: Unbounded, Templates: 22},
+		{Source: "TPC-DS", Queries: Unbounded, Templates: 99},
+		{Source: "DSB", Queries: Unbounded, Templates: 52},
+		{Source: "JOB", Queries: 113, Templates: 33},
+		{Source: "CEB", Queries: 13_644, Templates: 16},
+		{Source: "STATS-CEB", Queries: 146, Templates: 146},
+		{Source: "SSB", Queries: Unbounded, Templates: 13},
+		{Source: "JOB-light", Queries: 70, Templates: 70},
+	}
+}

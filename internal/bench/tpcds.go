@@ -1,0 +1,281 @@
+package bench
+
+import "github.com/trap-repro/trap/internal/schema"
+
+// TPCDS builds the TPC-DS schema: 25 tables and 429 columns (the 24
+// spec tables plus dbgen_version), with SF1 cardinalities divided by
+// scaleDown. Column names follow the TPC-DS v2 specification.
+func TPCDS(scaleDown int64) *schema.Schema {
+	if scaleDown < 1 {
+		scaleDown = 1
+	}
+	sd := func(n int64) int64 {
+		v := n / scaleDown
+		if v < 10 {
+			v = 10
+		}
+		return v
+	}
+	storeSales := buildTable("store_sales", sd(2_880_000), []colSpec{
+		"ss_sold_date_sk fk 1823", "ss_sold_time_sk fk 86400", "ss_item_sk fk 18000",
+		"ss_customer_sk fk 100000", "ss_cdemo_sk fk 1920000", "ss_hdemo_sk fk 7200",
+		"ss_addr_sk fk 50000", "ss_store_sk fk 12", "ss_promo_sk fk 300",
+		"ss_ticket_number fk 240000", "ss_quantity qty 100", "ss_wholesale_cost price",
+		"ss_list_price price", "ss_sales_price price", "ss_ext_discount_amt price",
+		"ss_ext_sales_price price", "ss_ext_wholesale_cost price", "ss_ext_list_price price",
+		"ss_ext_tax price", "ss_coupon_amt price", "ss_net_paid price",
+		"ss_net_paid_inc_tax price", "ss_net_profit price",
+	})
+	storeReturns := buildTable("store_returns", sd(288_000), []colSpec{
+		"sr_returned_date_sk fk 1823", "sr_return_time_sk fk 86400", "sr_item_sk fk 18000",
+		"sr_customer_sk fk 100000", "sr_cdemo_sk fk 1920000", "sr_hdemo_sk fk 7200",
+		"sr_addr_sk fk 50000", "sr_store_sk fk 12", "sr_reason_sk fk 35",
+		"sr_ticket_number fk 240000", "sr_return_quantity qty 100", "sr_return_amt price",
+		"sr_return_tax price", "sr_return_amt_inc_tax price", "sr_fee price",
+		"sr_return_ship_cost price", "sr_refunded_cash price", "sr_reversed_charge price",
+		"sr_store_credit price", "sr_net_loss price",
+	})
+	catalogSales := buildTable("catalog_sales", sd(1_440_000), []colSpec{
+		"cs_sold_date_sk fk 1823", "cs_sold_time_sk fk 86400", "cs_ship_date_sk fk 1823",
+		"cs_bill_customer_sk fk 100000", "cs_bill_cdemo_sk fk 1920000", "cs_bill_hdemo_sk fk 7200",
+		"cs_bill_addr_sk fk 50000", "cs_ship_customer_sk fk 100000", "cs_ship_cdemo_sk fk 1920000",
+		"cs_ship_hdemo_sk fk 7200", "cs_ship_addr_sk fk 50000", "cs_call_center_sk fk 6",
+		"cs_catalog_page_sk fk 11718", "cs_ship_mode_sk fk 20", "cs_warehouse_sk fk 5",
+		"cs_item_sk fk 18000", "cs_promo_sk fk 300", "cs_order_number fk 160000",
+		"cs_quantity qty 100", "cs_wholesale_cost price", "cs_list_price price",
+		"cs_sales_price price", "cs_ext_discount_amt price", "cs_ext_sales_price price",
+		"cs_ext_wholesale_cost price", "cs_ext_list_price price", "cs_ext_tax price",
+		"cs_coupon_amt price", "cs_ext_ship_cost price", "cs_net_paid price",
+		"cs_net_paid_inc_tax price", "cs_net_paid_inc_ship price",
+		"cs_net_paid_inc_ship_tax price", "cs_net_profit price",
+	})
+	catalogReturns := buildTable("catalog_returns", sd(144_000), []colSpec{
+		"cr_returned_date_sk fk 1823", "cr_returned_time_sk fk 86400", "cr_item_sk fk 18000",
+		"cr_refunded_customer_sk fk 100000", "cr_refunded_cdemo_sk fk 1920000",
+		"cr_refunded_hdemo_sk fk 7200", "cr_refunded_addr_sk fk 50000",
+		"cr_returning_customer_sk fk 100000", "cr_returning_cdemo_sk fk 1920000",
+		"cr_returning_hdemo_sk fk 7200", "cr_returning_addr_sk fk 50000",
+		"cr_call_center_sk fk 6", "cr_catalog_page_sk fk 11718", "cr_ship_mode_sk fk 20",
+		"cr_warehouse_sk fk 5", "cr_reason_sk fk 35", "cr_order_number fk 160000",
+		"cr_return_quantity qty 100", "cr_return_amount price", "cr_return_tax price",
+		"cr_return_amt_inc_tax price", "cr_fee price", "cr_return_ship_cost price",
+		"cr_refunded_cash price", "cr_reversed_charge price", "cr_store_credit price",
+		"cr_net_loss price",
+	})
+	webSales := buildTable("web_sales", sd(720_000), []colSpec{
+		"ws_sold_date_sk fk 1823", "ws_sold_time_sk fk 86400", "ws_ship_date_sk fk 1823",
+		"ws_item_sk fk 18000", "ws_bill_customer_sk fk 100000", "ws_bill_cdemo_sk fk 1920000",
+		"ws_bill_hdemo_sk fk 7200", "ws_bill_addr_sk fk 50000", "ws_ship_customer_sk fk 100000",
+		"ws_ship_cdemo_sk fk 1920000", "ws_ship_hdemo_sk fk 7200", "ws_ship_addr_sk fk 50000",
+		"ws_web_page_sk fk 60", "ws_web_site_sk fk 30", "ws_ship_mode_sk fk 20",
+		"ws_warehouse_sk fk 5", "ws_promo_sk fk 300", "ws_order_number fk 60000",
+		"ws_quantity qty 100", "ws_wholesale_cost price", "ws_list_price price",
+		"ws_sales_price price", "ws_ext_discount_amt price", "ws_ext_sales_price price",
+		"ws_ext_wholesale_cost price", "ws_ext_list_price price", "ws_ext_tax price",
+		"ws_coupon_amt price", "ws_ext_ship_cost price", "ws_net_paid price",
+		"ws_net_paid_inc_tax price", "ws_net_paid_inc_ship price",
+		"ws_net_paid_inc_ship_tax price", "ws_net_profit price",
+	})
+	webReturns := buildTable("web_returns", sd(72_000), []colSpec{
+		"wr_returned_date_sk fk 1823", "wr_returned_time_sk fk 86400", "wr_item_sk fk 18000",
+		"wr_refunded_customer_sk fk 100000", "wr_refunded_cdemo_sk fk 1920000",
+		"wr_refunded_hdemo_sk fk 7200", "wr_refunded_addr_sk fk 50000",
+		"wr_returning_customer_sk fk 100000", "wr_returning_cdemo_sk fk 1920000",
+		"wr_returning_hdemo_sk fk 7200", "wr_returning_addr_sk fk 50000",
+		"wr_web_page_sk fk 60", "wr_reason_sk fk 35", "wr_order_number fk 60000",
+		"wr_return_quantity qty 100", "wr_return_amt price", "wr_return_tax price",
+		"wr_return_amt_inc_tax price", "wr_fee price", "wr_return_ship_cost price",
+		"wr_refunded_cash price", "wr_reversed_charge price", "wr_account_credit price",
+		"wr_net_loss price",
+	})
+	inventory := buildTable("inventory", sd(11_745_000), []colSpec{
+		"inv_date_sk fk 261", "inv_item_sk fk 18000", "inv_warehouse_sk fk 5",
+		"inv_quantity_on_hand qty 1000",
+	})
+	store := buildTable("store", 12, []colSpec{
+		"s_store_sk pk", "s_store_id str 12", "s_rec_start_date date 5",
+		"s_rec_end_date date 5", "s_closed_date_sk fk 1823", "s_store_name str 10",
+		"s_number_employees qty 300", "s_floor_space qty 10000", "s_hours flag 3",
+		"s_manager str 12", "s_market_id qty 10", "s_geography_class flag 1",
+		"s_market_desc comment", "s_market_manager str 12", "s_division_id qty 1",
+		"s_division_name flag 1", "s_company_id qty 1", "s_company_name flag 1",
+		"s_street_number str 12", "s_street_name str 12", "s_street_type flag 20",
+		"s_suite_number str 12", "s_city flag 8", "s_county flag 8", "s_state flag 9",
+		"s_zip str 12", "s_country flag 1", "s_gmt_offset float 4", "s_tax_precentage float 10",
+	})
+	callCenter := buildTable("call_center", 6, []colSpec{
+		"cc_call_center_sk pk", "cc_call_center_id str 6", "cc_rec_start_date date 4",
+		"cc_rec_end_date date 4", "cc_closed_date_sk fk 1823", "cc_open_date_sk fk 1823",
+		"cc_name str 6", "cc_class flag 3", "cc_employees qty 7", "cc_sq_ft qty 6",
+		"cc_hours flag 3", "cc_manager str 6", "cc_mkt_id qty 6", "cc_mkt_class flag 6",
+		"cc_mkt_desc comment", "cc_market_manager str 6", "cc_division qty 6",
+		"cc_division_name flag 6", "cc_company qty 6", "cc_company_name flag 6",
+		"cc_street_number str 6", "cc_street_name str 6", "cc_street_type flag 20",
+		"cc_suite_number str 6", "cc_city flag 6", "cc_county flag 6", "cc_state flag 6",
+		"cc_zip str 6", "cc_country flag 1", "cc_gmt_offset float 2", "cc_tax_percentage float 6",
+	})
+	catalogPage := buildTable("catalog_page", 11_718, []colSpec{
+		"cp_catalog_page_sk pk", "cp_catalog_page_id str", "cp_start_date_sk fk 91",
+		"cp_end_date_sk fk 97", "cp_department flag 1", "cp_catalog_number qty 109",
+		"cp_catalog_page_number qty 108", "cp_description comment", "cp_type flag 3",
+	})
+	customer := buildTable("customer", sd(100_000), []colSpec{
+		"c_customer_sk pk", "c_customer_id str", "c_current_cdemo_sk fk 1920000",
+		"c_current_hdemo_sk fk 7200", "c_current_addr_sk fk 50000",
+		"c_first_shipto_date_sk fk 1823", "c_first_sales_date_sk fk 1823",
+		"c_salutation flag 6", "c_first_name str 5000", "c_last_name str 5000",
+		"c_preferred_cust_flag flag 2", "c_birth_day qty 31", "c_birth_month qty 12",
+		"c_birth_year qty 69", "c_birth_country flag 200", "c_login str",
+		"c_email_address str", "c_last_review_date_sk fk 1823",
+	})
+	customerAddress := buildTable("customer_address", sd(50_000), []colSpec{
+		"ca_address_sk pk", "ca_address_id str", "ca_street_number str 1000",
+		"ca_street_name str 8000", "ca_street_type flag 20", "ca_suite_number str 75",
+		"ca_city flag 700 0.6", "ca_county flag 1850", "ca_state flag 51 0.5",
+		"ca_zip str 7000", "ca_country flag 1", "ca_gmt_offset float 6",
+		"ca_location_type flag 3",
+	})
+	customerDemographics := buildTable("customer_demographics", sd(1_920_000), []colSpec{
+		"cd_demo_sk pk", "cd_gender flag 2", "cd_marital_status flag 5",
+		"cd_education_status flag 7", "cd_purchase_estimate qty 20",
+		"cd_credit_rating flag 4", "cd_dep_count qty 7", "cd_dep_employed_count qty 7",
+		"cd_dep_college_count qty 7",
+	})
+	dateDim := buildTable("date_dim", 73_049, []colSpec{
+		"d_date_sk pk", "d_date_id str", "d_date date 73049", "d_month_seq qty 2400",
+		"d_week_seq qty 10436", "d_quarter_seq qty 801", "d_year qty 200",
+		"d_dow qty 7", "d_moy qty 12", "d_dom qty 31", "d_qoy qty 4",
+		"d_fy_year qty 200", "d_fy_quarter_seq qty 801", "d_fy_week_seq qty 10436",
+		"d_day_name flag 7", "d_quarter_name flag 800", "d_holiday flag 2",
+		"d_weekend flag 2", "d_following_holiday flag 2", "d_first_dom qty 2400",
+		"d_last_dom qty 2400", "d_same_day_ly qty 73049", "d_same_day_lq qty 73049",
+		"d_current_day flag 2", "d_current_week flag 2", "d_current_month flag 2",
+		"d_current_quarter flag 2", "d_current_year flag 2",
+	})
+	householdDemographics := buildTable("household_demographics", 7_200, []colSpec{
+		"hd_demo_sk pk", "hd_income_band_sk fk 20", "hd_buy_potential flag 6",
+		"hd_dep_count qty 10", "hd_vehicle_count qty 6",
+	})
+	incomeBand := buildTable("income_band", 20, []colSpec{
+		"ib_income_band_sk pk", "ib_lower_bound qty 20", "ib_upper_bound qty 20",
+	})
+	item := buildTable("item", sd(18_000), []colSpec{
+		"i_item_sk pk", "i_item_id str", "i_rec_start_date date 4", "i_rec_end_date date 3",
+		"i_item_desc comment", "i_current_price price", "i_wholesale_cost price",
+		"i_brand_id qty 1000", "i_brand flag 700 0.5", "i_class_id qty 16",
+		"i_class flag 99", "i_category_id qty 10", "i_category flag 10 0.4",
+		"i_manufact_id qty 1000", "i_manufact flag 1000", "i_size flag 7",
+		"i_formulation str 10000", "i_color flag 92 0.6", "i_units flag 21",
+		"i_container flag 1", "i_manager_id qty 100", "i_product_name str",
+	})
+	promotion := buildTable("promotion", 300, []colSpec{
+		"p_promo_sk pk", "p_promo_id str 300", "p_start_date_sk fk 1823",
+		"p_end_date_sk fk 1823", "p_item_sk fk 18000", "p_cost price",
+		"p_response_target qty 1", "p_promo_name flag 10", "p_channel_dmail flag 2",
+		"p_channel_email flag 2", "p_channel_catalog flag 2", "p_channel_tv flag 2",
+		"p_channel_radio flag 2", "p_channel_press flag 2", "p_channel_event flag 2",
+		"p_channel_demo flag 2", "p_channel_details comment", "p_purpose flag 10",
+		"p_discount_active flag 2",
+	})
+	reason := buildTable("reason", 35, []colSpec{
+		"r_reason_sk pk", "r_reason_id str 35", "r_reason_desc flag 35",
+	})
+	shipMode := buildTable("ship_mode", 20, []colSpec{
+		"sm_ship_mode_sk pk", "sm_ship_mode_id str 20", "sm_type flag 5",
+		"sm_code flag 4", "sm_carrier flag 20", "sm_contract str 20",
+	})
+	timeDim := buildTable("time_dim", 86_400, []colSpec{
+		"t_time_sk pk", "t_time_id str", "t_time qty 86400", "t_hour qty 24",
+		"t_minute qty 60", "t_second qty 60", "t_am_pm flag 2", "t_shift flag 3",
+		"t_sub_shift flag 4", "t_meal_time flag 4",
+	})
+	warehouse := buildTable("warehouse", 5, []colSpec{
+		"w_warehouse_sk pk", "w_warehouse_id str 5", "w_warehouse_name str 5",
+		"w_warehouse_sq_ft qty 5", "w_street_number str 5", "w_street_name str 5",
+		"w_street_type flag 20", "w_suite_number str 5", "w_city flag 3",
+		"w_county flag 3", "w_state flag 3", "w_zip str 5", "w_country flag 1",
+		"w_gmt_offset float 2",
+	})
+	webPage := buildTable("web_page", 60, []colSpec{
+		"wp_web_page_sk pk", "wp_web_page_id str 30", "wp_rec_start_date date 4",
+		"wp_rec_end_date date 3", "wp_creation_date_sk fk 1823", "wp_access_date_sk fk 100",
+		"wp_autogen_flag flag 2", "wp_customer_sk fk 100000", "wp_url str 1",
+		"wp_type flag 7", "wp_char_count qty 60", "wp_link_count qty 20",
+		"wp_image_count qty 7", "wp_max_ad_count qty 5",
+	})
+	webSite := buildTable("web_site", 30, []colSpec{
+		"web_site_sk pk", "web_site_id str 15", "web_rec_start_date date 4",
+		"web_rec_end_date date 3", "web_name flag 15", "web_open_date_sk fk 1823",
+		"web_close_date_sk fk 1823", "web_class flag 1", "web_manager str 30",
+		"web_mkt_id qty 6", "web_mkt_class flag 30", "web_mkt_desc comment",
+		"web_market_manager str 30", "web_company_id qty 6", "web_company_name flag 6",
+		"web_street_number str 30", "web_street_name str 30", "web_street_type flag 20",
+		"web_suite_number str 30", "web_city flag 20", "web_county flag 20",
+		"web_state flag 15", "web_zip str 30", "web_country flag 1",
+		"web_gmt_offset float 2", "web_tax_percentage float 12",
+	})
+	dbgenVersion := buildTable("dbgen_version", 10, []colSpec{
+		"dv_version str 1", "dv_create_date date 1", "dv_create_time qty 1",
+		"dv_cmdline_args comment",
+	})
+
+	s := schema.New("tpcds",
+		[]*schema.Table{
+			storeSales, storeReturns, catalogSales, catalogReturns, webSales,
+			webReturns, inventory, store, callCenter, catalogPage, customer,
+			customerAddress, customerDemographics, dateDim, householdDemographics,
+			incomeBand, item, promotion, reason, shipMode, timeDim, warehouse,
+			webPage, webSite, dbgenVersion,
+		},
+		[]schema.JoinEdge{
+			edge("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk"),
+			edge("store_sales", "ss_item_sk", "item", "i_item_sk"),
+			edge("store_sales", "ss_customer_sk", "customer", "c_customer_sk"),
+			edge("store_sales", "ss_store_sk", "store", "s_store_sk"),
+			edge("store_sales", "ss_promo_sk", "promotion", "p_promo_sk"),
+			edge("store_sales", "ss_cdemo_sk", "customer_demographics", "cd_demo_sk"),
+			edge("store_sales", "ss_hdemo_sk", "household_demographics", "hd_demo_sk"),
+			edge("store_sales", "ss_addr_sk", "customer_address", "ca_address_sk"),
+			edge("store_sales", "ss_sold_time_sk", "time_dim", "t_time_sk"),
+			edge("store_returns", "sr_returned_date_sk", "date_dim", "d_date_sk"),
+			edge("store_returns", "sr_item_sk", "item", "i_item_sk"),
+			edge("store_returns", "sr_customer_sk", "customer", "c_customer_sk"),
+			edge("store_returns", "sr_store_sk", "store", "s_store_sk"),
+			edge("store_returns", "sr_reason_sk", "reason", "r_reason_sk"),
+			edge("catalog_sales", "cs_sold_date_sk", "date_dim", "d_date_sk"),
+			edge("catalog_sales", "cs_item_sk", "item", "i_item_sk"),
+			edge("catalog_sales", "cs_bill_customer_sk", "customer", "c_customer_sk"),
+			edge("catalog_sales", "cs_call_center_sk", "call_center", "cc_call_center_sk"),
+			edge("catalog_sales", "cs_catalog_page_sk", "catalog_page", "cp_catalog_page_sk"),
+			edge("catalog_sales", "cs_ship_mode_sk", "ship_mode", "sm_ship_mode_sk"),
+			edge("catalog_sales", "cs_warehouse_sk", "warehouse", "w_warehouse_sk"),
+			edge("catalog_returns", "cr_returned_date_sk", "date_dim", "d_date_sk"),
+			edge("catalog_returns", "cr_item_sk", "item", "i_item_sk"),
+			edge("catalog_returns", "cr_reason_sk", "reason", "r_reason_sk"),
+			edge("web_sales", "ws_sold_date_sk", "date_dim", "d_date_sk"),
+			edge("web_sales", "ws_item_sk", "item", "i_item_sk"),
+			edge("web_sales", "ws_bill_customer_sk", "customer", "c_customer_sk"),
+			edge("web_sales", "ws_web_page_sk", "web_page", "wp_web_page_sk"),
+			edge("web_sales", "ws_web_site_sk", "web_site", "web_site_sk"),
+			edge("web_returns", "wr_returned_date_sk", "date_dim", "d_date_sk"),
+			edge("web_returns", "wr_item_sk", "item", "i_item_sk"),
+			edge("web_returns", "wr_reason_sk", "reason", "r_reason_sk"),
+			edge("inventory", "inv_date_sk", "date_dim", "d_date_sk"),
+			edge("inventory", "inv_item_sk", "item", "i_item_sk"),
+			edge("inventory", "inv_warehouse_sk", "warehouse", "w_warehouse_sk"),
+			edge("customer", "c_current_cdemo_sk", "customer_demographics", "cd_demo_sk"),
+			edge("customer", "c_current_hdemo_sk", "household_demographics", "hd_demo_sk"),
+			edge("customer", "c_current_addr_sk", "customer_address", "ca_address_sk"),
+			edge("household_demographics", "hd_income_band_sk", "income_band", "ib_income_band_sk"),
+		})
+	s.SetCorrelation("store_sales", "ss_list_price", "ss_sales_price", 0.85)
+	s.SetCorrelation("store_sales", "ss_quantity", "ss_ext_sales_price", 0.7)
+	s.SetCorrelation("store_sales", "ss_net_paid", "ss_net_paid_inc_tax", 0.95)
+	s.SetCorrelation("catalog_sales", "cs_quantity", "cs_ext_sales_price", 0.7)
+	s.SetCorrelation("web_sales", "ws_quantity", "ws_ext_sales_price", 0.7)
+	s.SetCorrelation("item", "i_category", "i_class", 0.8)
+	s.SetCorrelation("item", "i_brand", "i_manufact", 0.6)
+	s.SetCorrelation("customer_address", "ca_city", "ca_state", 0.9)
+	s.SetCorrelation("date_dim", "d_year", "d_month_seq", 0.9)
+	return s
+}

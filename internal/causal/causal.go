@@ -1,0 +1,187 @@
+// Package causal implements the lightweight bivariate causal discovery
+// scores used for Figure 16 of the paper: given observations of a query
+// change type X (binary occurrence) and the resulting IUDR Y, each model
+// produces a causation score whose sign indicates whether X causes Y.
+// These are the standard small members of the causal discovery toolbox
+// the paper uses: a correlation/CDS-style dependency score, an additive
+// noise model (ANM) with an HSIC-style residual independence test, and
+// RECI (regression error causal inference).
+package causal
+
+import (
+	"math"
+
+	"github.com/trap-repro/trap/internal/stats"
+)
+
+// Model is a bivariate causal scoring model.
+type Model interface {
+	// Name identifies the model.
+	Name() string
+	// Score returns a causation score for X → Y: positive means X is
+	// inferred to cause Y, magnitude indicates strength.
+	Score(x, y []float64) float64
+}
+
+// Models returns the three causal models in a fixed order.
+func Models() []Model {
+	return []Model{CDS{}, ANM{}, RECI{}}
+}
+
+// CDS is a correlation-based dependency score: the Pearson correlation of
+// X and Y, signed by direction asymmetry of conditional variance (a
+// discrete-regressor variant of the conditional distribution similarity
+// score).
+type CDS struct{}
+
+// Name implements Model.
+func (CDS) Name() string { return "CDS" }
+
+// Score implements Model.
+func (CDS) Score(x, y []float64) float64 {
+	r := stats.Pearson(x, y)
+	// Direction: X→Y is favoured when Y's variance conditional on X is
+	// smaller than X's variance conditional on Y.
+	vyx := conditionalVariance(x, y)
+	vxy := conditionalVariance(y, x)
+	dir := 1.0
+	if vyx > vxy+1e-12 {
+		dir = 0.5 // weaker support for the X→Y direction
+	}
+	return r * dir
+}
+
+// conditionalVariance computes the mean variance of b within quantile
+// bins of a.
+func conditionalVariance(a, b []float64) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	const bins = 4
+	minA, maxA := a[0], a[0]
+	for _, v := range a {
+		if v < minA {
+			minA = v
+		}
+		if v > maxA {
+			maxA = v
+		}
+	}
+	if maxA == minA {
+		return stats.Std(b) * stats.Std(b)
+	}
+	groups := make([][]float64, bins)
+	for i, v := range a {
+		bi := int((v - minA) / (maxA - minA) * bins)
+		if bi >= bins {
+			bi = bins - 1
+		}
+		groups[bi] = append(groups[bi], b[i])
+	}
+	var total, n float64
+	for _, g := range groups {
+		if len(g) < 2 {
+			continue
+		}
+		sd := stats.Std(g)
+		total += sd * sd * float64(len(g))
+		n += float64(len(g))
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / n
+}
+
+// ANM is the additive noise model: regress Y on X, score by how
+// independent the residuals are of X (independent residuals support
+// X → Y). The independence measure is an HSIC-style statistic reduced to
+// the correlation between X and squared residuals plus the raw
+// residual-X correlation.
+type ANM struct{}
+
+// Name implements Model.
+func (ANM) Name() string { return "ANM" }
+
+// Score implements Model.
+func (ANM) Score(x, y []float64) float64 {
+	if len(x) < 3 {
+		return 0
+	}
+	resFwd := regressResiduals(x, y)
+	resBwd := regressResiduals(y, x)
+	depFwd := dependence(x, resFwd)
+	depBwd := dependence(y, resBwd)
+	// Effect strength: correlation between X and Y; direction: forward
+	// residuals more independent than backward ones.
+	strength := math.Abs(stats.Pearson(x, y))
+	if strength < 1e-9 {
+		return 0
+	}
+	score := strength * (depBwd - depFwd + 0.5)
+	if stats.Pearson(x, y) < 0 {
+		score = -score
+	}
+	return score
+}
+
+// regressResiduals returns the residuals of the least-squares fit of b
+// on a.
+func regressResiduals(a, b []float64) []float64 {
+	ma, mb := stats.Mean(a), stats.Mean(b)
+	var sxy, sxx float64
+	for i := range a {
+		sxy += (a[i] - ma) * (b[i] - mb)
+		sxx += (a[i] - ma) * (a[i] - ma)
+	}
+	slope := 0.0
+	if sxx > 0 {
+		slope = sxy / sxx
+	}
+	res := make([]float64, len(a))
+	for i := range a {
+		res[i] = b[i] - (mb + slope*(a[i]-ma))
+	}
+	return res
+}
+
+// dependence is a cheap HSIC surrogate: |corr(a, r)| + |corr(a, r²)|.
+func dependence(a, r []float64) float64 {
+	r2 := make([]float64, len(r))
+	for i, v := range r {
+		r2[i] = v * v
+	}
+	return math.Abs(stats.Pearson(a, r)) + math.Abs(stats.Pearson(a, r2))
+}
+
+// RECI is regression error causal inference: the direction with the
+// smaller normalized regression error is the causal one.
+type RECI struct{}
+
+// Name implements Model.
+func (RECI) Name() string { return "RECI" }
+
+// Score implements Model.
+func (RECI) Score(x, y []float64) float64 {
+	if len(x) < 3 {
+		return 0
+	}
+	errFwd := normalizedError(x, y)
+	errBwd := normalizedError(y, x)
+	strength := stats.Pearson(x, y)
+	// Positive when predicting Y from X is easier than the reverse.
+	dir := errBwd - errFwd + 0.25
+	return strength * dir
+}
+
+// normalizedError is the residual variance of regressing b on a, divided
+// by b's variance.
+func normalizedError(a, b []float64) float64 {
+	res := regressResiduals(a, b)
+	sb := stats.Std(b)
+	if sb == 0 {
+		return 0
+	}
+	sr := stats.Std(res)
+	return (sr * sr) / (sb * sb)
+}

@@ -1,0 +1,85 @@
+package causal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// causalData generates binary X causing noisy Y.
+func causalData(n int, effect float64, seed int64) (xs, ys []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		x := float64(rng.Intn(2))
+		y := effect*x + rng.NormFloat64()*0.3
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	return
+}
+
+func TestModelsDetectPositiveCause(t *testing.T) {
+	xs, ys := causalData(500, 1.0, 1)
+	for _, m := range Models() {
+		if s := m.Score(xs, ys); s <= 0 {
+			t.Errorf("%s: score %v for true positive cause", m.Name(), s)
+		}
+	}
+}
+
+func TestModelsDetectNegativeCause(t *testing.T) {
+	xs, ys := causalData(500, -1.0, 2)
+	for _, m := range Models() {
+		if s := m.Score(xs, ys); s >= 0 {
+			t.Errorf("%s: score %v for negative cause", m.Name(), s)
+		}
+	}
+}
+
+func TestModelsNearZeroForIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var xs, ys []float64
+	for i := 0; i < 800; i++ {
+		xs = append(xs, float64(rng.Intn(2)))
+		ys = append(ys, rng.NormFloat64())
+	}
+	strong, _ := causalData(800, 1.0, 4)
+	_ = strong
+	for _, m := range Models() {
+		s := m.Score(xs, ys)
+		xs2, ys2 := causalData(800, 1.0, 5)
+		sc := m.Score(xs2, ys2)
+		if abs(s) >= abs(sc)/2 {
+			t.Errorf("%s: independent score %v not clearly below causal %v", m.Name(), s, sc)
+		}
+	}
+}
+
+func TestModelsHandleDegenerateInput(t *testing.T) {
+	for _, m := range Models() {
+		if s := m.Score([]float64{1, 1}, []float64{2, 2}); s != 0 {
+			t.Errorf("%s: constant input score %v", m.Name(), s)
+		}
+		if s := m.Score(nil, nil); s != 0 {
+			t.Errorf("%s: empty input score %v", m.Name(), s)
+		}
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, m := range Models() {
+		names[m.Name()] = true
+	}
+	for _, want := range []string{"CDS", "ANM", "RECI"} {
+		if !names[want] {
+			t.Errorf("missing model %s", want)
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

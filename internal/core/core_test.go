@@ -1,0 +1,393 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/trap-repro/trap/internal/advisor"
+	"github.com/trap-repro/trap/internal/bench"
+	"github.com/trap-repro/trap/internal/engine"
+	"github.com/trap-repro/trap/internal/nn"
+	"github.com/trap-repro/trap/internal/sqlx"
+	"github.com/trap-repro/trap/internal/workload"
+)
+
+type coreFixture struct {
+	e   *engine.Engine
+	gen *workload.Generator
+	v   *Vocab
+}
+
+func newCoreFixture(t testing.TB) *coreFixture {
+	t.Helper()
+	s := bench.TPCH(100)
+	gen := workload.NewGenerator(s, 21, 10)
+	var ws []*workload.Workload
+	for i := 0; i < 4; i++ {
+		ws = append(ws, gen.Workload(5))
+	}
+	return &coreFixture{e: engine.New(s), gen: gen, v: BuildVocab(s, ws)}
+}
+
+func TestVocabRegions(t *testing.T) {
+	f := newCoreFixture(t)
+	if f.v.Size() == 0 {
+		t.Fatal("empty vocab")
+	}
+	if len(f.v.Region("operator")) != len(sqlx.Operators) {
+		t.Error("operator region wrong")
+	}
+	if len(f.v.Region("aggregator")) != len(sqlx.Aggregators) {
+		t.Error("aggregator region wrong")
+	}
+	if len(f.v.Region("conjunction")) != 2 {
+		t.Error("conjunction region wrong")
+	}
+	cols := f.v.ColumnsRegion("lineitem")
+	if len(cols) != 16 {
+		t.Errorf("lineitem columns region = %d, want 16", len(cols))
+	}
+	vals := f.v.ValuesRegion(sqlx.ColumnRef{Table: "lineitem", Column: "l_quantity"})
+	if len(vals) < valuesPerColumn/2 {
+		t.Errorf("values region too small: %d", len(vals))
+	}
+	// ID round trip and stability.
+	tok := f.v.Token(cols[0])
+	if f.v.ID(tok) != cols[0] {
+		t.Error("ID not stable")
+	}
+	if f.v.EmbeddingRows() <= f.v.Size() {
+		t.Error("no embedding headroom")
+	}
+}
+
+func TestVocabEncodesGeneratedQueries(t *testing.T) {
+	f := newCoreFixture(t)
+	for i := 0; i < 20; i++ {
+		q := f.gen.Query()
+		ids := f.v.Encode(q)
+		if len(ids) != len(q.Tokens()) {
+			t.Fatal("encode length mismatch")
+		}
+	}
+}
+
+// decodeOne perturbs one query with the given model and constraint.
+func decodeOne(t *testing.T, f *coreFixture, m Scorer, q *sqlx.Query, c PerturbConstraint, eps int, seed int64) *DecodeResult {
+	t.Helper()
+	g := nn.NewGraph(false)
+	r, err := Decode(g, m, f.v, q, c, eps, true, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("Decode(%s, %s): %v\n%s", m.Name(), c, err, q)
+	}
+	return r
+}
+
+func TestRandomDecodeRespectsEditBudget(t *testing.T) {
+	f := newCoreFixture(t)
+	for _, c := range AllConstraints {
+		for seed := int64(0); seed < 30; seed++ {
+			q := f.gen.Query()
+			r := decodeOne(t, f, RandomModel{}, q, c, 5, seed)
+			d := sqlx.EditDistance(q, r.Query)
+			if d > 5 {
+				t.Errorf("%s: edit distance %d > 5:\n  %s\n  %s", c, d, q, r.Query)
+			}
+			if r.Edits > 5 {
+				t.Errorf("%s: session counted %d edits > 5", c, r.Edits)
+			}
+			if d > r.Edits {
+				t.Errorf("%s: true distance %d exceeds counted %d", c, d, r.Edits)
+			}
+			if err := r.Query.Validate(); err != nil {
+				t.Errorf("%s: invalid output: %v", c, err)
+			}
+		}
+	}
+}
+
+func TestValueOnlyChangesOnlyValues(t *testing.T) {
+	f := newCoreFixture(t)
+	for seed := int64(0); seed < 30; seed++ {
+		q := f.gen.Query()
+		r := decodeOne(t, f, RandomModel{}, q, ValueOnly, 5, seed)
+		p := r.Query
+		if len(p.Filters) != len(q.Filters) {
+			t.Fatal("ValueOnly changed filter count")
+		}
+		for i := range q.Filters {
+			if p.Filters[i].Col != q.Filters[i].Col || p.Filters[i].Op != q.Filters[i].Op {
+				t.Errorf("ValueOnly changed column/op: %s -> %s", q.Filters[i], p.Filters[i])
+			}
+		}
+		if len(p.Select) != len(q.Select) {
+			t.Error("ValueOnly changed payload")
+		}
+		for i := range q.OrderBy {
+			if p.OrderBy[i] != q.OrderBy[i] {
+				t.Error("ValueOnly changed ORDER BY")
+			}
+		}
+	}
+}
+
+func TestColumnConsistentStaysInColumnSet(t *testing.T) {
+	f := newCoreFixture(t)
+	for seed := int64(0); seed < 30; seed++ {
+		q := f.gen.Query()
+		orig := map[string]bool{}
+		for _, c := range q.Columns() {
+			orig[c.String()] = true
+		}
+		r := decodeOne(t, f, RandomModel{}, q, ColumnConsistent, 5, seed)
+		for _, c := range r.Query.Columns() {
+			if !orig[c.String()] {
+				t.Errorf("ColumnConsistent introduced new column %s:\n  %s\n  %s", c, q, r.Query)
+			}
+		}
+		if len(r.Query.Select) != len(q.Select) || len(r.Query.Filters) != len(q.Filters) {
+			t.Error("ColumnConsistent changed query shape")
+		}
+	}
+}
+
+func TestSharedTableKeepsTablesAndJoins(t *testing.T) {
+	f := newCoreFixture(t)
+	sawExtension := false
+	for seed := int64(0); seed < 60; seed++ {
+		q := f.gen.Query()
+		r := decodeOne(t, f, RandomModel{}, q, SharedTable, 7, seed)
+		p := r.Query
+		if len(p.From) != len(q.From) {
+			t.Fatal("SharedTable changed table set")
+		}
+		for i := range q.From {
+			if p.From[i] != q.From[i] {
+				t.Error("SharedTable reordered/changed tables")
+			}
+		}
+		if len(p.Joins) != len(q.Joins) {
+			t.Fatal("SharedTable changed join graph")
+		}
+		for i := range q.Joins {
+			if p.Joins[i] != q.Joins[i] {
+				t.Error("SharedTable modified a join predicate")
+			}
+		}
+		if len(p.Select) > len(q.Select) || len(p.Filters) > len(q.Filters) {
+			sawExtension = true
+		}
+		for _, c := range p.Columns() {
+			if !p.HasTable(c.Table) {
+				t.Errorf("column %s references foreign table", c)
+			}
+		}
+	}
+	if !sawExtension {
+		t.Error("SharedTable never exercised an extension slot")
+	}
+}
+
+func TestGroupedQueriesStayStrict(t *testing.T) {
+	f := newCoreFixture(t)
+	grouped := sqlx.MustParse("SELECT lineitem.l_linestatus, SUM(lineitem.l_tax) FROM lineitem " +
+		"WHERE lineitem.l_quantity = 10 GROUP BY lineitem.l_linestatus")
+	for seed := int64(0); seed < 40; seed++ {
+		r := decodeOne(t, f, RandomModel{}, grouped, SharedTable, 7, seed)
+		p := r.Query
+		gset := map[sqlx.ColumnRef]bool{}
+		for _, c := range p.GroupBy {
+			gset[c] = true
+		}
+		for _, s := range p.Select {
+			if s.Agg == "" && !gset[s.Col] {
+				t.Fatalf("plain select column %s not grouped:\n%s", s.Col, p)
+			}
+		}
+	}
+}
+
+func TestGeneratedQueriesPlannable(t *testing.T) {
+	f := newCoreFixture(t)
+	for _, c := range AllConstraints {
+		for seed := int64(0); seed < 20; seed++ {
+			q := f.gen.Query()
+			r := decodeOne(t, f, RandomModel{}, q, c, 5, seed)
+			if _, err := f.e.QueryCost(r.Query, nil, engine.ModeEstimated); err != nil {
+				t.Errorf("%s: unplannable perturbed query: %v\n%s", c, err, r.Query)
+			}
+		}
+	}
+}
+
+func TestQuickSessionInvariants(t *testing.T) {
+	f := newCoreFixture(t)
+	check := func(seed int64, constraintPick uint8, epsPick uint8) bool {
+		c := AllConstraints[int(constraintPick)%3]
+		eps := 1 + int(epsPick)%9
+		q := f.gen.Query()
+		g := nn.NewGraph(false)
+		r, err := Decode(g, RandomModel{}, f.v, q, c, eps, true, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		if sqlx.EditDistance(q, r.Query) > eps {
+			return false
+		}
+		return r.Query.Validate() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModelsDecodeAndDiffer(t *testing.T) {
+	f := newCoreFixture(t)
+	rng := rand.New(rand.NewSource(3))
+	sizes := Sizes{Embed: 16, Hidden: 16}
+	models := []Scorer{
+		NewTRAPModel(f.v, sizes, rng),
+		NewSeq2Seq(f.v, sizes, rng),
+		NewGRUModel(f.v, sizes, rng),
+		RandomModel{},
+	}
+	q := f.gen.Query()
+	for _, m := range models {
+		r := decodeOne(t, f, m, q, SharedTable, 5, 1)
+		if r.Query.Validate() != nil {
+			t.Errorf("%s produced invalid query", m.Name())
+		}
+	}
+	// Parameter counts: TRAP > GRU (encoder + attention), Random has none.
+	trap := models[0].Params().Count()
+	gru := models[2].Params().Count()
+	if trap <= gru {
+		t.Errorf("TRAP params %d should exceed GRU %d", trap, gru)
+	}
+	if models[3].Params() != nil {
+		t.Error("Random should have no params")
+	}
+}
+
+func TestPLMModelsLargerAndDecode(t *testing.T) {
+	f := newCoreFixture(t)
+	rng := rand.New(rand.NewSource(4))
+	sizes := Sizes{Embed: 16, Hidden: 16}
+	trap := NewTRAPModel(f.v, sizes, rng)
+	q := f.gen.Query()
+	for _, spec := range PLMSpecs() {
+		plm := NewPLMModel(spec, f.v, sizes, rng)
+		if plm.Params().Count() <= trap.Params().Count() {
+			t.Errorf("%s params %d not larger than TRAP %d",
+				spec.Name, plm.Params().Count(), trap.Params().Count())
+		}
+		r := decodeOne(t, f, plm, q, SharedTable, 5, 2)
+		if r.Query.Validate() != nil {
+			t.Errorf("%s produced invalid query", spec.Name)
+		}
+	}
+}
+
+func TestReplayMatchesDecode(t *testing.T) {
+	f := newCoreFixture(t)
+	m := RandomModel{}
+	for seed := int64(0); seed < 10; seed++ {
+		q := f.gen.Query()
+		g := nn.NewGraph(false)
+		r, err := Decode(g, m, f.v, q, SharedTable, 5, true, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Replay(nn.NewGraph(false), m, f.v, q, SharedTable, 5, r.Choices)
+		if err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+		if r2.Query.String() != r.Query.String() {
+			t.Errorf("replay diverged:\n  %s\n  %s", r.Query, r2.Query)
+		}
+	}
+}
+
+func TestPretrainReducesLoss(t *testing.T) {
+	f := newCoreFixture(t)
+	rng := rand.New(rand.NewSource(5))
+	m := NewTRAPModel(f.v, Sizes{Embed: 16, Hidden: 16}, rng)
+	fw := NewFramework(m, f.v, SharedTable, 6)
+	trace, err := fw.Pretrain(f.gen, 8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 6 {
+		t.Fatalf("trace length %d", len(trace))
+	}
+	if trace[len(trace)-1] >= trace[0] {
+		t.Errorf("pretraining loss did not decrease: %v", trace)
+	}
+}
+
+func TestUtilityModelAccuracy(t *testing.T) {
+	f := newCoreFixture(t)
+	um, err := TrainUtilityModel(f.e, f.gen, 600, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := um.R2(f.e, f.gen.Query, 200, 8)
+	if r2 < 0.5 {
+		t.Errorf("utility model R2 = %v, want >= 0.5", r2)
+	}
+	// The learned model must track runtime better than raw what-if
+	// estimates on relative error (that is its whole purpose).
+	q := f.gen.Query()
+	if _, err := um.QueryCost(f.e, q, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRLTrainImprovesReward(t *testing.T) {
+	f := newCoreFixture(t)
+	rng := rand.New(rand.NewSource(9))
+	m := NewTRAPModel(f.v, Sizes{Embed: 16, Hidden: 16}, rng)
+	fw := NewFramework(m, f.v, SharedTable, 10)
+	fw.Eps = 5
+	fw.Theta = 0.02
+	adv := &advisor.Extend{Opt: advisor.DefaultOptions()}
+	c := advisor.Constraint{StorageBytes: f.e.Schema().TotalSizeBytes() / 2}
+	var train []*workload.Workload
+	for i := 0; i < 4; i++ {
+		train = append(train, f.gen.Workload(3))
+	}
+	trace, err := fw.RLTrain(f.e, adv, nil, c, train, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 4 {
+		t.Fatalf("trace length %d", len(trace))
+	}
+	// Generation must work after training.
+	pert, err := fw.Generate(train[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pert.Size() != train[0].Size() {
+		t.Error("perturbed workload size mismatch")
+	}
+	for i, it := range pert.Items {
+		if d := sqlx.EditDistance(train[0].Items[i].Query, it.Query); d > fw.Eps {
+			t.Errorf("perturbed query %d exceeds edit budget: %d", i, d)
+		}
+	}
+}
+
+func TestRewardOfSkipsLowUtility(t *testing.T) {
+	f := newCoreFixture(t)
+	rng := rand.New(rand.NewSource(10))
+	m := NewTRAPModel(f.v, Sizes{Embed: 16, Hidden: 16}, rng)
+	fw := NewFramework(m, f.v, ValueOnly, 11)
+	fw.Theta = 0.99 // impossible threshold
+	adv := &advisor.Drop{}
+	w := f.gen.Workload(3)
+	if _, err := fw.RewardOf(f.e, adv, nil, advisor.Constraint{MaxIndexes: 2}, w, w); err == nil {
+		t.Error("expected below-theta error")
+	}
+}

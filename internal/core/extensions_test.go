@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/trap-repro/trap/internal/engine"
+	"github.com/trap-repro/trap/internal/sqlx"
+	"github.com/trap-repro/trap/internal/workload"
+)
+
+// TestPeriodicTemplateRestriction exercises the paper's periodic-template
+// adaptation: restricting a column's legitimate value tokens confines
+// every generated perturbation to the expected next-period variants.
+func TestPeriodicTemplateRestriction(t *testing.T) {
+	f := newCoreFixture(t)
+	col := sqlx.ColumnRef{Table: "lineitem", Column: "l_quantity"}
+	allowed := []sqlx.Datum{sqlx.NumDatum(7), sqlx.NumDatum(13)}
+	f.v.SetValuesRegion(col, allowed)
+
+	q := sqlx.MustParse("SELECT lineitem.l_orderkey FROM lineitem WHERE lineitem.l_quantity = 10")
+	sawChange := false
+	for seed := int64(0); seed < 40; seed++ {
+		r := decodeOne(t, f, RandomModel{}, q, ValueOnly, 5, seed)
+		v := r.Query.Filters[0].Val
+		if v.Equal(q.Filters[0].Val) {
+			continue
+		}
+		sawChange = true
+		ok := false
+		for _, a := range allowed {
+			if v.Equal(a) {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("value %s outside restricted region", v)
+		}
+	}
+	if !sawChange {
+		t.Error("restricted region never produced a change")
+	}
+}
+
+// TestFrequencyWeightedReward checks the paper's claim that query
+// frequencies are supported "with little effort by multiplying the reward
+// with the frequency": weighted workload costs scale with the weights,
+// so a heavy query dominates the utility and the reward.
+func TestFrequencyWeightedReward(t *testing.T) {
+	f := newCoreFixture(t)
+	q1 := f.gen.Query()
+	q2 := f.gen.Query()
+	unit := &workload.Workload{Items: []workload.Item{
+		{Query: q1, Weight: 1}, {Query: q2, Weight: 1},
+	}}
+	heavy := &workload.Workload{Items: []workload.Item{
+		{Query: q1, Weight: 10}, {Query: q2, Weight: 1},
+	}}
+	cUnit, err := workload.Cost(f.e, unit, nil, engine.ModeEstimated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cHeavy, err := workload.Cost(f.e, heavy, nil, engine.ModeEstimated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := f.e.QueryCost(q1, nil, engine.ModeEstimated)
+	if diff := cHeavy - cUnit - 9*c1; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("weighted cost not linear in frequency: %v", diff)
+	}
+	// The learned utility path also honors weights.
+	um, err := TrainUtilityModel(f.e, f.gen, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uUnit, _ := um.WorkloadCost(f.e, unit, nil)
+	uHeavy, _ := um.WorkloadCost(f.e, heavy, nil)
+	if uHeavy <= uUnit {
+		t.Errorf("learned cost ignores weights: %v <= %v", uHeavy, uUnit)
+	}
+}
+
+// TestMultiQueryWorkloadPerturbation exercises the framework's support
+// for multi-query workloads (footnote 2 of the paper): every query of a
+// weighted workload is perturbed, and weights are preserved.
+func TestMultiQueryWorkloadPerturbation(t *testing.T) {
+	f := newCoreFixture(t)
+	w := &workload.Workload{}
+	for i := 0; i < 5; i++ {
+		w.Items = append(w.Items, workload.Item{Query: f.gen.Query(), Weight: float64(i + 1)})
+	}
+	pert, err := PerturbWorkload(RandomModel{}, f.v, w, SharedTable, 5, true, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pert.Size() != w.Size() {
+		t.Fatal("size changed")
+	}
+	for i := range w.Items {
+		if pert.Items[i].Weight != w.Items[i].Weight {
+			t.Error("weights not preserved")
+		}
+	}
+}
+
+// TestEncodeVectorProperties: query vectors are deterministic and
+// sensitive to query content (the basis of Figure 17).
+func TestEncodeVectorProperties(t *testing.T) {
+	f := newCoreFixture(t)
+	m := NewTRAPModel(f.v, Sizes{Embed: 16, Hidden: 16}, rand.New(rand.NewSource(9)))
+	q1 := sqlx.MustParse("SELECT lineitem.l_orderkey FROM lineitem WHERE lineitem.l_quantity = 10")
+	q2 := sqlx.MustParse("SELECT orders.o_orderkey FROM orders WHERE orders.o_totalprice > 500")
+	v1a := m.EncodeVector(f.v, q1)
+	v1b := m.EncodeVector(f.v, q1)
+	v2 := m.EncodeVector(f.v, q2)
+	if len(v1a) != 2*16 {
+		t.Fatalf("vector length %d", len(v1a))
+	}
+	same, diff := true, false
+	for i := range v1a {
+		if v1a[i] != v1b[i] {
+			same = false
+		}
+		if v1a[i] != v2[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("EncodeVector not deterministic")
+	}
+	if !diff {
+		t.Error("EncodeVector insensitive to query")
+	}
+}
+
+// TestGenerateSampledDiffersFromGreedy: the self-critic design needs the
+// sampled and greedy decodes to explore different outputs.
+func TestGenerateSampledDiffersFromGreedy(t *testing.T) {
+	f := newCoreFixture(t)
+	m := NewTRAPModel(f.v, Sizes{Embed: 16, Hidden: 16}, rand.New(rand.NewSource(10)))
+	fw := NewFramework(m, f.v, SharedTable, 11)
+	w := f.gen.Workload(4)
+	greedy, err := fw.Generate(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	differs := false
+	for i := 0; i < 6 && !differs; i++ {
+		sampled, err := fw.GenerateSampled(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sampled.Key() != greedy.Key() {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("sampled decoding never diverged from greedy")
+	}
+	// Greedy is deterministic.
+	greedy2, _ := fw.Generate(w)
+	if greedy2.Key() != greedy.Key() {
+		t.Error("greedy decoding not deterministic")
+	}
+}
+
+func BenchmarkUtilityModelPredict(b *testing.B) {
+	f := newCoreFixture(b)
+	um, err := TrainUtilityModel(f.e, f.gen, 300, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := f.gen.Query()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := um.QueryCost(f.e, q, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/trap-repro/trap/internal/nn"
+	"github.com/trap-repro/trap/internal/sqlx"
+	"github.com/trap-repro/trap/internal/workload"
+)
+
+// DecStep records one actionable decoding decision for training: the
+// logits tensor over the candidates and the index chosen.
+type DecStep struct {
+	Logits *nn.Tensor
+	Chosen int
+}
+
+// DecodeResult is the outcome of perturbing one query.
+type DecodeResult struct {
+	Query   *sqlx.Query
+	Edits   int
+	Steps   []DecStep
+	Choices []int // chosen token ids at actionable steps (for replay)
+}
+
+// Decode generates a perturbed query from q using the model's policy,
+// walking the Constraint-Aware Reference Tree (Algorithm 1). With
+// sample=true tokens are drawn from the masked distribution; otherwise
+// greedy argmax is used (the self-critic baseline). The graph g controls
+// whether gradients are recorded.
+func Decode(g *nn.Graph, m Scorer, v *Vocab, q *sqlx.Query, c PerturbConstraint, eps int, sample bool, rng *rand.Rand) (*DecodeResult, error) {
+	sess := NewSession(v, q, c, eps)
+	st := m.Begin(g, v.Encode(q))
+	res := &DecodeResult{}
+	for {
+		step, ok := sess.Next()
+		if !ok {
+			break
+		}
+		var chosenID int
+		if step.Forced() {
+			chosenID = step.Candidates[0]
+		} else {
+			logits := m.Score(g, st, step.Candidates)
+			var pos int
+			if sample {
+				pos = samplePos(logits, rng)
+			} else {
+				pos = argmaxPos(logits)
+			}
+			chosenID = step.Candidates[pos]
+			res.Steps = append(res.Steps, DecStep{Logits: logits, Chosen: pos})
+			res.Choices = append(res.Choices, chosenID)
+		}
+		if err := sess.Choose(chosenID); err != nil {
+			return nil, err
+		}
+		st = m.Advance(g, st, chosenID)
+	}
+	out, edits := sess.Result()
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("core: generated invalid query: %w", err)
+	}
+	res.Query = out
+	res.Edits = edits
+	return res, nil
+}
+
+// Replay re-decodes q making the recorded choices, returning the logits
+// steps for teacher-forced training (Equation 7).
+func Replay(g *nn.Graph, m Scorer, v *Vocab, q *sqlx.Query, c PerturbConstraint, eps int, choices []int) (*DecodeResult, error) {
+	sess := NewSession(v, q, c, eps)
+	st := m.Begin(g, v.Encode(q))
+	res := &DecodeResult{}
+	k := 0
+	for {
+		step, ok := sess.Next()
+		if !ok {
+			break
+		}
+		var chosenID int
+		if step.Forced() {
+			chosenID = step.Candidates[0]
+		} else {
+			if k >= len(choices) {
+				return nil, fmt.Errorf("core: replay ran out of choices")
+			}
+			chosenID = choices[k]
+			pos := -1
+			for i, c := range step.Candidates {
+				if c == chosenID {
+					pos = i
+					break
+				}
+			}
+			if pos < 0 {
+				return nil, fmt.Errorf("core: replay choice %d not in candidates", chosenID)
+			}
+			logits := m.Score(g, st, step.Candidates)
+			res.Steps = append(res.Steps, DecStep{Logits: logits, Chosen: pos})
+			res.Choices = append(res.Choices, chosenID)
+			k++
+		}
+		if err := sess.Choose(chosenID); err != nil {
+			return nil, err
+		}
+		st = m.Advance(g, st, chosenID)
+	}
+	out, edits := sess.Result()
+	res.Query = out
+	res.Edits = edits
+	return res, nil
+}
+
+// PerturbWorkload decodes every query of w, preserving weights.
+func PerturbWorkload(m Scorer, v *Vocab, w *workload.Workload, c PerturbConstraint, eps int, sample bool, rng *rand.Rand) (*workload.Workload, error) {
+	g := nn.NewGraph(false)
+	out := &workload.Workload{}
+	for _, it := range w.Items {
+		r, err := Decode(g, m, v, it.Query, c, eps, sample, rng)
+		if err != nil {
+			return nil, err
+		}
+		out.Items = append(out.Items, workload.Item{Query: r.Query, Weight: it.Weight})
+	}
+	return out, nil
+}
+
+func samplePos(logits *nn.Tensor, rng *rand.Rand) int {
+	p := nn.Softmax(logits)
+	u := rng.Float64()
+	acc := 0.0
+	for i, pi := range p {
+		acc += pi
+		if u <= acc {
+			return i
+		}
+	}
+	return len(p) - 1
+}
+
+func argmaxPos(logits *nn.Tensor) int {
+	best := 0
+	for i := 1; i < logits.R; i++ {
+		if logits.W[i] > logits.W[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math/rand"
+
+	"github.com/trap-repro/trap/internal/nn"
+)
+
+// PLMSpec sizes one pre-trained-language-model stand-in for the Figure 7 /
+// Table IV ablation. The real study swaps in Bert/Bart/CodeBert/
+// StarEncoder checkpoints; offline and stdlib-only, this reproduction
+// builds transformer encoders of the corresponding relative scale and
+// pre-trains them on a *generic* (non-SQL) token corpus, preserving the
+// two documented failure causes: RL sample-inefficiency of large models
+// and domain mismatch of generic pretraining.
+type PLMSpec struct {
+	Name   string
+	Dim    int
+	Heads  int
+	FFDim  int
+	Layers int
+}
+
+// PLMSpecs returns the four variants in paper order. Parameter counts
+// scale with the originals' ordering (Bart > CodeBert > StarEncoder >
+// Bert ≫ TRAP ≈ GRU).
+func PLMSpecs() []PLMSpec {
+	return []PLMSpec{
+		{Name: "Bert", Dim: 96, Heads: 4, FFDim: 384, Layers: 4},
+		{Name: "Bart", Dim: 112, Heads: 4, FFDim: 448, Layers: 5},
+		{Name: "CodeBert", Dim: 104, Heads: 4, FFDim: 416, Layers: 4},
+		{Name: "StarEncoder", Dim: 104, Heads: 4, FFDim: 416, Layers: 4},
+	}
+}
+
+// PLMModel is a transformer-encoder generation model: the encoder of a
+// TRAP-style seq2seq is replaced by a (much larger) transformer; the
+// decoder stays a GRU with attention over the transformer states.
+type PLMModel struct {
+	name  string
+	sizes Sizes
+	spec  PLMSpec
+
+	encParams *nn.Params
+	decParams *nn.Params
+	all       *nn.Params
+
+	emb     *nn.Embedding
+	inProj  *nn.Dense
+	enc     *nn.TransformerEncoder
+	bridge  *nn.Dense
+	att     *nn.Attention
+	dec     *nn.GRUCell
+	decEmb  *nn.Embedding
+	outW    *nn.Tensor
+	outB    *nn.Tensor
+	embRows int
+}
+
+// maxSeqLen bounds the positional embedding table.
+const maxSeqLen = 128
+
+// NewPLMModel builds a PLM stand-in over the vocabulary.
+func NewPLMModel(spec PLMSpec, v *Vocab, sizes Sizes, rng *rand.Rand) *PLMModel {
+	m := &PLMModel{name: spec.Name, sizes: sizes, spec: spec, embRows: v.EmbeddingRows()}
+	m.encParams = &nn.Params{}
+	m.emb = nn.NewEmbedding(m.encParams, "emb", m.embRows, sizes.Embed, rng)
+	m.inProj = nn.NewDense(m.encParams, "inproj", sizes.Embed, spec.Dim, rng)
+	m.enc = nn.NewTransformerEncoder(m.encParams, "tf", spec.Dim, spec.Heads, spec.FFDim, spec.Layers, maxSeqLen, rng)
+	m.initDecoder(rng)
+	return m
+}
+
+func (m *PLMModel) initDecoder(rng *rand.Rand) {
+	s := m.sizes
+	m.decParams = &nn.Params{}
+	m.bridge = nn.NewDense(m.decParams, "bridge", m.spec.Dim, s.Hidden, rng)
+	m.att = nn.NewAttention(m.decParams, "att", m.spec.Dim, s.Hidden, s.Hidden, rng)
+	m.dec = nn.NewGRUCell(m.decParams, "dec", s.Embed, s.Hidden, rng)
+	m.decEmb = nn.NewEmbedding(m.decParams, "decemb", m.embRows, s.Embed, rng)
+	outIn := m.spec.Dim + s.Hidden + s.Embed
+	m.outW = m.decParams.Add("out.W", nn.RandTensor(m.embRows, outIn, 0.05, rng))
+	m.outB = m.decParams.Add("out.B", nn.NewTensor(m.embRows, 1))
+	m.all = nil
+}
+
+// Name implements Scorer.
+func (m *PLMModel) Name() string { return m.name }
+
+// Params implements Scorer.
+func (m *PLMModel) Params() *nn.Params {
+	if m.all == nil {
+		m.all = &nn.Params{}
+		m.all.Merge("enc", m.encParams)
+		m.all.Merge("dec", m.decParams)
+	}
+	return m.all
+}
+
+// EncoderParams returns the transformer encoder parameters.
+func (m *PLMModel) EncoderParams() *nn.Params { return m.encParams }
+
+// ResetDecoder implements Scorer.
+func (m *PLMModel) ResetDecoder(rng *rand.Rand) { m.initDecoder(rng) }
+
+// Begin implements Scorer.
+func (m *PLMModel) Begin(g *nn.Graph, input []int) DecState {
+	if len(input) > maxSeqLen {
+		input = input[:maxSeqLen]
+	}
+	xs := make([]*nn.Tensor, len(input))
+	for i, id := range input {
+		xs[i] = m.inProj.Apply(g, m.emb.Lookup(g, clampID(id, m.embRows)))
+	}
+	enc := m.enc.Encode(g, xs)
+	s0 := g.Tanh(m.bridge.Apply(g, enc[len(enc)-1]))
+	return &trapState{encStates: enc, s: s0, prev: 0}
+}
+
+// Score implements Scorer.
+func (m *PLMModel) Score(g *nn.Graph, st DecState, cands []int) *nn.Tensor {
+	t := st.(*trapState)
+	ctx, _ := m.att.Context(g, t.encStates, t.s)
+	prevEmb := m.decEmb.Lookup(g, clampID(t.prev, m.embRows))
+	x := g.Concat(ctx, t.s, prevEmb)
+	rows := make([]int, len(cands))
+	for i, c := range cands {
+		rows[i] = clampID(c, m.embRows)
+	}
+	return g.SelectedAffine(m.outW, m.outB, x, rows)
+}
+
+// Advance implements Scorer.
+func (m *PLMModel) Advance(g *nn.Graph, st DecState, chosen int) DecState {
+	t := st.(*trapState)
+	x := m.decEmb.Lookup(g, clampID(chosen, m.embRows))
+	return &trapState{encStates: t.encStates, s: m.dec.Step(g, x, t.s), prev: chosen}
+}
+
+// GenericPretrain simulates the PLM's generic-corpus pretraining: next
+// token prediction over random (non-SQL) token-id sequences. It leaves
+// the encoder in a state adapted to a corpus that deviates from SQL —
+// the domain-mismatch handicap the paper describes.
+func (m *PLMModel) GenericPretrain(steps int, rng *rand.Rand) {
+	opt := nn.NewAdam(1e-3)
+	for s := 0; s < steps; s++ {
+		n := 6 + rng.Intn(10)
+		seq := make([]int, n)
+		for i := range seq {
+			seq[i] = rng.Intn(m.embRows)
+		}
+		g := nn.NewGraph(true)
+		st := m.Begin(g, seq[:n-1]).(*trapState)
+		cands := make([]int, 16)
+		for i := range cands {
+			cands[i] = rng.Intn(m.embRows)
+		}
+		cands[0] = seq[n-1]
+		logits := m.Score(g, st, cands)
+		nn.CrossEntropy(logits, 0, 1)
+		g.Backward()
+		m.Params().ClipGrads(5)
+		opt.Step(m.Params())
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/trap-repro/trap/internal/nn"
+)
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	f := newCoreFixture(t)
+	sizes := Sizes{Embed: 16, Hidden: 16}
+	// Both models must be constructed against the same vocabulary
+	// snapshot (vocabularies grow as decoding registers fresh tokens, and
+	// embedding shapes follow).
+	m1 := NewTRAPModel(f.v, sizes, rand.New(rand.NewSource(1)))
+	m2 := NewTRAPModel(f.v, sizes, rand.New(rand.NewSource(99)))
+	fw1 := NewFramework(m1, f.v, SharedTable, 2)
+	fw2 := NewFramework(m2, f.v, SharedTable, 2)
+	// Train briefly so the saved state is non-trivial.
+	if _, err := fw1.Pretrain(f.gen, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fw1.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw2.LoadModel(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// Identical greedy outputs after restore.
+	w := f.gen.Workload(4)
+	g1, err := fw1.Generate(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := fw2.Generate(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Key() != g2.Key() {
+		t.Error("restored model decodes differently")
+	}
+}
+
+func TestLoadRejectsShapeMismatch(t *testing.T) {
+	f := newCoreFixture(t)
+	small := NewTRAPModel(f.v, Sizes{Embed: 8, Hidden: 8}, rand.New(rand.NewSource(1)))
+	big := NewTRAPModel(f.v, Sizes{Embed: 16, Hidden: 16}, rand.New(rand.NewSource(1)))
+	var buf bytes.Buffer
+	if err := small.Params().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := big.Params().Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	if err := big.Params().Load(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestRandomModelSaveFails(t *testing.T) {
+	f := newCoreFixture(t)
+	fw := NewFramework(RandomModel{}, f.v, ValueOnly, 1)
+	var buf bytes.Buffer
+	if err := fw.SaveModel(&buf); err == nil {
+		t.Error("saving parameter-free model should fail")
+	}
+	if err := fw.LoadModel(&buf); err == nil {
+		t.Error("loading into parameter-free model should fail")
+	}
+}
+
+func TestParamsSaveLoadPreservesValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var p1, p2 nn.Params
+	a1 := p1.Add("a", nn.RandTensor(3, 4, 1, rng))
+	a2 := p2.Add("a", nn.NewTensor(3, 4))
+	var buf bytes.Buffer
+	if err := p1.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a1.W {
+		if a1.W[i] != a2.W[i] {
+			t.Fatal("values differ after round trip")
+		}
+	}
+}

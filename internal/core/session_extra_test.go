@@ -1,0 +1,192 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/trap-repro/trap/internal/nn"
+	"github.com/trap-repro/trap/internal/sqlx"
+)
+
+func TestZeroBudgetKeepsQueryIdentical(t *testing.T) {
+	f := newCoreFixture(t)
+	for _, c := range AllConstraints {
+		for seed := int64(0); seed < 10; seed++ {
+			q := f.gen.Query()
+			g := nn.NewGraph(false)
+			r, err := Decode(g, RandomModel{}, f.v, q, c, 0, true, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Query.String() != q.String() {
+				t.Errorf("%s: eps=0 changed the query:\n  %s\n  %s", c, q, r.Query)
+			}
+			if r.Edits != 0 {
+				t.Errorf("%s: eps=0 counted %d edits", c, r.Edits)
+			}
+		}
+	}
+}
+
+func TestHavingPerturbation(t *testing.T) {
+	f := newCoreFixture(t)
+	q := sqlx.MustParse("SELECT lineitem.l_linestatus, COUNT(lineitem.l_orderkey) FROM lineitem " +
+		"WHERE lineitem.l_quantity = 10 GROUP BY lineitem.l_linestatus " +
+		"HAVING COUNT(lineitem.l_orderkey) > 5")
+	changedHaving := false
+	for seed := int64(0); seed < 60; seed++ {
+		r := decodeOne(t, f, RandomModel{}, q, SharedTable, 5, seed)
+		if r.Query.Having == nil {
+			t.Fatal("HAVING dropped")
+		}
+		if err := r.Query.Validate(); err != nil {
+			t.Fatalf("invalid HAVING perturbation: %v\n%s", err, r.Query)
+		}
+		h := r.Query.Having
+		if h.Agg != q.Having.Agg || h.Op != q.Having.Op || !h.Val.Equal(q.Having.Val) || h.Col != q.Having.Col {
+			changedHaving = true
+		}
+	}
+	if !changedHaving {
+		t.Error("SharedTable never perturbed the HAVING clause")
+	}
+}
+
+func TestColumnConsistentOrderBySwap(t *testing.T) {
+	// The paper's Table I Column Consistent example: reordering ORDER BY
+	// columns must be reachable.
+	f := newCoreFixture(t)
+	q := sqlx.MustParse("SELECT lineitem.l_orderkey FROM lineitem WHERE lineitem.l_quantity = 10 " +
+		"ORDER BY lineitem.l_shipdate, lineitem.l_commitdate")
+	swapped := false
+	for seed := int64(0); seed < 200 && !swapped; seed++ {
+		r := decodeOne(t, f, RandomModel{}, q, ColumnConsistent, 5, seed)
+		ob := r.Query.OrderBy
+		if len(ob) == 2 && ob[0].Column == "l_commitdate" && ob[1].Column == "l_shipdate" {
+			swapped = true
+		}
+	}
+	if !swapped {
+		t.Error("ColumnConsistent could not reorder ORDER BY columns")
+	}
+}
+
+func TestValueOnlyMatchesTableIExample(t *testing.T) {
+	// Table I's Value Only example: only the predicate literal changes.
+	f := newCoreFixture(t)
+	q := sqlx.MustParse("SELECT lineitem.l_orderkey FROM lineitem WHERE lineitem.l_linenumber = 1")
+	changed := false
+	for seed := int64(0); seed < 50; seed++ {
+		r := decodeOne(t, f, RandomModel{}, q, ValueOnly, 5, seed)
+		if !r.Query.Filters[0].Val.Equal(q.Filters[0].Val) {
+			changed = true
+			if d := sqlx.EditDistance(q, r.Query); d != 1 {
+				t.Errorf("single value change has distance %d", d)
+			}
+		}
+	}
+	if !changed {
+		t.Error("ValueOnly never changed the value")
+	}
+}
+
+func TestWhereExtensionAddsValidPredicate(t *testing.T) {
+	f := newCoreFixture(t)
+	q := sqlx.MustParse("SELECT lineitem.l_orderkey FROM lineitem WHERE lineitem.l_quantity = 10")
+	extended := false
+	for seed := int64(0); seed < 120 && !extended; seed++ {
+		r := decodeOne(t, f, RandomModel{}, q, SharedTable, 7, seed)
+		if len(r.Query.Filters) > 1 {
+			extended = true
+			p := r.Query.Filters[len(r.Query.Filters)-1]
+			if p.Col.Table != "lineitem" {
+				t.Errorf("extension predicate on foreign table: %s", p)
+			}
+			if col := f.e.Schema().Column(p.Col); col == nil {
+				t.Errorf("extension predicate on unknown column: %s", p)
+			}
+			if len(r.Query.Conjs) != len(r.Query.Filters)-1 {
+				t.Error("conjunction bookkeeping broken after extension")
+			}
+		}
+	}
+	if !extended {
+		t.Error("SharedTable never added a predicate")
+	}
+}
+
+func TestStepForcedOnJoinTokens(t *testing.T) {
+	f := newCoreFixture(t)
+	q := sqlx.MustParse("SELECT lineitem.l_orderkey FROM lineitem, orders " +
+		"WHERE lineitem.l_orderkey = orders.o_orderkey AND lineitem.l_quantity = 10")
+	sess := NewSession(f.v, q, SharedTable, 5)
+	joinColsForced := 0
+	for {
+		step, ok := sess.Next()
+		if !ok {
+			break
+		}
+		tok := f.v.Token(step.Candidates[0])
+		if step.Forced() && tok.Type == sqlx.TokColumn &&
+			(tok.Text == "lineitem.l_orderkey" || tok.Text == "orders.o_orderkey") {
+			joinColsForced++
+		}
+		if err := sess.Choose(step.Candidates[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if joinColsForced < 2 {
+		t.Errorf("join columns not forced (%d)", joinColsForced)
+	}
+}
+
+func TestChooseRejectsForeignToken(t *testing.T) {
+	f := newCoreFixture(t)
+	q := f.gen.Query()
+	sess := NewSession(f.v, q, SharedTable, 5)
+	if _, ok := sess.Next(); !ok {
+		t.Fatal("no first step")
+	}
+	if err := sess.Choose(-999); err == nil {
+		t.Error("foreign token accepted")
+	}
+}
+
+func BenchmarkDecodeRandom(b *testing.B) {
+	f := newCoreFixture(b)
+	q := f.gen.Query()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := nn.NewGraph(false)
+		if _, err := Decode(g, RandomModel{}, f.v, q, SharedTable, 5, true, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeTRAPModel(b *testing.B) {
+	f := newCoreFixture(b)
+	m := NewTRAPModel(f.v, Sizes{Embed: 32, Hidden: 32}, rand.New(rand.NewSource(2)))
+	q := f.gen.Query()
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := nn.NewGraph(false)
+		if _, err := Decode(g, m, f.v, q, SharedTable, 5, true, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPretrainEpoch(b *testing.B) {
+	f := newCoreFixture(b)
+	m := NewTRAPModel(f.v, Sizes{Embed: 16, Hidden: 16}, rand.New(rand.NewSource(4)))
+	fw := NewFramework(m, f.v, SharedTable, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fw.Pretrain(f.gen, 4, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"github.com/trap-repro/trap/internal/advisor"
+	"github.com/trap-repro/trap/internal/engine"
+	"github.com/trap-repro/trap/internal/nn"
+	"github.com/trap-repro/trap/internal/schema"
+	"github.com/trap-repro/trap/internal/sqlx"
+	"github.com/trap-repro/trap/internal/workload"
+)
+
+// Framework ties a generation model to a perturbation constraint, an edit
+// budget and (optionally) a learned utility model, and implements the
+// two-phase training paradigm: index-advisor-independent pretraining
+// (Section IV-C) followed by reinforced perturbation policy learning with
+// the self-critic baseline (Section IV-B).
+type Framework struct {
+	Model      Scorer
+	Vocab      *Vocab
+	Constraint PerturbConstraint
+	Eps        int
+	// Utility is the learned index utility model; nil uses raw what-if
+	// estimates instead (the "w/o Cost Model" ablation of Figure 8a).
+	Utility *UtilityModel
+	// Theta is the θ threshold of Definition 3.3: workloads where the
+	// advisor's utility does not exceed it are skipped in training.
+	Theta float64
+	// LR is the Adam learning rate (the paper uses 0.001).
+	LR float64
+	// Batch is the number of sampled trajectories per workload in the
+	// policy-gradient loss (the batch B of Equation 6).
+	Batch int
+
+	rng *rand.Rand
+
+	// uCache memoizes the advisor's utility on original workloads during
+	// RL training (deterministic, so safe to reuse across trajectories).
+	uCache map[string]float64
+}
+
+// NewFramework builds a framework with paper defaults (θ=0.1, ε=5).
+func NewFramework(m Scorer, v *Vocab, c PerturbConstraint, seed int64) *Framework {
+	return &Framework{
+		Model:      m,
+		Vocab:      v,
+		Constraint: c,
+		Eps:        5,
+		Theta:      0.1,
+		LR:         0.001,
+		Batch:      2,
+		rng:        rand.New(rand.NewSource(seed)),
+		uCache:     map[string]float64{},
+	}
+}
+
+// Pretrain runs the index-advisor-independent phase (Equation 7): random
+// perturbation pairs are synthesized from the generator and the model is
+// trained to reproduce them by teacher forcing through the reference
+// tree. Afterwards the decoder is re-initialized — only the encoder's
+// SQL understanding transfers to the RL phase. Returns the per-epoch
+// mean loss trace.
+func (f *Framework) Pretrain(gen *workload.Generator, pairs, epochs int) ([]float64, error) {
+	rnd := RandomModel{}
+	type pair struct {
+		q       *sqlx.Query
+		choices []int
+	}
+	var data []pair
+	g := nn.NewGraph(false)
+	for len(data) < pairs {
+		q := gen.Query()
+		r, err := Decode(g, rnd, f.Vocab, q, f.Constraint, f.Eps, true, f.rng)
+		if err != nil {
+			return nil, err
+		}
+		data = append(data, pair{q: q, choices: r.Choices})
+	}
+	params := f.Model.Params()
+	if params == nil {
+		return nil, fmt.Errorf("core: model %s has no parameters to pretrain", f.Model.Name())
+	}
+	opt := nn.NewAdam(f.LR)
+	var trace []float64
+	for ep := 0; ep < epochs; ep++ {
+		total, steps := 0.0, 0
+		for _, d := range data {
+			gt := nn.NewGraph(true)
+			r, err := Replay(gt, f.Model, f.Vocab, d.q, f.Constraint, f.Eps, d.choices)
+			if err != nil {
+				return nil, err
+			}
+			for _, st := range r.Steps {
+				total += nn.CrossEntropy(st.Logits, st.Chosen, 1)
+				steps++
+			}
+			gt.Backward()
+			params.ClipGrads(5)
+			opt.Step(params)
+		}
+		if steps > 0 {
+			trace = append(trace, total/float64(steps))
+		}
+	}
+	// Encoder-only transfer: refresh the decoder for RL exploration.
+	f.Model.ResetDecoder(f.rng)
+	return trace, nil
+}
+
+// utilityOf evaluates u(W, d, ·) for a configuration against a baseline,
+// with the learned model when available and what-if estimates otherwise.
+func (f *Framework) utilityOf(e *engine.Engine, w *workload.Workload, cfg, base schema.Config) float64 {
+	if f.Utility != nil {
+		u, err := f.Utility.Utility(e, w, cfg, base)
+		if err != nil {
+			return 0
+		}
+		return u
+	}
+	cb, err := workload.Cost(e, w, base, engine.ModeEstimated)
+	if err != nil || cb <= 0 {
+		return 0
+	}
+	ci, err := workload.Cost(e, w, cfg, engine.ModeEstimated)
+	if err != nil {
+		return 0
+	}
+	return 1 - ci/cb
+}
+
+// RewardOf computes the training reward r = IUDR for a perturbed
+// workload against an advisor (Equation 6's r).
+func (f *Framework) RewardOf(e *engine.Engine, adv advisor.Advisor, baseAdv advisor.Advisor, c advisor.Constraint, w, pert *workload.Workload) (float64, error) {
+	baseline := func(target *workload.Workload) schema.Config {
+		if baseAdv == nil {
+			return nil
+		}
+		cfg, err := baseAdv.Recommend(e, target, c)
+		if err != nil {
+			return nil
+		}
+		return cfg
+	}
+	if f.uCache == nil {
+		f.uCache = map[string]float64{}
+	}
+	key := adv.Name() + "|" + w.Key()
+	u, ok := f.uCache[key]
+	if !ok {
+		cfgW, err := adv.Recommend(e, w, c)
+		if err != nil {
+			return 0, err
+		}
+		u = f.utilityOf(e, w, cfgW, baseline(w))
+		f.uCache[key] = u
+	}
+	if u <= f.Theta {
+		return 0, fmt.Errorf("core: advisor utility %.3f below theta", u)
+	}
+	cfgP, err := adv.Recommend(e, pert, c)
+	if err != nil {
+		return 0, err
+	}
+	uPert := f.utilityOf(e, pert, cfgP, baseline(pert))
+	r := workload.IUDR(u, uPert)
+	if r > 2 {
+		r = 2
+	}
+	if r < -2 {
+		r = -2
+	}
+	return r, nil
+}
+
+// RLTrain runs reinforced perturbation policy learning against an advisor
+// (Equation 6): sampled perturbations are rewarded by the IUDR they
+// inflict, with the greedy decode as the self-critic baseline. Returns
+// the per-epoch mean sampled reward trace.
+func (f *Framework) RLTrain(e *engine.Engine, adv advisor.Advisor, baseAdv advisor.Advisor, c advisor.Constraint, train []*workload.Workload, epochs int) ([]float64, error) {
+	params := f.Model.Params()
+	if params == nil {
+		return nil, fmt.Errorf("core: model %s is not trainable", f.Model.Name())
+	}
+	opt := nn.NewAdam(f.LR)
+	batch := f.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	var trace []float64
+	for ep := 0; ep < epochs; ep++ {
+		var sum float64
+		var n int
+		for _, w := range train {
+			// Greedy self-critic baseline (no gradients).
+			gb := nn.NewGraph(false)
+			greedy := &workload.Workload{}
+			ok := true
+			for _, it := range w.Items {
+				r, err := Decode(gb, f.Model, f.Vocab, it.Query, f.Constraint, f.Eps, false, f.rng)
+				if err != nil {
+					ok = false
+					break
+				}
+				greedy.Items = append(greedy.Items, workload.Item{Query: r.Query, Weight: it.Weight})
+			}
+			if !ok {
+				continue
+			}
+			rb, rbErr := f.RewardOf(e, adv, baseAdv, c, w, greedy)
+			if rbErr != nil {
+				// Below-θ workloads are skipped entirely (Definition 3.3).
+				continue
+			}
+			// Batch of sampled trajectories (Equation 6), sharing one tape.
+			g := nn.NewGraph(true)
+			updated := false
+			for b := 0; b < batch; b++ {
+				pert := &workload.Workload{}
+				var steps []DecStep
+				ok := true
+				for _, it := range w.Items {
+					r, err := Decode(g, f.Model, f.Vocab, it.Query, f.Constraint, f.Eps, true, f.rng)
+					if err != nil {
+						ok = false
+						break
+					}
+					pert.Items = append(pert.Items, workload.Item{Query: r.Query, Weight: it.Weight})
+					steps = append(steps, r.Steps...)
+				}
+				if !ok {
+					continue
+				}
+				r, err := f.RewardOf(e, adv, baseAdv, c, w, pert)
+				if err != nil {
+					continue
+				}
+				advantage := (r - rb) / float64(batch)
+				if advantage != 0 {
+					for _, st := range steps {
+						nn.CrossEntropy(st.Logits, st.Chosen, advantage)
+					}
+					updated = true
+				}
+				sum += r
+				n++
+			}
+			if updated {
+				g.Backward()
+				params.ClipGrads(5)
+				opt.Step(params)
+			}
+		}
+		if n > 0 {
+			trace = append(trace, sum/float64(n))
+		} else {
+			trace = append(trace, 0)
+		}
+	}
+	return trace, nil
+}
+
+// SaveModel persists the trained generation model's parameters to w; a
+// framework rebuilt with the same vocabulary, sizes and model kind can
+// LoadModel them back.
+func (f *Framework) SaveModel(w io.Writer) error {
+	p := f.Model.Params()
+	if p == nil {
+		return fmt.Errorf("core: model %s has no parameters to save", f.Model.Name())
+	}
+	return p.Save(w)
+}
+
+// LoadModel restores parameters persisted by SaveModel.
+func (f *Framework) LoadModel(r io.Reader) error {
+	p := f.Model.Params()
+	if p == nil {
+		return fmt.Errorf("core: model %s has no parameters to load", f.Model.Name())
+	}
+	return p.Load(r)
+}
+
+// Generate produces the adversarial workload W' for w by greedy decoding
+// with the trained policy.
+func (f *Framework) Generate(w *workload.Workload) (*workload.Workload, error) {
+	return PerturbWorkload(f.Model, f.Vocab, w, f.Constraint, f.Eps, false, f.rng)
+}
+
+// GenerateSampled produces a randomized perturbation (used by the Random
+// baseline's repeated attempts).
+func (f *Framework) GenerateSampled(w *workload.Workload) (*workload.Workload, error) {
+	return PerturbWorkload(f.Model, f.Vocab, w, f.Constraint, f.Eps, true, f.rng)
+}

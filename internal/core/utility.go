@@ -1,0 +1,23 @@
+package core
+
+import (
+	"github.com/trap-repro/trap/internal/costmodel"
+	"github.com/trap-repro/trap/internal/engine"
+	"github.com/trap-repro/trap/internal/workload"
+)
+
+// UtilityModel is the learned index utility model of Section IV-B: a GBDT
+// (LightGBM stand-in) mapping the 4×L plan feature vector of Figure 4 to
+// the actual runtime cost, trained on randomly generated and "executed"
+// queries. It replaces the optimizer's error-prone what-if estimates in
+// TRAP's reward. The shared implementation lives in internal/costmodel.
+type UtilityModel = costmodel.Model
+
+// TrainUtilityModel collects a training set by generating queries from
+// gen, planning them under random index configurations, extracting plan
+// features, and labelling them with the runtime cost, then fits the GBDT
+// with the paper's recipe (normalized features, log-transformed target,
+// MSE).
+func TrainUtilityModel(e *engine.Engine, gen *workload.Generator, samples int, seed int64) (*UtilityModel, error) {
+	return costmodel.Train(e, gen.Query, samples, seed)
+}

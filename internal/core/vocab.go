@@ -1,0 +1,163 @@
+// Package core implements TRAP itself (Section IV of the paper): the
+// perturbation constraints of Table I, the Constraint-Aware Reference Tree
+// of Section IV-D, the encoder-decoder generation models of Section IV-A
+// (plus the baseline and PLM-variant generators of Section V), the
+// two-phase training paradigm — index-advisor-independent pretraining
+// (Section IV-C) followed by reinforced perturbation policy learning with
+// a self-critic baseline (Section IV-B) — and the learned index utility
+// model that rewards it.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/trap-repro/trap/internal/schema"
+	"github.com/trap-repro/trap/internal/sqlx"
+	"github.com/trap-repro/trap/internal/workload"
+)
+
+// Vocab is the global token vocabulary, segmented into regions by node
+// type as in Figure 5: reserved keywords, tables, columns (per table),
+// sampled values (per column), operators, aggregators and conjunctions.
+type Vocab struct {
+	tokens []sqlx.Token
+	ids    map[sqlx.Token]int
+
+	// regions maps a region key to the ids it contains:
+	//   "operator", "aggregator", "conjunction", "table",
+	//   "columns:<table>", "values:<table>.<column>".
+	regions map[string][]int
+}
+
+// valuesPerColumn is how many representative values are sampled per column
+// when instantiating the vocabulary regions.
+const valuesPerColumn = 8
+
+// BuildVocab constructs the vocabulary for a schema, additionally
+// including every literal observed in the given workloads (mirroring the
+// paper: "legitimate tokens for predicate values are sampled from the
+// current dataset and workloads").
+func BuildVocab(s *schema.Schema, ws []*workload.Workload) *Vocab {
+	v := &Vocab{ids: map[sqlx.Token]int{}, regions: map[string][]int{}}
+	addTo := func(region string, t sqlx.Token) int {
+		id, ok := v.ids[t]
+		if !ok {
+			id = len(v.tokens)
+			v.tokens = append(v.tokens, t)
+			v.ids[t] = id
+		}
+		for _, have := range v.regions[region] {
+			if have == id {
+				return id
+			}
+		}
+		v.regions[region] = append(v.regions[region], id)
+		return id
+	}
+	for _, kw := range []string{"SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", ",", "(", ")"} {
+		addTo("reserved", sqlx.Token{Type: sqlx.TokReserved, Text: kw})
+	}
+	for _, op := range sqlx.Operators {
+		addTo("operator", sqlx.Token{Type: sqlx.TokOperator, Text: op})
+	}
+	for _, agg := range sqlx.Aggregators {
+		addTo("aggregator", sqlx.Token{Type: sqlx.TokAggregator, Text: agg})
+	}
+	addTo("conjunction", sqlx.Token{Type: sqlx.TokConjunction, Text: "AND"})
+	addTo("conjunction", sqlx.Token{Type: sqlx.TokConjunction, Text: "OR"})
+
+	for _, t := range s.Tables {
+		addTo("table", sqlx.Token{Type: sqlx.TokTable, Text: t.Name})
+		for ci := range t.Columns {
+			col := &t.Columns[ci]
+			ref := sqlx.ColumnRef{Table: t.Name, Column: col.Name}
+			addTo("columns:"+t.Name, sqlx.Token{Type: sqlx.TokColumn, Text: ref.String()})
+			region := "values:" + ref.String()
+			for k := 0; k < valuesPerColumn; k++ {
+				q := (float64(k) + 0.5) / valuesPerColumn
+				idx := col.Dist.IndexOf(col.Dist.Quantile(q))
+				addTo(region, sqlx.Token{Type: sqlx.TokValue, Text: col.DatumOf(idx).String()})
+			}
+		}
+	}
+	for _, w := range ws {
+		for _, it := range w.Items {
+			for _, p := range it.Query.Filters {
+				region := "values:" + p.Col.String()
+				addTo(region, sqlx.Token{Type: sqlx.TokValue, Text: p.Val.String()})
+			}
+		}
+	}
+	return v
+}
+
+// Size returns the number of distinct tokens.
+func (v *Vocab) Size() int { return len(v.tokens) }
+
+// Token returns the token with the given id.
+func (v *Vocab) Token(id int) sqlx.Token { return v.tokens[id] }
+
+// ID returns the id of a token, registering it if unseen (out-of-schema
+// literals from arbitrary input queries still need an embedding row, so
+// the vocabulary keeps a small growth margin; see EmbeddingRows).
+func (v *Vocab) ID(t sqlx.Token) int {
+	if id, ok := v.ids[t]; ok {
+		return id
+	}
+	id := len(v.tokens)
+	v.tokens = append(v.tokens, t)
+	v.ids[t] = id
+	return id
+}
+
+// Region returns the token ids of a region (nil when empty).
+func (v *Vocab) Region(key string) []int { return v.regions[key] }
+
+// ColumnsRegion returns the column-token ids for a table.
+func (v *Vocab) ColumnsRegion(table string) []int { return v.regions["columns:"+table] }
+
+// ValuesRegion returns the value-token ids for a column.
+func (v *Vocab) ValuesRegion(col sqlx.ColumnRef) []int { return v.regions["values:"+col.String()] }
+
+// SetValuesRegion replaces the legitimate value tokens of a column. This
+// is the paper's periodic-template adaptation: given the variants
+// expected in the next period, the legitimate tokens of the perturbation
+// constraint are narrowed so TRAP explores exactly those.
+func (v *Vocab) SetValuesRegion(col sqlx.ColumnRef, values []sqlx.Datum) {
+	key := "values:" + col.String()
+	v.regions[key] = nil
+	for _, d := range values {
+		id := v.ID(sqlx.Token{Type: sqlx.TokValue, Text: d.String()})
+		v.regions[key] = append(v.regions[key], id)
+	}
+}
+
+// EmbeddingRows returns the row count generation models should allocate:
+// the current size plus headroom for literals seen later in input queries.
+func (v *Vocab) EmbeddingRows() int { return len(v.tokens) + len(v.tokens)/2 + 64 }
+
+// RegionKeys lists the region names, sorted (useful for debugging).
+func (v *Vocab) RegionKeys() []string {
+	keys := make([]string, 0, len(v.regions))
+	for k := range v.regions {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Encode maps a query's canonical token sequence to ids.
+func (v *Vocab) Encode(q *sqlx.Query) []int {
+	toks := q.Tokens()
+	ids := make([]int, len(toks))
+	for i, t := range toks {
+		ids[i] = v.ID(t)
+	}
+	return ids
+}
+
+// String summarizes the vocabulary.
+func (v *Vocab) String() string {
+	return fmt.Sprintf("Vocab{%d tokens, %d regions}", len(v.tokens), len(v.regions))
+}

@@ -1,0 +1,44 @@
+package engine
+
+import "math"
+
+// Cost model parameters, mirroring PostgreSQL's defaults.
+const (
+	seqPageCost   = 1.0
+	randPageCost  = 4.0
+	cpuTupleCost  = 0.01
+	cpuIndexCost  = 0.005
+	cpuOpCost     = 0.0025
+	hashBuildMult = 1.5 // per-tuple hash-table build overhead multiplier
+	btreeFanout   = 200 // entries per internal B-tree page
+)
+
+// btreeHeight estimates the number of internal pages touched descending a
+// B-tree over n entries.
+func btreeHeight(n float64) float64 {
+	if n < 2 {
+		return 1
+	}
+	h := math.Ceil(math.Log(n) / math.Log(btreeFanout))
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+// mackertLohman estimates distinct heap pages fetched when accessing rows
+// random tuples of a table with pages heap pages.
+func mackertLohman(rows, pages float64) float64 {
+	if pages <= 0 {
+		return 0
+	}
+	return pages * (1 - math.Exp(-rows/pages))
+}
+
+// sortCost prices an in-memory comparison sort of rows tuples.
+func sortCost(rows float64) float64 {
+	if rows < 2 {
+		return cpuOpCost
+	}
+	return 2*cpuOpCost*rows*math.Log2(rows) + cpuTupleCost*rows
+}

@@ -1,0 +1,154 @@
+// Package engine is the simulated DBMS optimizer that stands in for
+// PostgreSQL in the paper's testbed. It estimates predicate selectivity
+// from per-column statistics, selects access paths (sequential, index and
+// index-only scans) given a hypothetical index configuration, orders joins
+// with dynamic programming, and prices plans with a page/CPU cost model.
+//
+// The engine exposes two statistics modes. ModeEstimated mirrors what a
+// real optimizer knows (histograms with sampling error, NDV misestimates,
+// attribute-independence assumptions): this is the "what-if" interface
+// index advisors call. ModeTrue evaluates the same plans against the exact
+// generator distributions and stands in for actual query runtime; the
+// learned index utility model (internal/gbdt) is trained against it.
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/trap-repro/trap/internal/schema"
+)
+
+// NodeType enumerates plan operator types; it is the feature-vector
+// dimension L of the paper's Figure 4.
+type NodeType int
+
+// Plan operator types.
+const (
+	SeqScan NodeType = iota
+	IndexScan
+	IndexOnlyScan
+	NestLoop
+	HashJoin
+	MergeJoin
+	Sort
+	HashAggregate
+	GroupAggregate
+	Result
+	// NumNodeTypes is the number of operator types (the L in f ∈ R^{4×L}).
+	NumNodeTypes
+)
+
+// String names the operator.
+func (t NodeType) String() string {
+	switch t {
+	case SeqScan:
+		return "Seq Scan"
+	case IndexScan:
+		return "Index Scan"
+	case IndexOnlyScan:
+		return "Index Only Scan"
+	case NestLoop:
+		return "Nested Loop"
+	case HashJoin:
+		return "Hash Join"
+	case MergeJoin:
+		return "Merge Join"
+	case Sort:
+		return "Sort"
+	case HashAggregate:
+		return "HashAggregate"
+	case GroupAggregate:
+		return "GroupAggregate"
+	case Result:
+		return "Result"
+	}
+	return "Unknown"
+}
+
+// PlanNode is one operator of a query plan tree. Cost is the cumulative
+// cost of the subtree (like PostgreSQL's total_cost), Rows the estimated
+// output cardinality, Height the node's height above the deepest leaf
+// (leaves have height 1).
+type PlanNode struct {
+	Type     NodeType
+	Table    string        // base relation for scan nodes
+	Index    *schema.Index // index used by Index(Only)Scan nodes
+	Cost     float64
+	Rows     float64
+	Height   int
+	Children []*PlanNode
+}
+
+// newNode builds an internal node, deriving Height from the children.
+func newNode(t NodeType, cost, rows float64, children ...*PlanNode) *PlanNode {
+	h := 0
+	for _, c := range children {
+		if c.Height > h {
+			h = c.Height
+		}
+	}
+	return &PlanNode{Type: t, Cost: cost, Rows: rows, Height: h + 1, Children: children}
+}
+
+// Walk visits every node of the subtree in pre-order.
+func (n *PlanNode) Walk(fn func(*PlanNode)) {
+	fn(n)
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// String renders the plan as an indented EXPLAIN-style tree.
+func (n *PlanNode) String() string {
+	var b strings.Builder
+	n.render(&b, 0)
+	return b.String()
+}
+
+func (n *PlanNode) render(b *strings.Builder, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(n.Type.String())
+	if n.Table != "" {
+		fmt.Fprintf(b, " on %s", n.Table)
+	}
+	if n.Index != nil {
+		fmt.Fprintf(b, " using %s", n.Index.Key())
+	}
+	fmt.Fprintf(b, "  (cost=%.2f rows=%.0f height=%d)\n", n.Cost, n.Rows, n.Height)
+	for _, c := range n.Children {
+		c.render(b, depth+1)
+	}
+}
+
+// PlanFeatures computes the 4×L feature vector of Figure 4 / Equation 5:
+// per operator type, the sums of node cost, node cardinality, and the
+// height-weighted recursive cost and cardinality aggregates.
+func PlanFeatures(root *PlanNode) []float64 {
+	l := int(NumNodeTypes)
+	f := make([]float64, 4*l)
+	var rec func(n *PlanNode) (g3, g4 float64)
+	rec = func(n *PlanNode) (float64, float64) {
+		var g3, g4 float64
+		if len(n.Children) == 0 {
+			g3, g4 = n.Cost, n.Rows
+		} else {
+			for _, c := range n.Children {
+				c3, c4 := rec(c)
+				g3 += float64(c.Height) * c3
+				g4 += float64(c.Height) * c4
+			}
+		}
+		i := int(n.Type)
+		f[0*l+i] += n.Cost
+		f[1*l+i] += n.Rows
+		f[2*l+i] += g3
+		f[3*l+i] += g4
+		return g3, g4
+	}
+	rec(root)
+	return f
+}
+
+// FeatureLen is the length of the vector returned by PlanFeatures.
+const FeatureLen = 4 * int(NumNodeTypes)

@@ -1,0 +1,193 @@
+package engine
+
+import (
+	"github.com/trap-repro/trap/internal/sqlx"
+	"github.com/trap-repro/trap/internal/stats"
+)
+
+// Mode selects which statistics the engine uses when pricing a plan.
+type Mode int
+
+const (
+	// ModeEstimated uses the optimizer's histograms, NDV estimates and the
+	// attribute-independence assumption — the "what-if" view advisors see.
+	ModeEstimated Mode = iota
+	// ModeTrue uses the exact generator distributions and ground-truth
+	// correlations — the stand-in for actual runtime.
+	ModeTrue
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeTrue {
+		return "true"
+	}
+	return "estimated"
+}
+
+// predGroup is a maximal run of filter predicates connected by OR; groups
+// are AND-ed with each other. A group is sargable — usable for index
+// matching — only when it is a single predicate whose operator is not "!=".
+type predGroup struct {
+	preds    []sqlx.Predicate
+	tables   map[string]bool
+	sargable bool
+}
+
+// groupFilters splits the query's flat filter chain into OR-groups.
+func groupFilters(q *sqlx.Query) []predGroup {
+	var groups []predGroup
+	var cur []sqlx.Predicate
+	flush := func() {
+		if len(cur) == 0 {
+			return
+		}
+		g := predGroup{preds: cur, tables: map[string]bool{}}
+		for _, p := range cur {
+			g.tables[p.Col.Table] = true
+		}
+		g.sargable = len(cur) == 1 && cur[0].Op != sqlx.OpNe
+		groups = append(groups, g)
+		cur = nil
+	}
+	for i, p := range q.Filters {
+		if i > 0 && q.Conjs[i-1] != sqlx.ConjOr {
+			flush()
+		}
+		cur = append(cur, p)
+	}
+	flush()
+	return groups
+}
+
+// onlyTable returns the single table the group touches, or "" if several.
+func (g predGroup) onlyTable() string {
+	if len(g.tables) != 1 {
+		return ""
+	}
+	for t := range g.tables {
+		return t
+	}
+	return ""
+}
+
+// predSel estimates the selectivity of one predicate in the given mode.
+func (e *Engine) predSel(p sqlx.Predicate, mode Mode) float64 {
+	col := e.schema.Column(p.Col)
+	if col == nil {
+		return 1
+	}
+	v, ok := col.NumOf(p.Val)
+	if !ok {
+		// A literal outside the column's domain: matches (almost) nothing
+		// for equality, and is given a default guess for ranges.
+		if p.Op == sqlx.OpEq {
+			return 1e-6
+		}
+		if p.Op == sqlx.OpNe {
+			return 1
+		}
+		return 1.0 / 3
+	}
+	if mode == ModeTrue {
+		return col.Dist.RangeSel(p.Op, v)
+	}
+	h := e.hist(p.Col)
+	return h.RangeSelEst(p.Op, v)
+}
+
+// groupSel estimates the selectivity of an OR-group (disjuncts combined
+// under independence in both modes).
+func (e *Engine) groupSel(g predGroup, mode Mode) float64 {
+	miss := 1.0
+	for _, p := range g.preds {
+		miss *= 1 - e.predSel(p, mode)
+	}
+	s := 1 - miss
+	if s < 1e-9 {
+		s = 1e-9
+	}
+	return s
+}
+
+// combineGroups AND-combines group selectivities on one table. In
+// estimated mode the optimizer assumes independence; in true mode the
+// recorded ground-truth correlation between the groups' lead columns
+// inflates the joint selectivity toward min(s1, s2) — exactly the error
+// class that makes what-if costs systematically wrong on correlated
+// predicates.
+func (e *Engine) combineGroups(table string, groups []predGroup, mode Mode) float64 {
+	sel := 1.0
+	var prevCol string
+	for i, g := range groups {
+		s := e.groupSel(g, mode)
+		if i == 0 || mode == ModeEstimated {
+			sel *= s
+		} else {
+			corr := e.schema.Correlation(table, prevCol, g.preds[0].Col.Column)
+			joint := corr*minf(sel, s) + (1-corr)*sel*s
+			sel = joint
+		}
+		prevCol = g.preds[0].Col.Column
+	}
+	return clamp01(sel)
+}
+
+// columnNDV returns the (mode-dependent) distinct count of a column,
+// clamped to the table's row count.
+func (e *Engine) columnNDV(ref sqlx.ColumnRef, mode Mode) float64 {
+	col := e.schema.Column(ref)
+	t := e.schema.Table(ref.Table)
+	if col == nil || t == nil {
+		return 1
+	}
+	var ndv float64
+	if mode == ModeTrue {
+		ndv = float64(col.Dist.NDV)
+	} else {
+		ndv = e.hist(ref).NDVEst
+	}
+	if ndv > float64(t.Rows) {
+		ndv = float64(t.Rows)
+	}
+	if ndv < 1 {
+		ndv = 1
+	}
+	return ndv
+}
+
+func (e *Engine) hist(ref sqlx.ColumnRef) stats.Histogram {
+	key := ref.String()
+	e.mu.RLock()
+	h, ok := e.hists[key]
+	e.mu.RUnlock()
+	if ok {
+		return h
+	}
+	col := e.schema.Column(ref)
+	if col == nil {
+		return stats.Histogram{}
+	}
+	h = stats.BuildHistogramErr(key, col.Dist, stats.DefaultBuckets, e.estErr)
+	e.mu.Lock()
+	e.hists[key] = h
+	e.mu.Unlock()
+	return h
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func clamp01(x float64) float64 {
+	if x < 1e-9 {
+		return 1e-9
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,257 @@
+// Package gbdt implements histogram-based gradient-boosted regression
+// trees: the stand-in for LightGBM as TRAP's learned index utility model
+// (Section IV-B). It supports the paper's training recipe — feature
+// normalization, log-transformation of the runtime target, and MSE loss.
+package gbdt
+
+import (
+	"math"
+	"sort"
+)
+
+// Config controls training.
+type Config struct {
+	Trees     int     // number of boosting rounds (default 100)
+	MaxDepth  int     // maximum tree depth (default 4)
+	MinLeaf   int     // minimum samples per leaf (default 5)
+	Shrinkage float64 // learning rate (default 0.1)
+	Bins      int     // histogram bins per feature (default 32)
+	LogTarget bool    // fit log1p(y) instead of y (the paper's transform)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Trees <= 0 {
+		c.Trees = 100
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 4
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 5
+	}
+	if c.Shrinkage <= 0 {
+		c.Shrinkage = 0.1
+	}
+	if c.Bins <= 1 {
+		c.Bins = 32
+	}
+	return c
+}
+
+// node is one tree node; leaves have feature == -1.
+type node struct {
+	feature   int
+	threshold float64
+	value     float64
+	left      *node
+	right     *node
+}
+
+// Model is a trained boosted ensemble.
+type Model struct {
+	cfg   Config
+	base  float64
+	trees []*node
+	mean  []float64
+	std   []float64
+}
+
+// Train fits a model on feature rows X and targets y.
+func Train(x [][]float64, y []float64, cfg Config) *Model {
+	cfg = cfg.withDefaults()
+	n := len(x)
+	if n == 0 || len(y) != n {
+		panic("gbdt: empty or mismatched training data")
+	}
+	d := len(x[0])
+
+	m := &Model{cfg: cfg, mean: make([]float64, d), std: make([]float64, d)}
+	// Feature normalization (z-score).
+	for j := 0; j < d; j++ {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += x[i][j]
+		}
+		m.mean[j] = s / float64(n)
+		var v float64
+		for i := 0; i < n; i++ {
+			dv := x[i][j] - m.mean[j]
+			v += dv * dv
+		}
+		m.std[j] = math.Sqrt(v / float64(n))
+		if m.std[j] < 1e-12 {
+			m.std[j] = 1
+		}
+	}
+	xn := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, d)
+		for j := 0; j < d; j++ {
+			row[j] = (x[i][j] - m.mean[j]) / m.std[j]
+		}
+		xn[i] = row
+	}
+	target := make([]float64, n)
+	for i, v := range y {
+		if cfg.LogTarget {
+			target[i] = math.Log1p(math.Max(v, 0))
+		} else {
+			target[i] = v
+		}
+	}
+
+	// Base prediction: mean target.
+	var s float64
+	for _, v := range target {
+		s += v
+	}
+	m.base = s / float64(n)
+
+	pred := make([]float64, n)
+	for i := range pred {
+		pred[i] = m.base
+	}
+	resid := make([]float64, n)
+	idx := make([]int, n)
+	for t := 0; t < cfg.Trees; t++ {
+		for i := range resid {
+			resid[i] = target[i] - pred[i]
+			idx[i] = i
+		}
+		tree := buildTree(xn, resid, idx, cfg, 0)
+		m.trees = append(m.trees, tree)
+		for i := range pred {
+			pred[i] += cfg.Shrinkage * evalTree(tree, xn[i])
+		}
+	}
+	return m
+}
+
+// buildTree fits one regression tree on the residuals of the given rows.
+func buildTree(x [][]float64, resid []float64, rows []int, cfg Config, depth int) *node {
+	var sum float64
+	for _, i := range rows {
+		sum += resid[i]
+	}
+	mean := sum / float64(len(rows))
+	if depth >= cfg.MaxDepth || len(rows) < 2*cfg.MinLeaf {
+		return &node{feature: -1, value: mean}
+	}
+	bestGain := 0.0
+	bestFeat := -1
+	bestThresh := 0.0
+	d := len(x[rows[0]])
+	var baseSSE float64
+	for _, i := range rows {
+		dv := resid[i] - mean
+		baseSSE += dv * dv
+	}
+	vals := make([]float64, 0, len(rows))
+	for j := 0; j < d; j++ {
+		// Histogram candidate thresholds: quantiles of the feature.
+		vals = vals[:0]
+		for _, i := range rows {
+			vals = append(vals, x[i][j])
+		}
+		sort.Float64s(vals)
+		if vals[0] == vals[len(vals)-1] {
+			continue
+		}
+		for b := 1; b < cfg.Bins; b++ {
+			thresh := vals[b*len(vals)/cfg.Bins]
+			if thresh == vals[0] {
+				continue
+			}
+			var ls, lc, rs, rc float64
+			for _, i := range rows {
+				if x[i][j] < thresh {
+					ls += resid[i]
+					lc++
+				} else {
+					rs += resid[i]
+					rc++
+				}
+			}
+			if lc < float64(cfg.MinLeaf) || rc < float64(cfg.MinLeaf) {
+				continue
+			}
+			// SSE reduction of splitting at thresh.
+			gain := ls*ls/lc + rs*rs/rc - sum*sum/float64(len(rows))
+			if gain > bestGain+1e-12 {
+				bestGain = gain
+				bestFeat = j
+				bestThresh = thresh
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return &node{feature: -1, value: mean}
+	}
+	var left, right []int
+	for _, i := range rows {
+		if x[i][bestFeat] < bestThresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	return &node{
+		feature:   bestFeat,
+		threshold: bestThresh,
+		left:      buildTree(x, resid, left, cfg, depth+1),
+		right:     buildTree(x, resid, right, cfg, depth+1),
+	}
+}
+
+func evalTree(n *node, x []float64) float64 {
+	for n.feature >= 0 {
+		if x[n.feature] < n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// Predict returns the model's estimate for one feature row.
+func (m *Model) Predict(x []float64) float64 {
+	row := make([]float64, len(x))
+	for j := range x {
+		row[j] = (x[j] - m.mean[j]) / m.std[j]
+	}
+	p := m.base
+	for _, t := range m.trees {
+		p += m.cfg.Shrinkage * evalTree(t, row)
+	}
+	if m.cfg.LogTarget {
+		return math.Expm1(p)
+	}
+	return p
+}
+
+// NumTrees returns the number of fitted trees.
+func (m *Model) NumTrees() int { return len(m.trees) }
+
+// R2 computes the coefficient of determination of the model on a dataset.
+func (m *Model) R2(x [][]float64, y []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	var ssRes, ssTot float64
+	for i := range x {
+		d := y[i] - m.Predict(x[i])
+		ssRes += d * d
+		dt := y[i] - mean
+		ssTot += dt * dt
+	}
+	if ssTot == 0 {
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}

@@ -1,0 +1,119 @@
+package gbdt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func synth(n int, seed int64, fn func(x []float64) float64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+		xs[i] = x
+		ys[i] = fn(x)
+	}
+	return xs, ys
+}
+
+func TestFitsNonlinearFunction(t *testing.T) {
+	fn := func(x []float64) float64 {
+		v := 3*x[0] + x[1]*x[1]
+		if x[2] > 5 {
+			v += 20
+		}
+		return v
+	}
+	xs, ys := synth(2000, 1, fn)
+	m := Train(xs, ys, Config{Trees: 150, MaxDepth: 5})
+	xt, yt := synth(500, 2, fn)
+	r2 := m.R2(xt, yt)
+	if r2 < 0.9 {
+		t.Errorf("R2 = %v, want >= 0.9", r2)
+	}
+}
+
+func TestLogTargetHandlesWideRange(t *testing.T) {
+	// Cost-like target spanning orders of magnitude: log transform should
+	// dominate the raw fit in relative error on the small end.
+	fn := func(x []float64) float64 { return math.Exp(x[0]) }
+	xs, ys := synth(2000, 3, fn)
+	mLog := Train(xs, ys, Config{Trees: 120, MaxDepth: 4, LogTarget: true})
+	mRaw := Train(xs, ys, Config{Trees: 120, MaxDepth: 4})
+	xt, yt := synth(300, 4, fn)
+	relErr := func(m *Model) float64 {
+		var s float64
+		for i := range xt {
+			s += math.Abs(m.Predict(xt[i])-yt[i]) / (yt[i] + 1)
+		}
+		return s / float64(len(xt))
+	}
+	if relErr(mLog) >= relErr(mRaw) {
+		t.Errorf("log target did not improve relative error: %v vs %v",
+			relErr(mLog), relErr(mRaw))
+	}
+}
+
+func TestMoreTreesReduceTrainError(t *testing.T) {
+	fn := func(x []float64) float64 { return x[0]*x[1] - 2*x[2] }
+	xs, ys := synth(800, 5, fn)
+	few := Train(xs, ys, Config{Trees: 5, MaxDepth: 3})
+	many := Train(xs, ys, Config{Trees: 100, MaxDepth: 3})
+	if many.R2(xs, ys) <= few.R2(xs, ys) {
+		t.Errorf("more trees did not improve train R2: %v vs %v",
+			many.R2(xs, ys), few.R2(xs, ys))
+	}
+	if few.NumTrees() != 5 || many.NumTrees() != 100 {
+		t.Error("NumTrees wrong")
+	}
+}
+
+func TestConstantTarget(t *testing.T) {
+	xs, _ := synth(100, 6, func([]float64) float64 { return 0 })
+	ys := make([]float64, 100)
+	for i := range ys {
+		ys[i] = 7.5
+	}
+	m := Train(xs, ys, Config{Trees: 10})
+	if math.Abs(m.Predict(xs[0])-7.5) > 1e-9 {
+		t.Errorf("constant target prediction = %v", m.Predict(xs[0]))
+	}
+}
+
+func TestConstantFeatureIgnored(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([][]float64, 300)
+	ys := make([]float64, 300)
+	for i := range xs {
+		v := rng.Float64() * 5
+		xs[i] = []float64{1.0, v} // first feature constant
+		ys[i] = 2 * v
+	}
+	m := Train(xs, ys, Config{Trees: 80, MaxDepth: 3})
+	if r2 := m.R2(xs, ys); r2 < 0.95 {
+		t.Errorf("R2 with constant feature = %v", r2)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	fn := func(x []float64) float64 { return x[0] + x[1] }
+	xs, ys := synth(200, 8, fn)
+	a := Train(xs, ys, Config{Trees: 20})
+	b := Train(xs, ys, Config{Trees: 20})
+	for i := 0; i < 20; i++ {
+		if a.Predict(xs[i]) != b.Predict(xs[i]) {
+			t.Fatal("training not deterministic")
+		}
+	}
+}
+
+func TestPanicsOnEmptyData(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on empty data")
+		}
+	}()
+	Train(nil, nil, Config{})
+}

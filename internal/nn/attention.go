@@ -1,0 +1,38 @@
+package nn
+
+import "math/rand"
+
+// Attention implements the SQL context attention of Equation 3:
+// e_i = v^T tanh(Wh·h_i + Ws·s_t + b), a = softmax(e), c_t = Σ a_i h_i.
+type Attention struct {
+	Wh, Ws, B, V *Tensor
+}
+
+// NewAttention builds attention over encoder states of size encDim and
+// decoder states of size decDim, with an internal score dimension dim.
+func NewAttention(p *Params, name string, encDim, decDim, dim int, rng *rand.Rand) *Attention {
+	a := &Attention{
+		Wh: RandTensor(dim, encDim, glorot(encDim, dim), rng),
+		Ws: RandTensor(dim, decDim, glorot(decDim, dim), rng),
+		B:  NewTensor(dim, 1),
+		V:  RandTensor(1, dim, glorot(dim, 1), rng),
+	}
+	p.Add(name+".Wh", a.Wh)
+	p.Add(name+".Ws", a.Ws)
+	p.Add(name+".B", a.B)
+	p.Add(name+".V", a.V)
+	return a
+}
+
+// Context computes the attention context vector c_t over the encoder
+// states given the decoder state s, returning it with the attention
+// weights.
+func (a *Attention) Context(g *Graph, encStates []*Tensor, s *Tensor) (*Tensor, []float64) {
+	ws := g.Mul(a.Ws, s)
+	scores := make([]*Tensor, len(encStates))
+	for i, h := range encStates {
+		e := g.Mul(a.V, g.Tanh(g.Add(g.Add(g.Mul(a.Wh, h), ws), a.B)))
+		scores[i] = e
+	}
+	return g.Attend(scores, encStates)
+}

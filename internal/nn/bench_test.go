@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkGRUStepForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var p Params
+	cell := NewGRUCell(&p, "gru", 48, 48, rng)
+	x := RandTensor(48, 1, 1, rng)
+	h := cell.InitState()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := NewGraph(false)
+		h2 := cell.Step(g, x, h)
+		_ = h2
+	}
+}
+
+func BenchmarkBiGRUEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	var p Params
+	enc := NewBiGRU(&p, "enc", 48, 48, rng)
+	xs := make([]*Tensor, 40)
+	for i := range xs {
+		xs[i] = RandTensor(48, 1, 1, rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := NewGraph(false)
+		enc.Encode(g, xs)
+	}
+}
+
+func BenchmarkBackwardThroughGRUSequence(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	var p Params
+	cell := NewGRUCell(&p, "gru", 32, 32, rng)
+	xs := make([]*Tensor, 30)
+	for i := range xs {
+		xs[i] = RandTensor(32, 1, 1, rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := NewGraph(true)
+		h := cell.InitState()
+		for _, x := range xs {
+			h = cell.Step(g, x, h)
+		}
+		MSELoss(g.Dot(h, h), 1)
+		g.Backward()
+		p.ZeroGrads()
+	}
+}
+
+func BenchmarkTransformerLayerForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	var p Params
+	layer := NewTransformerLayer(&p, "tf", 64, 4, 256, rng)
+	xs := make([]*Tensor, 40)
+	for i := range xs {
+		xs[i] = RandTensor(64, 1, 1, rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := NewGraph(false)
+		layer.Apply(g, xs)
+	}
+}
+
+func BenchmarkAttentionContext(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	var p Params
+	att := NewAttention(&p, "att", 96, 48, 48, rng)
+	states := make([]*Tensor, 40)
+	for i := range states {
+		states[i] = RandTensor(96, 1, 1, rng)
+	}
+	s := RandTensor(48, 1, 1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := NewGraph(false)
+		att.Context(g, states, s)
+	}
+}
+
+func BenchmarkAdamStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	var p Params
+	NewDense(&p, "d1", 128, 128, rng)
+	NewDense(&p, "d2", 128, 128, rng)
+	for _, t := range p.Tensors() {
+		for i := range t.G {
+			t.G[i] = rng.Float64()
+		}
+	}
+	opt := NewAdam(1e-3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Step(&p)
+	}
+}

@@ -1,0 +1,213 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Params is a named registry of trainable tensors, used by the optimizer
+// and for parameter counting (Table IV).
+type Params struct {
+	names   []string
+	tensors []*Tensor
+}
+
+// Add registers a tensor under a name and returns it.
+func (p *Params) Add(name string, t *Tensor) *Tensor {
+	p.names = append(p.names, name)
+	p.tensors = append(p.tensors, t)
+	return t
+}
+
+// Merge registers every tensor of another registry under a prefix.
+func (p *Params) Merge(prefix string, o *Params) {
+	for i, t := range o.tensors {
+		p.Add(prefix+"/"+o.names[i], t)
+	}
+}
+
+// Tensors returns the registered tensors.
+func (p *Params) Tensors() []*Tensor { return p.tensors }
+
+// Count returns the total number of scalar parameters.
+func (p *Params) Count() int {
+	n := 0
+	for _, t := range p.tensors {
+		n += t.Size()
+	}
+	return n
+}
+
+// State deep-copies every parameter's values (for snapshot/restore, e.g.
+// re-using a pretrained encoder across several RL runs).
+func (p *Params) State() [][]float64 {
+	out := make([][]float64, len(p.tensors))
+	for i, t := range p.tensors {
+		out[i] = append([]float64(nil), t.W...)
+	}
+	return out
+}
+
+// SetState restores values captured by State.
+func (p *Params) SetState(state [][]float64) {
+	if len(state) != len(p.tensors) {
+		panic("nn: SetState length mismatch")
+	}
+	for i, t := range p.tensors {
+		copy(t.W, state[i])
+	}
+}
+
+// ZeroGrads clears all gradients.
+func (p *Params) ZeroGrads() {
+	for _, t := range p.tensors {
+		t.ZeroGrad()
+	}
+}
+
+// ClipGrads scales gradients so the global L2 norm is at most maxNorm,
+// returning the pre-clip norm.
+func (p *Params) ClipGrads(maxNorm float64) float64 {
+	var sq float64
+	for _, t := range p.tensors {
+		for _, g := range t.G {
+			sq += g * g
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, t := range p.tensors {
+			for i := range t.G {
+				t.G[i] *= scale
+			}
+		}
+	}
+	return norm
+}
+
+// glorot returns the Glorot-uniform init scale for a fanIn×fanOut layer.
+func glorot(fanIn, fanOut int) float64 {
+	return math.Sqrt(6.0 / float64(fanIn+fanOut))
+}
+
+// Dense is a fully connected layer y = act(W·x + b).
+type Dense struct {
+	W, B *Tensor
+}
+
+// NewDense builds a Dense layer with Glorot init, registering its
+// parameters under name.
+func NewDense(p *Params, name string, in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{
+		W: RandTensor(out, in, glorot(in, out), rng),
+		B: NewTensor(out, 1),
+	}
+	p.Add(name+".W", d.W)
+	p.Add(name+".B", d.B)
+	return d
+}
+
+// Apply computes W·x + b.
+func (d *Dense) Apply(g *Graph, x *Tensor) *Tensor {
+	return g.Add(g.Mul(d.W, x), d.B)
+}
+
+// Embedding maps token ids to dense vectors.
+type Embedding struct {
+	Table *Tensor // vocab × dim
+}
+
+// NewEmbedding builds an embedding table.
+func NewEmbedding(p *Params, name string, vocab, dim int, rng *rand.Rand) *Embedding {
+	e := &Embedding{Table: RandTensor(vocab, dim, 0.1, rng)}
+	p.Add(name+".table", e.Table)
+	return e
+}
+
+// Lookup returns the embedding of token id as a column vector.
+func (e *Embedding) Lookup(g *Graph, id int) *Tensor { return g.Lookup(e.Table, id) }
+
+// Dim returns the embedding dimension.
+func (e *Embedding) Dim() int { return e.Table.C }
+
+// Vocab returns the vocabulary size.
+func (e *Embedding) Vocab() int { return e.Table.R }
+
+// GRUCell is a gated recurrent unit cell.
+type GRUCell struct {
+	Wz, Uz, Bz *Tensor
+	Wr, Ur, Br *Tensor
+	Wh, Uh, Bh *Tensor
+	Hidden     int
+}
+
+// NewGRUCell builds a GRU cell mapping (in, hidden) -> hidden.
+func NewGRUCell(p *Params, name string, in, hidden int, rng *rand.Rand) *GRUCell {
+	sw := glorot(in, hidden)
+	su := glorot(hidden, hidden)
+	c := &GRUCell{
+		Wz: RandTensor(hidden, in, sw, rng), Uz: RandTensor(hidden, hidden, su, rng), Bz: NewTensor(hidden, 1),
+		Wr: RandTensor(hidden, in, sw, rng), Ur: RandTensor(hidden, hidden, su, rng), Br: NewTensor(hidden, 1),
+		Wh: RandTensor(hidden, in, sw, rng), Uh: RandTensor(hidden, hidden, su, rng), Bh: NewTensor(hidden, 1),
+		Hidden: hidden,
+	}
+	p.Add(name+".Wz", c.Wz)
+	p.Add(name+".Uz", c.Uz)
+	p.Add(name+".Bz", c.Bz)
+	p.Add(name+".Wr", c.Wr)
+	p.Add(name+".Ur", c.Ur)
+	p.Add(name+".Br", c.Br)
+	p.Add(name+".Wh", c.Wh)
+	p.Add(name+".Uh", c.Uh)
+	p.Add(name+".Bh", c.Bh)
+	return c
+}
+
+// Step advances the cell one timestep: h_t = GRU(x_t, h_{t-1}).
+func (c *GRUCell) Step(g *Graph, x, hPrev *Tensor) *Tensor {
+	z := g.Sigmoid(g.Add(g.Add(g.Mul(c.Wz, x), g.Mul(c.Uz, hPrev)), c.Bz))
+	r := g.Sigmoid(g.Add(g.Add(g.Mul(c.Wr, x), g.Mul(c.Ur, hPrev)), c.Br))
+	hTilde := g.Tanh(g.Add(g.Add(g.Mul(c.Wh, x), g.Mul(c.Uh, g.Hadamard(r, hPrev))), c.Bh))
+	return g.Add(g.Hadamard(g.OneMinus(z), hPrev), g.Hadamard(z, hTilde))
+}
+
+// InitState returns a zero hidden state.
+func (c *GRUCell) InitState() *Tensor { return NewTensor(c.Hidden, 1) }
+
+// BiGRU is a bidirectional GRU encoder: a forward and a backward cell
+// whose per-position states are concatenated (Section IV-A, Step 1).
+type BiGRU struct {
+	Fwd, Bwd *GRUCell
+}
+
+// NewBiGRU builds the encoder pair.
+func NewBiGRU(p *Params, name string, in, hidden int, rng *rand.Rand) *BiGRU {
+	return &BiGRU{
+		Fwd: NewGRUCell(p, name+".fwd", in, hidden, rng),
+		Bwd: NewGRUCell(p, name+".bwd", in, hidden, rng),
+	}
+}
+
+// Encode maps a sequence of input vectors to per-position states
+// h_i = [h^f_i ; h^b_i] of size 2·hidden.
+func (b *BiGRU) Encode(g *Graph, xs []*Tensor) []*Tensor {
+	n := len(xs)
+	fw := make([]*Tensor, n)
+	bw := make([]*Tensor, n)
+	h := b.Fwd.InitState()
+	for i := 0; i < n; i++ {
+		h = b.Fwd.Step(g, xs[i], h)
+		fw[i] = h
+	}
+	h = b.Bwd.InitState()
+	for i := n - 1; i >= 0; i-- {
+		h = b.Bwd.Step(g, xs[i], h)
+		bw[i] = h
+	}
+	out := make([]*Tensor, n)
+	for i := 0; i < n; i++ {
+		out[i] = g.Concat(fw[i], bw[i])
+	}
+	return out
+}

@@ -1,0 +1,328 @@
+package nn
+
+import "math"
+
+// Mul returns the matrix product a·b.
+func (g *Graph) Mul(a, b *Tensor) *Tensor {
+	if a.C != b.R {
+		panic("nn: Mul shape mismatch")
+	}
+	out := NewTensor(a.R, b.C)
+	for i := 0; i < a.R; i++ {
+		for k := 0; k < a.C; k++ {
+			av := a.W[i*a.C+k]
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < b.C; j++ {
+				out.W[i*out.C+j] += av * b.W[k*b.C+j]
+			}
+		}
+	}
+	g.addBack(func() {
+		for i := 0; i < a.R; i++ {
+			for j := 0; j < b.C; j++ {
+				d := out.G[i*out.C+j]
+				if d == 0 {
+					continue
+				}
+				for k := 0; k < a.C; k++ {
+					a.G[i*a.C+k] += d * b.W[k*b.C+j]
+					b.G[k*b.C+j] += d * a.W[i*a.C+k]
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Add returns a + b (same shape).
+func (g *Graph) Add(a, b *Tensor) *Tensor {
+	if a.R != b.R || a.C != b.C {
+		panic("nn: Add shape mismatch")
+	}
+	out := NewTensor(a.R, a.C)
+	for i := range out.W {
+		out.W[i] = a.W[i] + b.W[i]
+	}
+	g.addBack(func() {
+		for i := range out.G {
+			a.G[i] += out.G[i]
+			b.G[i] += out.G[i]
+		}
+	})
+	return out
+}
+
+// Hadamard returns the elementwise product a ∘ b.
+func (g *Graph) Hadamard(a, b *Tensor) *Tensor {
+	if a.R != b.R || a.C != b.C {
+		panic("nn: Hadamard shape mismatch")
+	}
+	out := NewTensor(a.R, a.C)
+	for i := range out.W {
+		out.W[i] = a.W[i] * b.W[i]
+	}
+	g.addBack(func() {
+		for i := range out.G {
+			a.G[i] += out.G[i] * b.W[i]
+			b.G[i] += out.G[i] * a.W[i]
+		}
+	})
+	return out
+}
+
+// Scale returns s·a for a constant s.
+func (g *Graph) Scale(a *Tensor, s float64) *Tensor {
+	out := NewTensor(a.R, a.C)
+	for i := range out.W {
+		out.W[i] = a.W[i] * s
+	}
+	g.addBack(func() {
+		for i := range out.G {
+			a.G[i] += out.G[i] * s
+		}
+	})
+	return out
+}
+
+// AddConst returns a + c elementwise for a constant c.
+func (g *Graph) AddConst(a *Tensor, c float64) *Tensor {
+	out := NewTensor(a.R, a.C)
+	for i := range out.W {
+		out.W[i] = a.W[i] + c
+	}
+	g.addBack(func() {
+		for i := range out.G {
+			a.G[i] += out.G[i]
+		}
+	})
+	return out
+}
+
+// OneMinus returns 1 - a elementwise.
+func (g *Graph) OneMinus(a *Tensor) *Tensor {
+	out := NewTensor(a.R, a.C)
+	for i := range out.W {
+		out.W[i] = 1 - a.W[i]
+	}
+	g.addBack(func() {
+		for i := range out.G {
+			a.G[i] -= out.G[i]
+		}
+	})
+	return out
+}
+
+// Tanh applies tanh elementwise.
+func (g *Graph) Tanh(a *Tensor) *Tensor {
+	out := NewTensor(a.R, a.C)
+	for i := range out.W {
+		out.W[i] = math.Tanh(a.W[i])
+	}
+	g.addBack(func() {
+		for i := range out.G {
+			a.G[i] += out.G[i] * (1 - out.W[i]*out.W[i])
+		}
+	})
+	return out
+}
+
+// Sigmoid applies the logistic function elementwise.
+func (g *Graph) Sigmoid(a *Tensor) *Tensor {
+	out := NewTensor(a.R, a.C)
+	for i := range out.W {
+		out.W[i] = 1 / (1 + math.Exp(-a.W[i]))
+	}
+	g.addBack(func() {
+		for i := range out.G {
+			a.G[i] += out.G[i] * out.W[i] * (1 - out.W[i])
+		}
+	})
+	return out
+}
+
+// Relu applies max(0, x) elementwise.
+func (g *Graph) Relu(a *Tensor) *Tensor {
+	out := NewTensor(a.R, a.C)
+	for i := range out.W {
+		if a.W[i] > 0 {
+			out.W[i] = a.W[i]
+		}
+	}
+	g.addBack(func() {
+		for i := range out.G {
+			if a.W[i] > 0 {
+				a.G[i] += out.G[i]
+			}
+		}
+	})
+	return out
+}
+
+// Concat stacks column vectors vertically.
+func (g *Graph) Concat(parts ...*Tensor) *Tensor {
+	total := 0
+	for _, p := range parts {
+		if p.C != 1 {
+			panic("nn: Concat expects column vectors")
+		}
+		total += p.R
+	}
+	out := NewTensor(total, 1)
+	off := 0
+	for _, p := range parts {
+		copy(out.W[off:off+p.R], p.W)
+		off += p.R
+	}
+	g.addBack(func() {
+		off := 0
+		for _, p := range parts {
+			for i := 0; i < p.R; i++ {
+				p.G[i] += out.G[off+i]
+			}
+			off += p.R
+		}
+	})
+	return out
+}
+
+// Lookup returns row `row` of the embedding matrix m as a column vector.
+func (g *Graph) Lookup(m *Tensor, row int) *Tensor {
+	out := NewTensor(m.C, 1)
+	copy(out.W, m.W[row*m.C:(row+1)*m.C])
+	g.addBack(func() {
+		for j := 0; j < m.C; j++ {
+			m.G[row*m.C+j] += out.G[j]
+		}
+	})
+	return out
+}
+
+// SelectedAffine computes out[k] = W[rows[k], :]·x + b[rows[k]] for a
+// subset of rows — the masked output layer of Equation 4, evaluated only
+// on the legitimate vocabulary region.
+func (g *Graph) SelectedAffine(w, b, x *Tensor, rows []int) *Tensor {
+	if w.C != x.R || x.C != 1 {
+		panic("nn: SelectedAffine shape mismatch")
+	}
+	out := NewTensor(len(rows), 1)
+	for k, r := range rows {
+		s := b.W[r]
+		for j := 0; j < w.C; j++ {
+			s += w.W[r*w.C+j] * x.W[j]
+		}
+		out.W[k] = s
+	}
+	g.addBack(func() {
+		for k, r := range rows {
+			d := out.G[k]
+			if d == 0 {
+				continue
+			}
+			b.G[r] += d
+			for j := 0; j < w.C; j++ {
+				w.G[r*w.C+j] += d * x.W[j]
+				x.G[j] += d * w.W[r*w.C+j]
+			}
+		}
+	})
+	return out
+}
+
+// Attend computes softmax attention: weights a = softmax(scores), output
+// ctx = Σ a_i values[i]. scores are 1×1 tensors, values equal-shaped
+// column vectors. It returns the context vector and the (constant) weights.
+func (g *Graph) Attend(scores []*Tensor, values []*Tensor) (*Tensor, []float64) {
+	n := len(scores)
+	if n == 0 || n != len(values) {
+		panic("nn: Attend needs matching non-empty scores/values")
+	}
+	a := make([]float64, n)
+	maxs := math.Inf(-1)
+	for i, s := range scores {
+		if s.W[0] > maxs {
+			maxs = s.W[0]
+		}
+		_ = i
+	}
+	var sum float64
+	for i, s := range scores {
+		a[i] = math.Exp(s.W[0] - maxs)
+		sum += a[i]
+	}
+	for i := range a {
+		a[i] /= sum
+	}
+	d := values[0].R
+	ctx := NewTensor(d, 1)
+	for i, v := range values {
+		for j := 0; j < d; j++ {
+			ctx.W[j] += a[i] * v.W[j]
+		}
+	}
+	g.addBack(func() {
+		// dot[i] = dctx · values[i]
+		dots := make([]float64, n)
+		var avg float64
+		for i, v := range values {
+			for j := 0; j < d; j++ {
+				dots[i] += ctx.G[j] * v.W[j]
+			}
+			avg += a[i] * dots[i]
+		}
+		for i, v := range values {
+			scores[i].G[0] += a[i] * (dots[i] - avg)
+			for j := 0; j < d; j++ {
+				v.G[j] += a[i] * ctx.G[j]
+			}
+		}
+	})
+	return ctx, a
+}
+
+// Softmax returns the probabilities of a logits column vector (no grad;
+// use the cross-entropy helpers for training).
+func Softmax(logits *Tensor) []float64 {
+	p := make([]float64, logits.R)
+	maxv := math.Inf(-1)
+	for i := 0; i < logits.R; i++ {
+		if logits.W[i] > maxv {
+			maxv = logits.W[i]
+		}
+	}
+	var sum float64
+	for i := range p {
+		p[i] = math.Exp(logits.W[i] - maxv)
+		sum += p[i]
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+	return p
+}
+
+// CrossEntropy seeds gradients for -weight·log softmax(logits)[target] and
+// returns the loss value. Call Graph.Backward afterwards (gradients from
+// several losses accumulate). A negative weight implements
+// policy-gradient ascent on log-probability.
+func CrossEntropy(logits *Tensor, target int, weight float64) float64 {
+	p := Softmax(logits)
+	loss := -weight * math.Log(math.Max(p[target], 1e-12))
+	for i := range p {
+		grad := p[i]
+		if i == target {
+			grad -= 1
+		}
+		logits.G[i] += weight * grad
+	}
+	return loss
+}
+
+// MSELoss seeds gradients for 0.5·(pred - target)² on a 1×1 tensor and
+// returns the loss.
+func MSELoss(pred *Tensor, target float64) float64 {
+	d := pred.W[0] - target
+	pred.G[0] += d
+	return 0.5 * d * d
+}

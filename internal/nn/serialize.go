@@ -1,0 +1,35 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Save writes the registry's parameter values to w (gob-encoded). Only
+// values are persisted; the architecture is reconstructed by the caller
+// building the same model before Load.
+func (p *Params) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(p.State())
+}
+
+// Load restores parameter values written by Save into an identically
+// shaped registry.
+func (p *Params) Load(r io.Reader) error {
+	var state [][]float64
+	if err := gob.NewDecoder(r).Decode(&state); err != nil {
+		return fmt.Errorf("nn: decoding parameters: %w", err)
+	}
+	if len(state) != len(p.tensors) {
+		return fmt.Errorf("nn: parameter count mismatch: file has %d tensors, model has %d",
+			len(state), len(p.tensors))
+	}
+	for i, t := range p.tensors {
+		if len(state[i]) != t.Size() {
+			return fmt.Errorf("nn: tensor %q size mismatch: file has %d values, model has %d",
+				p.names[i], len(state[i]), t.Size())
+		}
+	}
+	p.SetState(state)
+	return nil
+}

@@ -1,0 +1,94 @@
+// Package nn is a small, dependency-free neural network library built for
+// TRAP's generation models: float64 matrices, tape-based reverse-mode
+// autodiff, dense/embedding/GRU layers, the Luong-style attention of the
+// paper's Equation 3, masked softmax output layers (Equation 4), a
+// transformer encoder for the pre-trained-language-model ablation
+// (Figure 7 / Table IV), and an Adam optimizer with gradient clipping.
+package nn
+
+import "math/rand"
+
+// Tensor is a dense row-major matrix with an accompanying gradient buffer.
+type Tensor struct {
+	R, C int
+	W    []float64 // values
+	G    []float64 // gradients, same layout
+}
+
+// NewTensor allocates a zero tensor.
+func NewTensor(r, c int) *Tensor {
+	return &Tensor{R: r, C: c, W: make([]float64, r*c), G: make([]float64, r*c)}
+}
+
+// RandTensor allocates a tensor with entries uniform in [-scale, scale].
+func RandTensor(r, c int, scale float64, rng *rand.Rand) *Tensor {
+	t := NewTensor(r, c)
+	for i := range t.W {
+		t.W[i] = (rng.Float64()*2 - 1) * scale
+	}
+	return t
+}
+
+// Vector allocates a column vector from values.
+func Vector(vals ...float64) *Tensor {
+	t := NewTensor(len(vals), 1)
+	copy(t.W, vals)
+	return t
+}
+
+// At returns element (i, j).
+func (t *Tensor) At(i, j int) float64 { return t.W[i*t.C+j] }
+
+// Set assigns element (i, j).
+func (t *Tensor) Set(i, j int, v float64) { t.W[i*t.C+j] = v }
+
+// Size returns the number of elements.
+func (t *Tensor) Size() int { return len(t.W) }
+
+// ZeroGrad clears the gradient buffer.
+func (t *Tensor) ZeroGrad() {
+	for i := range t.G {
+		t.G[i] = 0
+	}
+}
+
+// Clone copies values (gradients start at zero).
+func (t *Tensor) Clone() *Tensor {
+	c := NewTensor(t.R, t.C)
+	copy(c.W, t.W)
+	return c
+}
+
+// CopyFrom copies values from o (shapes must match).
+func (t *Tensor) CopyFrom(o *Tensor) {
+	if t.R != o.R || t.C != o.C {
+		panic("nn: CopyFrom shape mismatch")
+	}
+	copy(t.W, o.W)
+}
+
+// Graph is a reverse-mode autodiff tape. Build the forward computation
+// through Graph ops, seed gradients (e.g. via a loss), then call Backward.
+type Graph struct {
+	// NeedsGrad disables tape recording when false (pure inference).
+	NeedsGrad bool
+	tape      []func()
+}
+
+// NewGraph returns a graph; pass needsGrad=false for inference-only runs.
+func NewGraph(needsGrad bool) *Graph { return &Graph{NeedsGrad: needsGrad} }
+
+func (g *Graph) addBack(f func()) {
+	if g.NeedsGrad {
+		g.tape = append(g.tape, f)
+	}
+}
+
+// Backward runs the tape in reverse, accumulating gradients into every
+// participating tensor's G buffer.
+func (g *Graph) Backward() {
+	for i := len(g.tape) - 1; i >= 0; i-- {
+		g.tape[i]()
+	}
+	g.tape = g.tape[:0]
+}

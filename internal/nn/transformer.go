@@ -1,0 +1,190 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Dot returns a^T·b for column vectors as a 1×1 tensor.
+func (g *Graph) Dot(a, b *Tensor) *Tensor {
+	if a.R != b.R || a.C != 1 || b.C != 1 {
+		panic("nn: Dot expects equal-length column vectors")
+	}
+	out := NewTensor(1, 1)
+	for i := 0; i < a.R; i++ {
+		out.W[0] += a.W[i] * b.W[i]
+	}
+	g.addBack(func() {
+		d := out.G[0]
+		for i := 0; i < a.R; i++ {
+			a.G[i] += d * b.W[i]
+			b.G[i] += d * a.W[i]
+		}
+	})
+	return out
+}
+
+// LayerNorm normalizes a column vector to zero mean / unit variance and
+// applies a learned affine transform.
+type LayerNorm struct {
+	Gamma, Beta *Tensor
+}
+
+// NewLayerNorm builds a LayerNorm over vectors of size dim.
+func NewLayerNorm(p *Params, name string, dim int) *LayerNorm {
+	ln := &LayerNorm{Gamma: NewTensor(dim, 1), Beta: NewTensor(dim, 1)}
+	for i := range ln.Gamma.W {
+		ln.Gamma.W[i] = 1
+	}
+	p.Add(name+".gamma", ln.Gamma)
+	p.Add(name+".beta", ln.Beta)
+	return ln
+}
+
+// Apply normalizes x.
+func (ln *LayerNorm) Apply(g *Graph, x *Tensor) *Tensor {
+	n := float64(x.R)
+	var mu float64
+	for _, v := range x.W {
+		mu += v
+	}
+	mu /= n
+	var variance float64
+	for _, v := range x.W {
+		variance += (v - mu) * (v - mu)
+	}
+	variance /= n
+	std := math.Sqrt(variance + 1e-5)
+	xhat := make([]float64, x.R)
+	out := NewTensor(x.R, 1)
+	for i, v := range x.W {
+		xhat[i] = (v - mu) / std
+		out.W[i] = ln.Gamma.W[i]*xhat[i] + ln.Beta.W[i]
+	}
+	g.addBack(func() {
+		var meanDx, meanDxX float64
+		dxhat := make([]float64, x.R)
+		for i := range x.W {
+			ln.Gamma.G[i] += out.G[i] * xhat[i]
+			ln.Beta.G[i] += out.G[i]
+			dxhat[i] = out.G[i] * ln.Gamma.W[i]
+			meanDx += dxhat[i]
+			meanDxX += dxhat[i] * xhat[i]
+		}
+		meanDx /= n
+		meanDxX /= n
+		for i := range x.W {
+			x.G[i] += (dxhat[i] - meanDx - xhat[i]*meanDxX) / std
+		}
+	})
+	return out
+}
+
+// TransformerLayer is one encoder block: multi-head self-attention with a
+// residual connection and LayerNorm, followed by a position-wise
+// feed-forward network with residual and LayerNorm.
+type TransformerLayer struct {
+	heads    int
+	headDim  int
+	Wq, Wk   []*Dense
+	Wv       []*Dense
+	Wo       *Dense
+	FF1, FF2 *Dense
+	LN1, LN2 *LayerNorm
+}
+
+// NewTransformerLayer builds a block over vectors of size dim with the
+// given head count (dim must be divisible by heads) and FFN width ffDim.
+func NewTransformerLayer(p *Params, name string, dim, heads, ffDim int, rng *rand.Rand) *TransformerLayer {
+	if dim%heads != 0 {
+		panic("nn: transformer dim must be divisible by heads")
+	}
+	hd := dim / heads
+	l := &TransformerLayer{heads: heads, headDim: hd}
+	for h := 0; h < heads; h++ {
+		l.Wq = append(l.Wq, NewDense(p, name+".q"+itoa(h), dim, hd, rng))
+		l.Wk = append(l.Wk, NewDense(p, name+".k"+itoa(h), dim, hd, rng))
+		l.Wv = append(l.Wv, NewDense(p, name+".v"+itoa(h), dim, hd, rng))
+	}
+	l.Wo = NewDense(p, name+".o", dim, dim, rng)
+	l.FF1 = NewDense(p, name+".ff1", dim, ffDim, rng)
+	l.FF2 = NewDense(p, name+".ff2", ffDim, dim, rng)
+	l.LN1 = NewLayerNorm(p, name+".ln1", dim)
+	l.LN2 = NewLayerNorm(p, name+".ln2", dim)
+	return l
+}
+
+func itoa(i int) string { return string(rune('0' + i%10)) }
+
+// Apply runs the block over the sequence of position vectors.
+func (l *TransformerLayer) Apply(g *Graph, xs []*Tensor) []*Tensor {
+	n := len(xs)
+	scale := 1 / math.Sqrt(float64(l.headDim))
+	attOut := make([]*Tensor, n)
+	// Per-head projections.
+	type proj struct{ q, k, v []*Tensor }
+	projs := make([]proj, l.heads)
+	for h := 0; h < l.heads; h++ {
+		pr := proj{make([]*Tensor, n), make([]*Tensor, n), make([]*Tensor, n)}
+		for i := 0; i < n; i++ {
+			pr.q[i] = l.Wq[h].Apply(g, xs[i])
+			pr.k[i] = l.Wk[h].Apply(g, xs[i])
+			pr.v[i] = l.Wv[h].Apply(g, xs[i])
+		}
+		projs[h] = pr
+	}
+	for i := 0; i < n; i++ {
+		var headOuts []*Tensor
+		for h := 0; h < l.heads; h++ {
+			scores := make([]*Tensor, n)
+			for j := 0; j < n; j++ {
+				scores[j] = g.Scale(g.Dot(projs[h].q[i], projs[h].k[j]), scale)
+			}
+			ctx, _ := g.Attend(scores, projs[h].v)
+			headOuts = append(headOuts, ctx)
+		}
+		merged := l.Wo.Apply(g, g.Concat(headOuts...))
+		attOut[i] = l.LN1.Apply(g, g.Add(xs[i], merged))
+	}
+	out := make([]*Tensor, n)
+	for i := 0; i < n; i++ {
+		ff := l.FF2.Apply(g, g.Relu(l.FF1.Apply(g, attOut[i])))
+		out[i] = l.LN2.Apply(g, g.Add(attOut[i], ff))
+	}
+	return out
+}
+
+// TransformerEncoder stacks transformer layers over embedded tokens with
+// learned positional embeddings — the stand-in architecture for the
+// pre-trained language models of the Figure 7 / Table IV ablation.
+type TransformerEncoder struct {
+	Dim    int
+	Pos    *Embedding
+	Layers []*TransformerLayer
+}
+
+// NewTransformerEncoder builds an encoder of nLayers blocks over vectors
+// of size dim, supporting sequences up to maxLen.
+func NewTransformerEncoder(p *Params, name string, dim, heads, ffDim, nLayers, maxLen int, rng *rand.Rand) *TransformerEncoder {
+	enc := &TransformerEncoder{Dim: dim, Pos: NewEmbedding(p, name+".pos", maxLen, dim, rng)}
+	for i := 0; i < nLayers; i++ {
+		enc.Layers = append(enc.Layers, NewTransformerLayer(p, name+".l"+itoa(i), dim, heads, ffDim, rng))
+	}
+	return enc
+}
+
+// Encode adds positional embeddings and applies every layer.
+func (t *TransformerEncoder) Encode(g *Graph, xs []*Tensor) []*Tensor {
+	out := make([]*Tensor, len(xs))
+	for i, x := range xs {
+		pos := i
+		if pos >= t.Pos.Vocab() {
+			pos = t.Pos.Vocab() - 1
+		}
+		out[i] = g.Add(x, t.Pos.Lookup(g, pos))
+	}
+	for _, l := range t.Layers {
+		out = l.Apply(g, out)
+	}
+	return out
+}

@@ -1,0 +1,285 @@
+// Package outlier implements the out-of-distribution analysis tools of
+// Figure 17: anomaly detectors (isolation forest, local outlier factor,
+// and a one-class centroid detector standing in for OCSVM) plus an exact
+// t-SNE embedding for visualizing query vectors before and after
+// perturbation.
+package outlier
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Detector flags outliers within a dataset.
+type Detector interface {
+	// Name identifies the detector.
+	Name() string
+	// Scores returns per-point anomaly scores (higher = more anomalous).
+	Scores(data [][]float64) []float64
+}
+
+// Detectors returns the three detectors used in Figure 17.
+func Detectors(seed int64) []Detector {
+	return []Detector{
+		&IsolationForest{Trees: 60, SampleSize: 64, Seed: seed},
+		&LOF{K: 10},
+		&OneClass{},
+	}
+}
+
+// OutlierFraction thresholds detector scores at the given contamination
+// rate and returns the fraction of flagged points within the mask.
+func OutlierFraction(scores []float64, contamination float64, mask []bool) float64 {
+	if len(scores) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), scores...)
+	sort.Float64s(sorted)
+	k := int(float64(len(sorted)) * (1 - contamination))
+	if k >= len(sorted) {
+		k = len(sorted) - 1
+	}
+	thresh := sorted[k]
+	var flagged, total float64
+	for i, s := range scores {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		total++
+		if s > thresh {
+			flagged++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return flagged / total
+}
+
+// IsolationForest isolates points with random axis-aligned splits; points
+// with short average path lengths are anomalous (Liu et al. 2012).
+type IsolationForest struct {
+	Trees      int
+	SampleSize int
+	Seed       int64
+}
+
+// Name implements Detector.
+func (f *IsolationForest) Name() string { return "iForest" }
+
+type iNode struct {
+	feature     int
+	split       float64
+	size        int
+	left, right *iNode
+}
+
+// Scores implements Detector.
+func (f *IsolationForest) Scores(data [][]float64) []float64 {
+	n := len(data)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	rng := rand.New(rand.NewSource(f.Seed))
+	sample := f.SampleSize
+	if sample > n {
+		sample = n
+	}
+	maxDepth := int(math.Ceil(math.Log2(float64(sample)))) + 2
+	var trees []*iNode
+	for t := 0; t < f.Trees; t++ {
+		idx := rng.Perm(n)[:sample]
+		trees = append(trees, buildITree(data, idx, 0, maxDepth, rng))
+	}
+	c := avgPathLength(float64(sample))
+	for i, p := range data {
+		var depth float64
+		for _, tr := range trees {
+			depth += pathLength(tr, p, 0)
+		}
+		depth /= float64(len(trees))
+		out[i] = math.Pow(2, -depth/c)
+	}
+	return out
+}
+
+func buildITree(data [][]float64, idx []int, depth, maxDepth int, rng *rand.Rand) *iNode {
+	if len(idx) <= 1 || depth >= maxDepth {
+		return &iNode{feature: -1, size: len(idx)}
+	}
+	d := len(data[idx[0]])
+	feature := rng.Intn(d)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, i := range idx {
+		v := data[i][feature]
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi <= lo {
+		return &iNode{feature: -1, size: len(idx)}
+	}
+	split := lo + rng.Float64()*(hi-lo)
+	var left, right []int
+	for _, i := range idx {
+		if data[i][feature] < split {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	return &iNode{
+		feature: feature, split: split, size: len(idx),
+		left:  buildITree(data, left, depth+1, maxDepth, rng),
+		right: buildITree(data, right, depth+1, maxDepth, rng),
+	}
+}
+
+func pathLength(n *iNode, p []float64, depth float64) float64 {
+	if n.feature < 0 {
+		return depth + avgPathLength(float64(n.size))
+	}
+	if p[n.feature] < n.split {
+		return pathLength(n.left, p, depth+1)
+	}
+	return pathLength(n.right, p, depth+1)
+}
+
+func avgPathLength(n float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return 2*(math.Log(n-1)+0.5772156649) - 2*(n-1)/n
+}
+
+// LOF is the local outlier factor of Breunig et al. (2000): the ratio of
+// a point's density to its neighbours' densities.
+type LOF struct {
+	K int
+}
+
+// Name implements Detector.
+func (l *LOF) Name() string { return "LOF" }
+
+// Scores implements Detector.
+func (l *LOF) Scores(data [][]float64) []float64 {
+	n := len(data)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	k := l.K
+	if k >= n {
+		k = n - 1
+	}
+	if k < 1 {
+		return out
+	}
+	// k nearest neighbours (exact).
+	type nb struct {
+		idx  int
+		dist float64
+	}
+	neighbors := make([][]nb, n)
+	kdist := make([]float64, n)
+	for i := 0; i < n; i++ {
+		nbs := make([]nb, 0, n-1)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			nbs = append(nbs, nb{idx: j, dist: euclid(data[i], data[j])})
+		}
+		sort.Slice(nbs, func(a, b int) bool { return nbs[a].dist < nbs[b].dist })
+		neighbors[i] = nbs[:k]
+		kdist[i] = nbs[k-1].dist
+	}
+	lrd := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var reach float64
+		for _, nbv := range neighbors[i] {
+			rd := nbv.dist
+			if kdist[nbv.idx] > rd {
+				rd = kdist[nbv.idx]
+			}
+			reach += rd
+		}
+		if reach == 0 {
+			lrd[i] = math.Inf(1)
+		} else {
+			lrd[i] = float64(k) / reach
+		}
+	}
+	for i := 0; i < n; i++ {
+		var sum float64
+		for _, nbv := range neighbors[i] {
+			if math.IsInf(lrd[i], 1) {
+				sum += 1
+			} else {
+				sum += lrd[nbv.idx] / lrd[i]
+			}
+		}
+		out[i] = sum / float64(k)
+	}
+	return out
+}
+
+func euclid(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// OneClass is a centroid-distance one-class detector (the minimalist
+// stand-in for a one-class SVM with an RBF kernel): anomaly score is the
+// Mahalanobis-like normalized distance from the data centroid.
+type OneClass struct{}
+
+// Name implements Detector.
+func (o *OneClass) Name() string { return "OneClass" }
+
+// Scores implements Detector.
+func (o *OneClass) Scores(data [][]float64) []float64 {
+	n := len(data)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	d := len(data[0])
+	centroid := make([]float64, d)
+	for _, p := range data {
+		for j, v := range p {
+			centroid[j] += v
+		}
+	}
+	for j := range centroid {
+		centroid[j] /= float64(n)
+	}
+	scale := make([]float64, d)
+	for _, p := range data {
+		for j, v := range p {
+			dv := v - centroid[j]
+			scale[j] += dv * dv
+		}
+	}
+	for j := range scale {
+		scale[j] = math.Sqrt(scale[j]/float64(n)) + 1e-9
+	}
+	for i, p := range data {
+		var s float64
+		for j, v := range p {
+			dv := (v - centroid[j]) / scale[j]
+			s += dv * dv
+		}
+		out[i] = math.Sqrt(s)
+	}
+	return out
+}

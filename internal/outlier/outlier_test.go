@@ -1,0 +1,142 @@
+package outlier
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// clusterWithOutliers builds a Gaussian blob plus far-away outliers; the
+// outliers occupy the last `nOut` positions.
+func clusterWithOutliers(n, nOut int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	var data [][]float64
+	for i := 0; i < n; i++ {
+		data = append(data, []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()})
+	}
+	for i := 0; i < nOut; i++ {
+		data = append(data, []float64{
+			12 + rng.NormFloat64(), -11 + rng.NormFloat64(), 14 + rng.NormFloat64(),
+		})
+	}
+	return data
+}
+
+func TestDetectorsRankOutliersHigher(t *testing.T) {
+	data := clusterWithOutliers(120, 8, 1)
+	for _, d := range Detectors(7) {
+		scores := d.Scores(data)
+		if len(scores) != len(data) {
+			t.Fatalf("%s: score length mismatch", d.Name())
+		}
+		var inMean, outMean float64
+		for i, s := range scores {
+			if i < 120 {
+				inMean += s / 120
+			} else {
+				outMean += s / 8
+			}
+		}
+		if outMean <= inMean {
+			t.Errorf("%s: outliers (%v) not scored above inliers (%v)", d.Name(), outMean, inMean)
+		}
+	}
+}
+
+func TestOutlierFraction(t *testing.T) {
+	data := clusterWithOutliers(95, 5, 2)
+	det := &IsolationForest{Trees: 50, SampleSize: 64, Seed: 3}
+	scores := det.Scores(data)
+	maskOut := make([]bool, 100)
+	maskIn := make([]bool, 100)
+	for i := range maskOut {
+		maskOut[i] = i >= 95
+		maskIn[i] = i < 95
+	}
+	fOut := OutlierFraction(scores, 0.05, maskOut)
+	fIn := OutlierFraction(scores, 0.05, maskIn)
+	if fOut <= fIn {
+		t.Errorf("planted outliers flagged at %v, inliers at %v", fOut, fIn)
+	}
+	if f := OutlierFraction(scores, 0.05, nil); f <= 0 || f > 0.2 {
+		t.Errorf("overall flagged fraction %v not near contamination", f)
+	}
+	if OutlierFraction(nil, 0.05, nil) != 0 {
+		t.Error("empty scores should give 0")
+	}
+}
+
+func TestDetectorsHandleSmallInput(t *testing.T) {
+	tiny := [][]float64{{1, 2}, {1.1, 2.1}}
+	for _, d := range Detectors(1) {
+		scores := d.Scores(tiny)
+		if len(scores) != 2 {
+			t.Errorf("%s: wrong length on tiny input", d.Name())
+		}
+		for _, s := range scores {
+			if math.IsNaN(s) {
+				t.Errorf("%s: NaN score", d.Name())
+			}
+		}
+		if got := d.Scores(nil); len(got) != 0 {
+			t.Errorf("%s: non-empty scores for empty input", d.Name())
+		}
+	}
+}
+
+func TestTSNESeparatesClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var data [][]float64
+	// Two well-separated 5-D clusters of 40 points each.
+	for i := 0; i < 40; i++ {
+		data = append(data, []float64{
+			rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(),
+		})
+	}
+	for i := 0; i < 40; i++ {
+		data = append(data, []float64{
+			20 + rng.NormFloat64(), 20 + rng.NormFloat64(), 20 + rng.NormFloat64(),
+			20 + rng.NormFloat64(), 20 + rng.NormFloat64(),
+		})
+	}
+	emb := DefaultTSNE(5).Embed(data)
+	if len(emb) != 80 {
+		t.Fatal("embedding length wrong")
+	}
+	// Mean within-cluster distance must be far below between-cluster.
+	dist := func(a, b [2]float64) float64 {
+		dx, dy := a[0]-b[0], a[1]-b[1]
+		return math.Sqrt(dx*dx + dy*dy)
+	}
+	var within, between float64
+	var nw, nb float64
+	for i := 0; i < 80; i++ {
+		for j := i + 1; j < 80; j++ {
+			d := dist(emb[i], emb[j])
+			if (i < 40) == (j < 40) {
+				within += d
+				nw++
+			} else {
+				between += d
+				nb++
+			}
+		}
+	}
+	within /= nw
+	between /= nb
+	if between < 2*within {
+		t.Errorf("t-SNE failed to separate clusters: within %v between %v", within, between)
+	}
+	for _, p := range emb {
+		if math.IsNaN(p[0]) || math.IsNaN(p[1]) {
+			t.Fatal("NaN in embedding")
+		}
+	}
+}
+
+func TestTSNETinyInput(t *testing.T) {
+	emb := DefaultTSNE(1).Embed([][]float64{{1, 2}})
+	if len(emb) != 1 {
+		t.Error("tiny embedding length wrong")
+	}
+}

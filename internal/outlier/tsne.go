@@ -1,0 +1,171 @@
+package outlier
+
+import (
+	"math"
+	"math/rand"
+)
+
+// TSNE computes an exact 2-D t-SNE embedding (van der Maaten & Hinton
+// 2008). Exact O(n²) pairwise affinities are fine at the few hundred
+// points Figure 17 visualizes.
+type TSNE struct {
+	Perplexity float64
+	Iterations int
+	LearnRate  float64
+	Seed       int64
+}
+
+// DefaultTSNE returns paper-typical settings.
+func DefaultTSNE(seed int64) *TSNE {
+	return &TSNE{Perplexity: 20, Iterations: 300, LearnRate: 10, Seed: seed}
+}
+
+// Embed maps data to n×2 coordinates.
+func (t *TSNE) Embed(data [][]float64) [][2]float64 {
+	n := len(data)
+	out := make([][2]float64, n)
+	if n < 3 {
+		return out
+	}
+	perp := t.Perplexity
+	if perp > float64(n-1)/3 {
+		perp = float64(n-1) / 3
+	}
+	// Pairwise squared distances.
+	d2 := make([][]float64, n)
+	for i := range d2 {
+		d2[i] = make([]float64, n)
+		for j := range d2[i] {
+			if i != j {
+				dd := euclid(data[i], data[j])
+				d2[i][j] = dd * dd
+			}
+		}
+	}
+	// Conditional affinities with per-point bandwidth found by binary
+	// search on the target perplexity.
+	p := make([][]float64, n)
+	logPerp := math.Log(perp)
+	for i := 0; i < n; i++ {
+		p[i] = make([]float64, n)
+		lo, hi := 1e-20, 1e20
+		beta := 1.0
+		for iter := 0; iter < 40; iter++ {
+			var sum, hsum float64
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				pij := math.Exp(-d2[i][j] * beta)
+				p[i][j] = pij
+				sum += pij
+			}
+			if sum < 1e-300 {
+				sum = 1e-300
+			}
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				p[i][j] /= sum
+				if p[i][j] > 1e-12 {
+					hsum -= p[i][j] * math.Log(p[i][j])
+				}
+			}
+			if math.Abs(hsum-logPerp) < 1e-4 {
+				break
+			}
+			if hsum > logPerp {
+				lo = beta
+				if hi >= 1e20 {
+					beta *= 2
+				} else {
+					beta = (beta + hi) / 2
+				}
+			} else {
+				hi = beta
+				beta = (beta + lo) / 2
+			}
+		}
+	}
+	// Symmetrize.
+	pj := make([][]float64, n)
+	for i := range pj {
+		pj[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			pj[i][j] = (p[i][j] + p[j][i]) / (2 * float64(n))
+			if pj[i][j] < 1e-12 {
+				pj[i][j] = 1e-12
+			}
+		}
+	}
+	// Gradient descent with momentum and early exaggeration.
+	rng := rand.New(rand.NewSource(t.Seed))
+	y := make([][2]float64, n)
+	vel := make([][2]float64, n)
+	for i := range y {
+		y[i][0] = rng.NormFloat64() * 1e-2
+		y[i][1] = rng.NormFloat64() * 1e-2
+	}
+	iters := t.Iterations
+	if iters <= 0 {
+		iters = 300
+	}
+	for it := 0; it < iters; it++ {
+		exag := 1.0
+		if it < iters/4 {
+			exag = 4
+		}
+		momentum := 0.5
+		if it > 50 {
+			momentum = 0.8
+		}
+		// Student-t affinities in the embedding.
+		q := make([][]float64, n)
+		var qsum float64
+		for i := 0; i < n; i++ {
+			q[i] = make([]float64, n)
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				dx := y[i][0] - y[j][0]
+				dy := y[i][1] - y[j][1]
+				q[i][j] = 1 / (1 + dx*dx + dy*dy)
+				qsum += q[i][j]
+			}
+		}
+		for i := 0; i < n; i++ {
+			var gx, gy float64
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				qij := q[i][j] / qsum
+				if qij < 1e-12 {
+					qij = 1e-12
+				}
+				mult := (exag*pj[i][j] - qij) * q[i][j]
+				gx += 4 * mult * (y[i][0] - y[j][0])
+				gy += 4 * mult * (y[i][1] - y[j][1])
+			}
+			vel[i][0] = momentum*vel[i][0] - t.LearnRate*gx
+			vel[i][1] = momentum*vel[i][1] - t.LearnRate*gy
+			// Clamp per-step movement to keep the descent stable.
+			for k := 0; k < 2; k++ {
+				if vel[i][k] > 5 {
+					vel[i][k] = 5
+				}
+				if vel[i][k] < -5 {
+					vel[i][k] = -5
+				}
+			}
+			y[i][0] += vel[i][0]
+			y[i][1] += vel[i][1]
+		}
+	}
+	copy(out, y)
+	return out
+}

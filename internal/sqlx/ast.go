@@ -1,0 +1,371 @@
+// Package sqlx models the Select-Project-Aggregate-Join (SPAJ) SQL subset
+// that TRAP perturbs: SELECT / FROM / WHERE / GROUP BY / HAVING / ORDER BY
+// with equality joins, scalar filter predicates, and simple aggregates.
+//
+// The package provides an AST, a lexer and recursive-descent parser, a
+// canonical printer, a canonical tokenization of queries, and the
+// token-level edit distance k(q, q') used by Definition 3.4 of the paper.
+package sqlx
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Datum is a literal value appearing in a predicate. Numeric datums carry
+// their value in Num; string datums carry it in Str.
+type Datum struct {
+	IsNum bool
+	Num   float64
+	Str   string
+}
+
+// NumDatum returns a numeric literal.
+func NumDatum(v float64) Datum { return Datum{IsNum: true, Num: v} }
+
+// StrDatum returns a string literal.
+func StrDatum(s string) Datum { return Datum{Str: s} }
+
+// String renders the datum in SQL literal syntax.
+func (d Datum) String() string {
+	if d.IsNum {
+		return strconv.FormatFloat(d.Num, 'g', -1, 64)
+	}
+	return "'" + strings.ReplaceAll(d.Str, "'", "''") + "'"
+}
+
+// Equal reports whether two datums are identical literals.
+func (d Datum) Equal(o Datum) bool {
+	if d.IsNum != o.IsNum {
+		return false
+	}
+	if d.IsNum {
+		return d.Num == o.Num
+	}
+	return d.Str == o.Str
+}
+
+// ColumnRef names a column of a table. Queries in this subset refer to
+// tables directly by name (no aliases), so Table is always the table name.
+type ColumnRef struct {
+	Table  string
+	Column string
+}
+
+// String renders the reference as "table.column".
+func (c ColumnRef) String() string { return c.Table + "." + c.Column }
+
+// Aggregate function names supported in SELECT payloads and HAVING.
+const (
+	AggCount = "COUNT"
+	AggSum   = "SUM"
+	AggAvg   = "AVG"
+	AggMin   = "MIN"
+	AggMax   = "MAX"
+)
+
+// Aggregators lists the supported aggregate function names.
+var Aggregators = []string{AggCount, AggSum, AggAvg, AggMin, AggMax}
+
+// SelectItem is one payload term: a bare column (Agg == "") or an
+// aggregate over a column.
+type SelectItem struct {
+	Agg string
+	Col ColumnRef
+}
+
+// String renders the item as it appears in the SELECT clause.
+func (s SelectItem) String() string {
+	if s.Agg == "" {
+		return s.Col.String()
+	}
+	return s.Agg + "(" + s.Col.String() + ")"
+}
+
+// TableRef names a table in the FROM clause.
+type TableRef struct {
+	Name string
+}
+
+// JoinPred is an equality join predicate between two columns. The paper
+// forbids perturbing the join graph, so join predicates are kept separate
+// from filter predicates.
+type JoinPred struct {
+	Left  ColumnRef
+	Right ColumnRef
+}
+
+// String renders the join predicate.
+func (j JoinPred) String() string { return j.Left.String() + " = " + j.Right.String() }
+
+// Comparison operators usable in filter predicates.
+const (
+	OpEq = "="
+	OpNe = "!="
+	OpLt = "<"
+	OpLe = "<="
+	OpGt = ">"
+	OpGe = ">="
+)
+
+// Operators lists the supported comparison operators.
+var Operators = []string{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+
+// Predicate is a scalar filter predicate "col op literal".
+type Predicate struct {
+	Col ColumnRef
+	Op  string
+	Val Datum
+}
+
+// String renders the predicate.
+func (p Predicate) String() string {
+	return p.Col.String() + " " + p.Op + " " + p.Val.String()
+}
+
+// Conj is the conjunction joining two adjacent filter predicates.
+type Conj string
+
+// Supported conjunctions.
+const (
+	ConjAnd Conj = "AND"
+	ConjOr  Conj = "OR"
+)
+
+// HavingPred is a HAVING predicate over an aggregate, "agg(col) op literal".
+type HavingPred struct {
+	Agg string
+	Col ColumnRef
+	Op  string
+	Val Datum
+}
+
+// String renders the HAVING predicate.
+func (h HavingPred) String() string {
+	return h.Agg + "(" + h.Col.String() + ") " + h.Op + " " + h.Val.String()
+}
+
+// Query is a SPAJ query. Filters[i] and Filters[i+1] are joined by Conjs[i];
+// join predicates are always AND-ed and precede the filters when printed.
+type Query struct {
+	Select  []SelectItem
+	From    []TableRef
+	Joins   []JoinPred
+	Filters []Predicate
+	Conjs   []Conj
+	GroupBy []ColumnRef
+	Having  *HavingPred
+	OrderBy []ColumnRef
+}
+
+// Clone returns a deep copy of the query.
+func (q *Query) Clone() *Query {
+	c := &Query{
+		Select:  append([]SelectItem(nil), q.Select...),
+		From:    append([]TableRef(nil), q.From...),
+		Joins:   append([]JoinPred(nil), q.Joins...),
+		Filters: append([]Predicate(nil), q.Filters...),
+		Conjs:   append([]Conj(nil), q.Conjs...),
+		GroupBy: append([]ColumnRef(nil), q.GroupBy...),
+		OrderBy: append([]ColumnRef(nil), q.OrderBy...),
+	}
+	if q.Having != nil {
+		h := *q.Having
+		c.Having = &h
+	}
+	return c
+}
+
+// Tables returns the set of table names referenced in FROM.
+func (q *Query) Tables() []string {
+	out := make([]string, len(q.From))
+	for i, t := range q.From {
+		out[i] = t.Name
+	}
+	return out
+}
+
+// HasTable reports whether the query's FROM clause contains name.
+func (q *Query) HasTable(name string) bool {
+	for _, t := range q.From {
+		if t.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Columns returns every column referenced anywhere in the query,
+// de-duplicated, in first-appearance order.
+func (q *Query) Columns() []ColumnRef {
+	seen := map[ColumnRef]bool{}
+	var out []ColumnRef
+	add := func(c ColumnRef) {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	for _, s := range q.Select {
+		add(s.Col)
+	}
+	for _, j := range q.Joins {
+		add(j.Left)
+		add(j.Right)
+	}
+	for _, p := range q.Filters {
+		add(p.Col)
+	}
+	for _, c := range q.GroupBy {
+		add(c)
+	}
+	if q.Having != nil {
+		add(q.Having.Col)
+	}
+	for _, c := range q.OrderBy {
+		add(c)
+	}
+	return out
+}
+
+// FilterColumns returns the columns used in filter predicates.
+func (q *Query) FilterColumns() []ColumnRef {
+	seen := map[ColumnRef]bool{}
+	var out []ColumnRef
+	for _, p := range q.Filters {
+		if !seen[p.Col] {
+			seen[p.Col] = true
+			out = append(out, p.Col)
+		}
+	}
+	return out
+}
+
+// JoinColumns returns the columns appearing in join predicates.
+func (q *Query) JoinColumns() []ColumnRef {
+	seen := map[ColumnRef]bool{}
+	var out []ColumnRef
+	for _, j := range q.Joins {
+		for _, c := range []ColumnRef{j.Left, j.Right} {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// HasOrConj reports whether any adjacent filter pair is joined by OR.
+func (q *Query) HasOrConj() bool {
+	for _, c := range q.Conjs {
+		if c == ConjOr {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks structural invariants: non-empty SELECT and FROM, the
+// conjunction list length, and that every referenced table is in FROM.
+func (q *Query) Validate() error {
+	if len(q.Select) == 0 {
+		return fmt.Errorf("sqlx: query has empty SELECT clause")
+	}
+	if len(q.From) == 0 {
+		return fmt.Errorf("sqlx: query has empty FROM clause")
+	}
+	want := len(q.Filters) - 1
+	if want < 0 {
+		want = 0
+	}
+	if len(q.Conjs) != want {
+		return fmt.Errorf("sqlx: %d filters need %d conjunctions, have %d",
+			len(q.Filters), want, len(q.Conjs))
+	}
+	for _, c := range q.Columns() {
+		if !q.HasTable(c.Table) {
+			return fmt.Errorf("sqlx: column %s references table not in FROM", c)
+		}
+	}
+	seen := map[string]bool{}
+	for _, t := range q.From {
+		if seen[t.Name] {
+			return fmt.Errorf("sqlx: table %s appears twice in FROM", t.Name)
+		}
+		seen[t.Name] = true
+	}
+	if len(q.GroupBy) > 0 {
+		grouped := map[ColumnRef]bool{}
+		for _, c := range q.GroupBy {
+			grouped[c] = true
+		}
+		for _, s := range q.Select {
+			if s.Agg == "" && !grouped[s.Col] {
+				return fmt.Errorf("sqlx: select column %s not in GROUP BY", s.Col)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the query as canonical SQL text.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, s := range q.Select {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(s.String())
+	}
+	b.WriteString(" FROM ")
+	for i, t := range q.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.Name)
+	}
+	if len(q.Joins) > 0 || len(q.Filters) > 0 {
+		b.WriteString(" WHERE ")
+		for i, j := range q.Joins {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			b.WriteString(j.String())
+		}
+		for i, p := range q.Filters {
+			if len(q.Joins) > 0 || i > 0 {
+				conj := ConjAnd
+				if i > 0 {
+					conj = q.Conjs[i-1]
+				}
+				b.WriteString(" " + string(conj) + " ")
+			}
+			b.WriteString(p.String())
+		}
+	}
+	if len(q.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, c := range q.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	if q.Having != nil {
+		b.WriteString(" HAVING " + q.Having.String())
+	}
+	if len(q.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, c := range q.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,61 @@
+package sqlx
+
+import "testing"
+
+// FuzzParse checks that the parser never panics on arbitrary input and
+// that anything it accepts survives a print→parse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT t.a FROM t",
+		"SELECT t.a, SUM(t.b) FROM t WHERE t.a = 1 GROUP BY t.a HAVING SUM(t.b) > 2 ORDER BY t.a",
+		"SELECT a.x FROM a, b WHERE a.id = b.aid AND a.x > 2 OR a.y != 'z'",
+		"SELECT",
+		"select t.a from t where t.a = 'it''s'",
+		"SELECT t.a FROM t WHERE t.a <> 5",
+		"SELECT t.a FROM t WHERE t.a = -1.5e3",
+		"((((",
+		"SELECT t.a FROM t WHERE t.a = 1 AND",
+		"\x00\xff",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return
+		}
+		printed := q.String()
+		q2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected own output %q: %v", input, printed, err)
+		}
+		if q2.String() != printed {
+			t.Fatalf("round trip not a fixpoint: %q vs %q", printed, q2.String())
+		}
+		// The token stream must align with the printer.
+		if len(q.Tokens()) == 0 {
+			t.Fatalf("accepted query with empty token stream: %q", printed)
+		}
+	})
+}
+
+// FuzzEditDistance checks the metric's basic laws on arbitrary accepted
+// query pairs.
+func FuzzEditDistance(f *testing.F) {
+	f.Add("SELECT t.a FROM t", "SELECT t.b FROM t")
+	f.Add("SELECT t.a FROM t WHERE t.a = 1", "SELECT t.a FROM t WHERE t.a = 2")
+	f.Fuzz(func(t *testing.T, s1, s2 string) {
+		a, err1 := Parse(s1)
+		b, err2 := Parse(s2)
+		if err1 != nil || err2 != nil {
+			return
+		}
+		if EditDistance(a, a) != 0 || EditDistance(b, b) != 0 {
+			t.Fatal("identity violated")
+		}
+		if EditDistance(a, b) != EditDistance(b, a) {
+			t.Fatal("symmetry violated")
+		}
+	})
+}

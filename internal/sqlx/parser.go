@@ -1,0 +1,449 @@
+package sqlx
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// lexKind distinguishes raw lexical elements before grammatical analysis.
+type lexKind int
+
+const (
+	lexIdent lexKind = iota
+	lexNumber
+	lexString
+	lexOp
+	lexPunct
+	lexEOF
+)
+
+type lexToken struct {
+	kind lexKind
+	text string
+	pos  int
+}
+
+// lexer splits SQL text into raw tokens. Identifiers may contain dots
+// ("title.kind_id" is one identifier token).
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) next() (lexToken, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return lexToken{kind: lexEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '\'':
+		l.pos++
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return lexToken{}, fmt.Errorf("sqlx: unterminated string at %d", start)
+			}
+			if l.src[l.pos] == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					b.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				break
+			}
+			b.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		return lexToken{kind: lexString, text: b.String(), pos: start}, nil
+	case c == ',' || c == '(' || c == ')':
+		l.pos++
+		return lexToken{kind: lexPunct, text: string(c), pos: start}, nil
+	case c == '=':
+		l.pos++
+		return lexToken{kind: lexOp, text: "=", pos: start}, nil
+	case c == '!' || c == '<' || c == '>':
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '=' || (c == '<' && l.src[l.pos] == '>')) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		if text == "<>" {
+			text = "!="
+		}
+		if text == "!" {
+			return lexToken{}, fmt.Errorf("sqlx: stray '!' at %d", start)
+		}
+		return lexToken{kind: lexOp, text: text, pos: start}, nil
+	case c == '-' || c == '+' || (c >= '0' && c <= '9'):
+		l.pos++
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if (ch >= '0' && ch <= '9') || ch == '.' || ch == 'e' || ch == 'E' ||
+				((ch == '+' || ch == '-') && (l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E')) {
+				l.pos++
+				continue
+			}
+			break
+		}
+		return lexToken{kind: lexNumber, text: l.src[start:l.pos], pos: start}, nil
+	case isIdentStart(c):
+		l.pos++
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		return lexToken{kind: lexIdent, text: l.src[start:l.pos], pos: start}, nil
+	}
+	return lexToken{}, fmt.Errorf("sqlx: unexpected character %q at %d", c, start)
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c == '.' || (c >= '0' && c <= '9')
+}
+
+// parser implements a recursive-descent parser for the SPAJ grammar of
+// Table II (without sub-queries; the workload generators never emit them).
+type parser struct {
+	toks []lexToken
+	pos  int
+}
+
+// Parse parses SQL text into a Query and validates it.
+func Parse(sql string) (*Query, error) {
+	lx := lexer{src: sql}
+	var toks []lexToken
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == lexEOF {
+			break
+		}
+	}
+	p := parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse parses SQL text and panics on error; intended for tests and
+// built-in query literals.
+func MustParse(sql string) *Query {
+	q, err := Parse(sql)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func (p *parser) peek() lexToken { return p.toks[p.pos] }
+
+func (p *parser) advance() lexToken {
+	t := p.toks[p.pos]
+	if t.kind != lexEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == lexIdent && strings.EqualFold(t.text, kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return fmt.Errorf("sqlx: expected %s at position %d, found %q", kw, p.peek().pos, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.peek()
+	if t.kind == lexPunct && t.text == s {
+		p.advance()
+		return nil
+	}
+	return fmt.Errorf("sqlx: expected %q at position %d, found %q", s, t.pos, t.text)
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Select = append(q.Select, item)
+		if p.peek().kind == lexPunct && p.peek().text == "," {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != lexIdent {
+			return nil, fmt.Errorf("sqlx: expected table name at %d", t.pos)
+		}
+		p.advance()
+		q.From = append(q.From, TableRef{Name: strings.ToLower(t.text)})
+		if p.peek().kind == lexPunct && p.peek().text == "," {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if p.keyword("WHERE") {
+		if err := p.parseWhere(q); err != nil {
+			return nil, err
+		}
+	}
+	if p.keyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		cols, err := p.parseColumnList()
+		if err != nil {
+			return nil, err
+		}
+		q.GroupBy = cols
+	}
+	if p.keyword("HAVING") {
+		h, err := p.parseHaving()
+		if err != nil {
+			return nil, err
+		}
+		q.Having = h
+	}
+	if p.keyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		cols, err := p.parseColumnList()
+		if err != nil {
+			return nil, err
+		}
+		q.OrderBy = cols
+	}
+	if p.peek().kind != lexEOF {
+		return nil, fmt.Errorf("sqlx: trailing input at position %d: %q", p.peek().pos, p.peek().text)
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	t := p.peek()
+	if t.kind != lexIdent {
+		return SelectItem{}, fmt.Errorf("sqlx: expected select term at %d", t.pos)
+	}
+	upper := strings.ToUpper(t.text)
+	for _, agg := range Aggregators {
+		if upper == agg {
+			p.advance()
+			if err := p.expectPunct("("); err != nil {
+				return SelectItem{}, err
+			}
+			col, err := p.parseColumnRef()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return SelectItem{}, err
+			}
+			return SelectItem{Agg: agg, Col: col}, nil
+		}
+	}
+	col, err := p.parseColumnRef()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Col: col}, nil
+}
+
+func (p *parser) parseColumnRef() (ColumnRef, error) {
+	t := p.peek()
+	if t.kind != lexIdent {
+		return ColumnRef{}, fmt.Errorf("sqlx: expected column reference at %d", t.pos)
+	}
+	p.advance()
+	parts := strings.SplitN(strings.ToLower(t.text), ".", 2)
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return ColumnRef{}, fmt.Errorf("sqlx: column reference %q must be table.column", t.text)
+	}
+	return ColumnRef{Table: parts[0], Column: parts[1]}, nil
+}
+
+func (p *parser) parseColumnList() ([]ColumnRef, error) {
+	var cols []ColumnRef
+	for {
+		c, err := p.parseColumnRef()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, c)
+		if p.peek().kind == lexPunct && p.peek().text == "," {
+			p.advance()
+			continue
+		}
+		return cols, nil
+	}
+}
+
+// parseWhere parses the WHERE clause, separating column-column equality
+// predicates (joins) from column-literal predicates (filters). Any OR
+// adjacent to a join predicate is rejected because the join graph must
+// stay AND-connected.
+func (p *parser) parseWhere(q *Query) error {
+	type clause struct {
+		isJoin bool
+		join   JoinPred
+		filter Predicate
+	}
+	var clauses []clause
+	var conjs []Conj
+	for {
+		left, err := p.parseColumnRef()
+		if err != nil {
+			return err
+		}
+		opTok := p.peek()
+		if opTok.kind != lexOp {
+			return fmt.Errorf("sqlx: expected comparison operator at %d", opTok.pos)
+		}
+		p.advance()
+		rt := p.peek()
+		var cl clause
+		switch rt.kind {
+		case lexIdent:
+			right, err := p.parseColumnRef()
+			if err != nil {
+				return err
+			}
+			if opTok.text != OpEq {
+				return fmt.Errorf("sqlx: column-column predicate must use '=' at %d", opTok.pos)
+			}
+			cl = clause{isJoin: true, join: JoinPred{Left: left, Right: right}}
+		case lexNumber:
+			p.advance()
+			v, err := strconv.ParseFloat(rt.text, 64)
+			if err != nil {
+				return fmt.Errorf("sqlx: bad number %q at %d", rt.text, rt.pos)
+			}
+			cl = clause{filter: Predicate{Col: left, Op: opTok.text, Val: NumDatum(v)}}
+		case lexString:
+			p.advance()
+			cl = clause{filter: Predicate{Col: left, Op: opTok.text, Val: StrDatum(rt.text)}}
+		default:
+			return fmt.Errorf("sqlx: expected literal or column at %d", rt.pos)
+		}
+		clauses = append(clauses, cl)
+		if p.keyword("AND") {
+			conjs = append(conjs, ConjAnd)
+			continue
+		}
+		if p.keyword("OR") {
+			conjs = append(conjs, ConjOr)
+			continue
+		}
+		break
+	}
+	for i, cl := range clauses {
+		if cl.isJoin {
+			if (i > 0 && conjs[i-1] == ConjOr) || (i < len(conjs) && conjs[i] == ConjOr) {
+				return fmt.Errorf("sqlx: join predicates must be AND-connected")
+			}
+			q.Joins = append(q.Joins, cl.join)
+		} else {
+			if len(q.Filters) > 0 {
+				// The conjunction preceding this filter applies; if the
+				// previous clause was a join, the connective is AND.
+				c := ConjAnd
+				if i > 0 && !clauses[i-1].isJoin {
+					c = conjs[i-1]
+				}
+				q.Conjs = append(q.Conjs, c)
+			}
+			q.Filters = append(q.Filters, cl.filter)
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseHaving() (*HavingPred, error) {
+	t := p.peek()
+	if t.kind != lexIdent {
+		return nil, fmt.Errorf("sqlx: expected aggregate in HAVING at %d", t.pos)
+	}
+	upper := strings.ToUpper(t.text)
+	found := false
+	for _, agg := range Aggregators {
+		if upper == agg {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("sqlx: HAVING requires an aggregate, found %q", t.text)
+	}
+	p.advance()
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	col, err := p.parseColumnRef()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	opTok := p.peek()
+	if opTok.kind != lexOp {
+		return nil, fmt.Errorf("sqlx: expected operator in HAVING at %d", opTok.pos)
+	}
+	p.advance()
+	vt := p.peek()
+	var val Datum
+	switch vt.kind {
+	case lexNumber:
+		p.advance()
+		v, err := strconv.ParseFloat(vt.text, 64)
+		if err != nil {
+			return nil, err
+		}
+		val = NumDatum(v)
+	case lexString:
+		p.advance()
+		val = StrDatum(vt.text)
+	default:
+		return nil, fmt.Errorf("sqlx: expected literal in HAVING at %d", vt.pos)
+	}
+	return &HavingPred{Agg: upper, Col: col, Op: opTok.text, Val: val}, nil
+}

@@ -1,0 +1,271 @@
+package sqlx
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const jobLike = "SELECT title.title, name.name FROM title, cast_info, name " +
+	"WHERE title.id = cast_info.movie_id AND cast_info.person_id = name.id AND title.kind_id = 1 " +
+	"ORDER BY title.production_year, title.series_years"
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"SELECT t.a FROM t",
+		"SELECT t.a, t.b FROM t WHERE t.a = 5",
+		"SELECT t.a FROM t WHERE t.a >= 1 AND t.b < 3.5",
+		"SELECT t.a FROM t WHERE t.a = 'x' OR t.b != 2",
+		"SELECT SUM(t.a), t.b FROM t GROUP BY t.b",
+		"SELECT COUNT(t.a), t.b FROM t GROUP BY t.b HAVING COUNT(t.a) > 10",
+		"SELECT t.a FROM t ORDER BY t.a, t.b",
+		jobLike,
+		"SELECT a.x, AVG(b.y) FROM a, b WHERE a.id = b.aid AND a.x > 2 GROUP BY a.x ORDER BY a.x",
+	}
+	for _, sql := range cases {
+		q, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", sql, err)
+		}
+		printed := q.String()
+		q2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", printed, err)
+		}
+		if q2.String() != printed {
+			t.Errorf("round trip mismatch:\n first: %s\nsecond: %s", printed, q2.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT FROM t",
+		"SELECT t.a",
+		"SELECT t.a FROM t WHERE t.a",
+		"SELECT t.a FROM t WHERE t.a ~ 5",
+		"SELECT a FROM t",                                 // bare column without table
+		"SELECT t.a FROM t WHERE t.a < u.b",               // column-column non-equality
+		"SELECT t.a FROM t, t",                            // duplicate table
+		"SELECT t.a FROM t WHERE u.b = 1",                 // table not in FROM
+		"SELECT t.a FROM t WHERE t.a = 'unclosed",         // unterminated string
+		"SELECT t.a FROM t HAVING t.a > 1",                // HAVING without aggregate
+		"SELECT t.a FROM t WHERE t.a = 1 extra",           // trailing input
+		"SELECT t.a FROM t, u WHERE t.a = u.b OR t.c = 1", // OR next to join
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", sql)
+		}
+	}
+}
+
+func TestJoinFilterSeparation(t *testing.T) {
+	q := MustParse(jobLike)
+	if len(q.Joins) != 2 {
+		t.Fatalf("joins = %d, want 2", len(q.Joins))
+	}
+	if len(q.Filters) != 1 {
+		t.Fatalf("filters = %d, want 1", len(q.Filters))
+	}
+	if q.Filters[0].Col.String() != "title.kind_id" {
+		t.Errorf("filter column = %s", q.Filters[0].Col)
+	}
+	if len(q.OrderBy) != 2 {
+		t.Errorf("order by = %d, want 2", len(q.OrderBy))
+	}
+}
+
+func TestTokensMatchString(t *testing.T) {
+	q := MustParse(jobLike)
+	toks := q.Tokens()
+	var parts []string
+	for _, tk := range toks {
+		parts = append(parts, tk.Text)
+	}
+	joined := strings.Join(parts, " ")
+	// Re-parsing the space-joined token text (commas become standalone
+	// tokens) must yield the same canonical query.
+	q2, err := Parse(joined)
+	if err != nil {
+		t.Fatalf("parse token join: %v (%s)", err, joined)
+	}
+	if q2.String() != q.String() {
+		t.Errorf("token stream diverges from printer:\n%s\n%s", q.String(), q2.String())
+	}
+}
+
+func TestEditDistanceValueChange(t *testing.T) {
+	q := MustParse(jobLike)
+	q2 := q.Clone()
+	q2.Filters[0].Val = NumDatum(3)
+	if d := EditDistance(q, q2); d != 1 {
+		t.Errorf("value change distance = %d, want 1", d)
+	}
+}
+
+func TestEditDistanceOrderBySwap(t *testing.T) {
+	q := MustParse(jobLike)
+	q2 := q.Clone()
+	q2.OrderBy[0], q2.OrderBy[1] = q2.OrderBy[1], q2.OrderBy[0]
+	if d := EditDistance(q, q2); d != 2 {
+		t.Errorf("order-by swap distance = %d, want 2", d)
+	}
+}
+
+func TestEditDistanceAddedPredicate(t *testing.T) {
+	q := MustParse("SELECT t.a FROM t WHERE t.a = 1")
+	q2 := q.Clone()
+	q2.Filters = append(q2.Filters, Predicate{Col: ColumnRef{"t", "b"}, Op: OpGt, Val: NumDatum(7)})
+	q2.Conjs = append(q2.Conjs, ConjAnd)
+	// AND t.b > 7 adds 4 tokens.
+	if d := EditDistance(q, q2); d != 4 {
+		t.Errorf("added predicate distance = %d, want 4", d)
+	}
+}
+
+func randomQuery(r *rand.Rand) *Query {
+	tables := []string{"t1", "t2", "t3"}
+	nt := 1 + r.Intn(3)
+	q := &Query{}
+	for i := 0; i < nt; i++ {
+		q.From = append(q.From, TableRef{Name: tables[i]})
+	}
+	for i := 1; i < nt; i++ {
+		q.Joins = append(q.Joins, JoinPred{
+			Left:  ColumnRef{tables[i-1], "id"},
+			Right: ColumnRef{tables[i], "fk"},
+		})
+	}
+	colOf := func() ColumnRef {
+		t := q.From[r.Intn(nt)].Name
+		return ColumnRef{t, []string{"a", "b", "c"}[r.Intn(3)]}
+	}
+	np := 1 + r.Intn(3)
+	for i := 0; i < np; i++ {
+		q.Select = append(q.Select, SelectItem{Col: colOf()})
+	}
+	nf := r.Intn(3)
+	for i := 0; i < nf; i++ {
+		q.Filters = append(q.Filters, Predicate{
+			Col: colOf(),
+			Op:  Operators[r.Intn(len(Operators))],
+			Val: NumDatum(float64(r.Intn(100))),
+		})
+		if i > 0 {
+			c := ConjAnd
+			if r.Intn(4) == 0 {
+				c = ConjOr
+			}
+			q.Conjs = append(q.Conjs, c)
+		}
+	}
+	if r.Intn(2) == 0 {
+		q.OrderBy = append(q.OrderBy, colOf())
+	}
+	return q
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		q := randomQuery(rand.New(rand.NewSource(seed)))
+		if err := q.Validate(); err != nil {
+			return false
+		}
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Logf("parse failed for %s: %v", q.String(), err)
+			return false
+		}
+		return q2.String() == q.String()
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: r}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEditDistanceMetric(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	f := func(s1, s2 int64) bool {
+		a := randomQuery(rand.New(rand.NewSource(s1)))
+		b := randomQuery(rand.New(rand.NewSource(s2)))
+		dab := EditDistance(a, b)
+		dba := EditDistance(b, a)
+		if dab != dba {
+			return false // symmetry
+		}
+		if EditDistance(a, a) != 0 {
+			return false // identity
+		}
+		if s1 != s2 && a.String() != b.String() && dab == 0 {
+			return false // distinguishes distinct queries
+		}
+		return dab >= 0
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: r}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEditDistanceTriangle(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	f := func(s1, s2, s3 int64) bool {
+		a := randomQuery(rand.New(rand.NewSource(s1)))
+		b := randomQuery(rand.New(rand.NewSource(s2)))
+		c := randomQuery(rand.New(rand.NewSource(s3)))
+		return EditDistance(a, c) <= EditDistance(a, b)+EditDistance(b, c)
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: r}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColumnsDeduplicated(t *testing.T) {
+	q := MustParse("SELECT t.a, t.a FROM t WHERE t.a > 1 ORDER BY t.a")
+	if n := len(q.Columns()); n != 1 {
+		t.Errorf("Columns() = %d entries, want 1", n)
+	}
+}
+
+func TestHasOrConj(t *testing.T) {
+	and := MustParse("SELECT t.a FROM t WHERE t.a = 1 AND t.b = 2")
+	or := MustParse("SELECT t.a FROM t WHERE t.a = 1 OR t.b = 2")
+	if and.HasOrConj() {
+		t.Error("AND query reports OR conjunction")
+	}
+	if !or.HasOrConj() {
+		t.Error("OR query does not report OR conjunction")
+	}
+}
+
+func TestDatumString(t *testing.T) {
+	if s := NumDatum(3.5).String(); s != "3.5" {
+		t.Errorf("NumDatum(3.5) = %q", s)
+	}
+	if s := StrDatum("o'neil").String(); s != "'o''neil'" {
+		t.Errorf("StrDatum escape = %q", s)
+	}
+	q := MustParse("SELECT t.a FROM t WHERE t.a = 'o''neil'")
+	if q.Filters[0].Val.Str != "o'neil" {
+		t.Errorf("escaped string parse = %q", q.Filters[0].Val.Str)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	q := MustParse(jobLike)
+	c := q.Clone()
+	c.Filters[0].Val = NumDatum(99)
+	c.OrderBy[0] = ColumnRef{"name", "name"}
+	if q.Filters[0].Val.Num == 99 {
+		t.Error("clone shares filter storage")
+	}
+	if q.OrderBy[0].Table == "name" {
+		t.Error("clone shares order-by storage")
+	}
+}

@@ -1,0 +1,172 @@
+package sqlx
+
+// TokenType classifies a SQL token into the categories used by the
+// perturbation constraints of Table I in the paper: reserved keywords and
+// punctuation are never perturbable; table, column, value, operator,
+// aggregator and conjunction tokens are perturbable depending on the
+// constraint in force.
+type TokenType int
+
+// Token categories.
+const (
+	TokReserved TokenType = iota
+	TokTable
+	TokColumn
+	TokOperator
+	TokValue
+	TokAggregator
+	TokConjunction
+)
+
+// String names the token type.
+func (t TokenType) String() string {
+	switch t {
+	case TokReserved:
+		return "reserved"
+	case TokTable:
+		return "table"
+	case TokColumn:
+		return "column"
+	case TokOperator:
+		return "operator"
+	case TokValue:
+		return "value"
+	case TokAggregator:
+		return "aggregator"
+	case TokConjunction:
+		return "conjunction"
+	}
+	return "unknown"
+}
+
+// Token is one element of a query's canonical token sequence.
+type Token struct {
+	Type TokenType
+	Text string
+}
+
+// Tokens produces the canonical token sequence of the query. The sequence
+// is exactly what the printer emits, one token per SQL lexical element,
+// with column references ("t.c") and literals as single tokens.
+func (q *Query) Tokens() []Token {
+	var out []Token
+	res := func(s string) { out = append(out, Token{TokReserved, s}) }
+	col := func(c ColumnRef) { out = append(out, Token{TokColumn, c.String()}) }
+
+	res("SELECT")
+	for i, s := range q.Select {
+		if i > 0 {
+			res(",")
+		}
+		if s.Agg != "" {
+			out = append(out, Token{TokAggregator, s.Agg})
+			res("(")
+			col(s.Col)
+			res(")")
+		} else {
+			col(s.Col)
+		}
+	}
+	res("FROM")
+	for i, t := range q.From {
+		if i > 0 {
+			res(",")
+		}
+		out = append(out, Token{TokTable, t.Name})
+	}
+	if len(q.Joins) > 0 || len(q.Filters) > 0 {
+		res("WHERE")
+		for i, j := range q.Joins {
+			if i > 0 {
+				out = append(out, Token{TokConjunction, "AND"})
+			}
+			col(j.Left)
+			out = append(out, Token{TokOperator, "="})
+			col(j.Right)
+		}
+		for i, p := range q.Filters {
+			if len(q.Joins) > 0 || i > 0 {
+				conj := ConjAnd
+				if i > 0 {
+					conj = q.Conjs[i-1]
+				}
+				out = append(out, Token{TokConjunction, string(conj)})
+			}
+			col(p.Col)
+			out = append(out, Token{TokOperator, p.Op})
+			out = append(out, Token{TokValue, p.Val.String()})
+		}
+	}
+	if len(q.GroupBy) > 0 {
+		res("GROUP")
+		res("BY")
+		for i, c := range q.GroupBy {
+			if i > 0 {
+				res(",")
+			}
+			col(c)
+		}
+	}
+	if q.Having != nil {
+		res("HAVING")
+		out = append(out, Token{TokAggregator, q.Having.Agg})
+		res("(")
+		col(q.Having.Col)
+		res(")")
+		out = append(out, Token{TokOperator, q.Having.Op})
+		out = append(out, Token{TokValue, q.Having.Val.String()})
+	}
+	if len(q.OrderBy) > 0 {
+		res("ORDER")
+		res("BY")
+		for i, c := range q.OrderBy {
+			if i > 0 {
+				res(",")
+			}
+			col(c)
+		}
+	}
+	return out
+}
+
+// EditDistance is the Levenshtein distance between the canonical token
+// sequences of two queries, the distance metric k(q, q') of Definition 3.4.
+// Two tokens match when both type and text are equal.
+func EditDistance(a, b *Query) int {
+	return TokenEditDistance(a.Tokens(), b.Tokens())
+}
+
+// TokenEditDistance computes the Levenshtein distance over token sequences.
+func TokenEditDistance(a, b []Token) int {
+	n, m := len(a), len(b)
+	if n == 0 {
+		return m
+	}
+	if m == 0 {
+		return n
+	}
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = i
+		for j := 1; j <= m; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			d := prev[j-1] + cost
+			if v := prev[j] + 1; v < d {
+				d = v
+			}
+			if v := cur[j-1] + 1; v < d {
+				d = v
+			}
+			cur[j] = d
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}

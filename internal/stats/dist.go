@@ -1,0 +1,184 @@
+// Package stats provides the statistical substrate of the simulated DBMS:
+// closed-form column value distributions (uniform and Zipf-skewed), the
+// equi-depth histograms the "optimizer" sees, and small numeric helpers.
+//
+// The split between Dist (ground truth) and Histogram (what the optimizer
+// estimated at ANALYZE time) is what lets the engine expose both a true
+// cost (the paper's actual-runtime stand-in) and a what-if estimated cost
+// with realistic, deterministic estimation error.
+package stats
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// Dist is the ground-truth value distribution of a column. The column holds
+// NDV distinct values evenly spaced on [Min, Max]; the value at position i
+// (0-based, ascending) has frequency proportional to 1/(i+1)^Skew. Skew 0
+// is uniform; larger Skew concentrates rows on small values.
+type Dist struct {
+	NDV  int64
+	Min  float64
+	Max  float64
+	Skew float64
+}
+
+// harmonic approximates the generalized harmonic number H(n, s) with the
+// integral form; exact shape is irrelevant, monotonicity and smoothness are.
+func harmonic(n float64, s float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if math.Abs(s-1) < 1e-9 {
+		return math.Log(n) + 0.5772156649
+	}
+	return (math.Pow(n, 1-s)-1)/(1-s) + 1
+}
+
+// step returns the spacing between adjacent distinct values.
+func (d Dist) step() float64 {
+	if d.NDV <= 1 {
+		return 0
+	}
+	return (d.Max - d.Min) / float64(d.NDV-1)
+}
+
+// ValueAt returns the i-th distinct value (clamped to [0, NDV-1]).
+func (d Dist) ValueAt(i int64) float64 {
+	if i < 0 {
+		i = 0
+	}
+	if i >= d.NDV {
+		i = d.NDV - 1
+	}
+	return d.Min + float64(i)*d.step()
+}
+
+// IndexOf returns the index of the distinct value nearest to v, or -1 if v
+// lies outside the domain by more than half a step.
+func (d Dist) IndexOf(v float64) int64 {
+	if d.NDV <= 1 {
+		if math.Abs(v-d.Min) < 1e-9 {
+			return 0
+		}
+		return -1
+	}
+	idx := math.Round((v - d.Min) / d.step())
+	if idx < 0 || idx >= float64(d.NDV) {
+		return -1
+	}
+	if math.Abs(d.ValueAt(int64(idx))-v) > d.step()*1e-6 {
+		return -1
+	}
+	return int64(idx)
+}
+
+// CDF returns the fraction of rows whose value is <= v.
+func (d Dist) CDF(v float64) float64 {
+	if v < d.Min {
+		return 0
+	}
+	if v >= d.Max {
+		return 1
+	}
+	if d.NDV <= 1 {
+		return 1
+	}
+	k := math.Floor((v-d.Min)/d.step()) + 1 // number of distinct values <= v
+	if k < 1 {
+		return 0
+	}
+	if k > float64(d.NDV) {
+		k = float64(d.NDV)
+	}
+	if d.Skew == 0 {
+		return k / float64(d.NDV)
+	}
+	return harmonic(k, d.Skew) / harmonic(float64(d.NDV), d.Skew)
+}
+
+// EqSel returns the fraction of rows whose value equals v; zero when v is
+// not one of the column's distinct values.
+func (d Dist) EqSel(v float64) float64 {
+	i := d.IndexOf(v)
+	if i < 0 {
+		return 0
+	}
+	if d.Skew == 0 {
+		return 1 / float64(d.NDV)
+	}
+	return math.Pow(float64(i+1), -d.Skew) / harmonic(float64(d.NDV), d.Skew)
+}
+
+// RangeSel returns the fraction of rows selected by "col op v" under the
+// true distribution. op is one of =, !=, <, <=, >, >=.
+func (d Dist) RangeSel(op string, v float64) float64 {
+	switch op {
+	case "=":
+		return d.EqSel(v)
+	case "!=":
+		return clampSel(1 - d.EqSel(v))
+	case "<":
+		return clampSel(d.CDF(v) - d.EqSel(v))
+	case "<=":
+		return clampSel(d.CDF(v))
+	case ">":
+		return clampSel(1 - d.CDF(v))
+	case ">=":
+		return clampSel(1 - d.CDF(v) + d.EqSel(v))
+	}
+	return 1
+}
+
+// Quantile returns the smallest distinct value v with CDF(v) >= q, by
+// binary search over value indices.
+func (d Dist) Quantile(q float64) float64 {
+	if q <= 0 {
+		return d.Min
+	}
+	if q >= 1 {
+		return d.Max
+	}
+	lo, hi := int64(0), d.NDV-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d.CDF(d.ValueAt(mid)) >= q {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return d.ValueAt(lo)
+}
+
+func clampSel(s float64) float64 {
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// Hash64 is a deterministic FNV-1a hash of a string, used throughout the
+// simulator to derive per-object noise seeds without global state.
+func Hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// HashFloat maps a string deterministically to [0, 1).
+func HashFloat(s string) float64 {
+	return float64(Hash64(s)%1_000_003) / 1_000_003
+}
+
+// HashFactor maps a string deterministically to a multiplicative factor in
+// [1/(1+amp), 1+amp], symmetric in log space; used to model systematic
+// per-object estimation bias (e.g. NDV misestimates).
+func HashFactor(s string, amp float64) float64 {
+	u := HashFloat(s)*2 - 1 // [-1, 1)
+	return math.Exp(u * math.Log(1+amp))
+}

@@ -1,0 +1,175 @@
+package stats
+
+import "math"
+
+// Histogram is an equi-depth histogram: what the simulated optimizer knows
+// about a column after ANALYZE. It is built from a (possibly stale or
+// mis-sampled) view of the true distribution, so estimates derived from it
+// deviate from the truth in a deterministic way.
+type Histogram struct {
+	// Bounds has NumBuckets+1 ascending edges; each bucket holds an equal
+	// fraction of rows of the sampled distribution.
+	Bounds []float64
+	// NDVEst is the optimizer's distinct-count estimate for the column.
+	NDVEst float64
+}
+
+// DefaultBuckets is the histogram resolution used by the engine.
+const DefaultBuckets = 32
+
+// EstimationError parameterizes how wrong the optimizer's statistics are.
+// The defaults model a realistically mis-sampled ANALYZE; zeroing both
+// fields yields a (nearly) perfect optimizer, which collapses the gap the
+// learned cost models exploit.
+type EstimationError struct {
+	// SkewDampening is the factor applied to the true skew when the
+	// histogram is built (ANALYZE samples miss the tail). 1 = exact.
+	SkewDampening float64
+	// NDVAmp is the amplitude of the per-column multiplicative NDV bias.
+	// 0 = exact distinct counts.
+	NDVAmp float64
+}
+
+// DefaultEstimationError returns the standard error profile.
+func DefaultEstimationError() EstimationError {
+	return EstimationError{SkewDampening: 0.6, NDVAmp: 0.5}
+}
+
+// BuildHistogram builds the optimizer's histogram for a column with the
+// default estimation-error profile.
+func BuildHistogram(name string, d Dist, buckets int) Histogram {
+	return BuildHistogramErr(name, d, buckets, DefaultEstimationError())
+}
+
+// BuildHistogramErr builds the optimizer's histogram for a column. The
+// sampled distribution underestimates skew (ANALYZE samples miss the
+// tail), and the NDV estimate carries a per-column multiplicative bias
+// keyed on name — both standard, reproducible sources of cardinality
+// estimation error, scaled by the error profile.
+func BuildHistogramErr(name string, d Dist, buckets int, e EstimationError) Histogram {
+	if buckets <= 0 {
+		buckets = DefaultBuckets
+	}
+	sampled := d
+	sampled.Skew = d.Skew * e.SkewDampening
+	bounds := make([]float64, buckets+1)
+	for i := 0; i <= buckets; i++ {
+		bounds[i] = sampled.Quantile(float64(i) / float64(buckets))
+	}
+	bounds[0] = d.Min
+	bounds[buckets] = d.Max
+	ndvEst := float64(d.NDV) * HashFactor("ndv:"+name, e.NDVAmp)
+	if ndvEst < 1 {
+		ndvEst = 1
+	}
+	return Histogram{Bounds: bounds, NDVEst: ndvEst}
+}
+
+// CDFEst estimates the fraction of rows with value <= v using uniform
+// interpolation within buckets.
+func (h Histogram) CDFEst(v float64) float64 {
+	n := len(h.Bounds) - 1
+	if n < 1 {
+		return 1
+	}
+	if v < h.Bounds[0] {
+		return 0
+	}
+	if v >= h.Bounds[n] {
+		return 1
+	}
+	// Binary search for the bucket containing v.
+	lo, hi := 0, n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v < h.Bounds[mid+1] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	width := h.Bounds[lo+1] - h.Bounds[lo]
+	frac := 1.0
+	if width > 0 {
+		frac = (v - h.Bounds[lo]) / width
+	}
+	return (float64(lo) + frac) / float64(n)
+}
+
+// EqSelEst estimates equality selectivity as 1/NDVEst when v lies in the
+// domain, the standard uniform-NDV assumption.
+func (h Histogram) EqSelEst(v float64) float64 {
+	n := len(h.Bounds) - 1
+	if n < 1 {
+		return 1
+	}
+	if v < h.Bounds[0] || v > h.Bounds[n] {
+		return 0
+	}
+	return clampSel(1 / h.NDVEst)
+}
+
+// RangeSelEst estimates selectivity of "col op v".
+func (h Histogram) RangeSelEst(op string, v float64) float64 {
+	eq := h.EqSelEst(v)
+	switch op {
+	case "=":
+		return eq
+	case "!=":
+		return clampSel(1 - eq)
+	case "<":
+		return clampSel(h.CDFEst(v) - eq/2)
+	case "<=":
+		return clampSel(h.CDFEst(v) + eq/2)
+	case ">":
+		return clampSel(1 - h.CDFEst(v) - eq/2)
+	case ">=":
+		return clampSel(1 - h.CDFEst(v) + eq/2)
+	}
+	return 1
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the population standard deviation of xs.
+func Std(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Pearson returns the Pearson correlation coefficient of two equal-length
+// series (0 when either side is constant).
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

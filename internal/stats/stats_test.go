@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistUniformBasics(t *testing.T) {
+	d := Dist{NDV: 100, Min: 0, Max: 99, Skew: 0}
+	if got := d.EqSel(50); math.Abs(got-0.01) > 1e-9 {
+		t.Errorf("EqSel(50) = %v, want 0.01", got)
+	}
+	if got := d.CDF(49); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("CDF(49) = %v, want 0.5", got)
+	}
+	if d.EqSel(50.5) != 0 {
+		t.Error("EqSel of non-domain value should be 0")
+	}
+}
+
+func TestDistSkewConcentratesMass(t *testing.T) {
+	u := Dist{NDV: 1000, Min: 0, Max: 999, Skew: 0}
+	z := Dist{NDV: 1000, Min: 0, Max: 999, Skew: 1.2}
+	if z.EqSel(0) <= u.EqSel(0) {
+		t.Errorf("skewed head %v not heavier than uniform %v", z.EqSel(0), u.EqSel(0))
+	}
+	if z.EqSel(999) >= u.EqSel(999) {
+		t.Errorf("skewed tail %v not lighter than uniform %v", z.EqSel(999), u.EqSel(999))
+	}
+	if z.CDF(99) <= u.CDF(99) {
+		t.Error("skewed CDF should rise faster at the head")
+	}
+}
+
+func TestDistRangeSelComplements(t *testing.T) {
+	d := Dist{NDV: 500, Min: 10, Max: 1000, Skew: 0.8}
+	v := d.ValueAt(123)
+	le := d.RangeSel("<=", v)
+	gt := d.RangeSel(">", v)
+	if math.Abs(le+gt-1) > 1e-9 {
+		t.Errorf("<= plus > should be 1, got %v", le+gt)
+	}
+	lt := d.RangeSel("<", v)
+	ge := d.RangeSel(">=", v)
+	if math.Abs(lt+ge-1) > 1e-9 {
+		t.Errorf("< plus >= should be 1, got %v", lt+ge)
+	}
+	if math.Abs(le-lt-d.EqSel(v)) > 1e-9 {
+		t.Errorf("<= minus < should be EqSel")
+	}
+}
+
+func TestQuickCDFMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := Dist{
+			NDV:  1 + int64(r.Intn(10000)),
+			Min:  float64(r.Intn(100)),
+			Skew: r.Float64() * 2,
+		}
+		d.Max = d.Min + 1 + r.Float64()*1e6
+		prev := -1.0
+		for i := 0; i <= 20; i++ {
+			v := d.Min + (d.Max-d.Min)*float64(i)/20
+			c := d.CDF(v)
+			if c < prev-1e-12 || c < 0 || c > 1 {
+				return false
+			}
+			prev = c
+		}
+		return d.CDF(d.Max) == 1 && d.CDF(d.Min-1) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickQuantileInvertsCDF(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := Dist{NDV: 2 + int64(r.Intn(5000)), Min: 0, Max: 1e5, Skew: r.Float64() * 1.5}
+		q := r.Float64()
+		v := d.Quantile(q)
+		// CDF at the quantile must reach q, and the previous value must not.
+		if d.CDF(v) < q-1e-9 {
+			return false
+		}
+		i := d.IndexOf(v)
+		if i > 0 && d.CDF(d.ValueAt(i-1)) >= q {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramApproximatesCDF(t *testing.T) {
+	d := Dist{NDV: 10000, Min: 0, Max: 1e6, Skew: 0}
+	h := BuildHistogram("t.c", d, 64)
+	for i := 1; i < 10; i++ {
+		v := float64(i) * 1e5
+		got := h.CDFEst(v)
+		want := d.CDF(v)
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("CDFEst(%v) = %v, true %v", v, got, want)
+		}
+	}
+}
+
+func TestHistogramSkewError(t *testing.T) {
+	// On a skewed column the histogram (built with dampened skew) must
+	// systematically under-estimate the CDF near the head: that is the
+	// estimation error the learned utility model exploits.
+	d := Dist{NDV: 10000, Min: 0, Max: 1e6, Skew: 1.5}
+	h := BuildHistogram("t.skewed", d, 32)
+	v := d.ValueAt(200)
+	if h.CDFEst(v) >= d.CDF(v) {
+		t.Errorf("expected under-estimate at head: est %v true %v", h.CDFEst(v), d.CDF(v))
+	}
+}
+
+func TestHistogramSelectivityBounds(t *testing.T) {
+	d := Dist{NDV: 1000, Min: -50, Max: 50, Skew: 0.5}
+	h := BuildHistogram("x", d, 16)
+	ops := []string{"=", "!=", "<", "<=", ">", ">="}
+	for _, op := range ops {
+		for _, v := range []float64{-100, -50, 0, 25, 50, 100} {
+			s := h.RangeSelEst(op, v)
+			if s < 0 || s > 1 {
+				t.Errorf("RangeSelEst(%s, %v) = %v out of [0,1]", op, v, s)
+			}
+		}
+	}
+}
+
+func TestHashDeterminism(t *testing.T) {
+	if Hash64("abc") != Hash64("abc") {
+		t.Error("Hash64 not deterministic")
+	}
+	if Hash64("abc") == Hash64("abd") {
+		t.Error("Hash64 collision on trivial input")
+	}
+	f := HashFactor("col", 0.5)
+	if f < 1/1.5-1e-9 || f > 1.5+1e-9 {
+		t.Errorf("HashFactor out of range: %v", f)
+	}
+}
+
+func TestMeanStdPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Mean(xs) != 2.5 {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if math.Abs(Std(xs)-math.Sqrt(1.25)) > 1e-12 {
+		t.Errorf("Std = %v", Std(xs))
+	}
+	ys := []float64{2, 4, 6, 8}
+	if math.Abs(Pearson(xs, ys)-1) > 1e-12 {
+		t.Errorf("Pearson = %v, want 1", Pearson(xs, ys))
+	}
+	neg := []float64{8, 6, 4, 2}
+	if math.Abs(Pearson(xs, neg)+1) > 1e-12 {
+		t.Errorf("Pearson = %v, want -1", Pearson(xs, neg))
+	}
+	if Pearson(xs, []float64{5, 5, 5, 5}) != 0 {
+		t.Error("Pearson with constant series should be 0")
+	}
+	if Mean(nil) != 0 || Std(nil) != 0 {
+		t.Error("empty-input helpers should return 0")
+	}
+}

@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"github.com/trap-repro/trap/internal/engine"
+	"github.com/trap-repro/trap/internal/sqlx"
+)
+
+// ChangeType classifies a query perturbation into the six categories of
+// Section VI-C that are relevant to index performance — the changes that
+// tend to make a query non-sargable.
+type ChangeType int
+
+// The six query-change categories of Section VI-C.
+const (
+	// ChangeResultSet: the result-set size was dramatically enlarged.
+	ChangeResultSet ChangeType = iota
+	// ChangeUnequal: an operator was changed to "!=".
+	ChangeUnequal
+	// ChangeEqToRange: an "=" operator became a range operator.
+	ChangeEqToRange
+	// ChangeUncoveredSelect: SELECT columns are no longer covered by the
+	// WHERE clause after perturbation.
+	ChangeUncoveredSelect
+	// ChangeOrConj: a conjunction was replaced by OR.
+	ChangeOrConj
+	// ChangeOrderGroup: ORDER BY / GROUP BY columns changed.
+	ChangeOrderGroup
+	// NumChangeTypes is the number of categories.
+	NumChangeTypes
+)
+
+// String names the change type.
+func (c ChangeType) String() string {
+	switch c {
+	case ChangeResultSet:
+		return "resultset-size"
+	case ChangeUnequal:
+		return "unequal-operator"
+	case ChangeEqToRange:
+		return "eq-to-range"
+	case ChangeUncoveredSelect:
+		return "uncovered-select"
+	case ChangeOrConj:
+		return "or-conjunction"
+	case ChangeOrderGroup:
+		return "order-group-change"
+	}
+	return "unknown"
+}
+
+// resultSetBlowup is the output-cardinality growth factor beyond which a
+// perturbation counts as a ChangeResultSet.
+const resultSetBlowup = 10
+
+// Changes classifies the differences between an original query and its
+// perturbed variant into the Section VI-C categories. The engine is used
+// only for the result-set size comparison (pass nil to skip it).
+func Changes(e *engine.Engine, orig, pert *sqlx.Query) []ChangeType {
+	var out []ChangeType
+	add := func(c ChangeType) { out = append(out, c) }
+
+	if e != nil {
+		po, erro := e.Plan(orig, nil, engine.ModeEstimated)
+		pp, errp := e.Plan(pert, nil, engine.ModeEstimated)
+		if erro == nil && errp == nil && pp.Rows > po.Rows*resultSetBlowup {
+			add(ChangeResultSet)
+		}
+	}
+
+	origOps := opsByColumn(orig)
+	for _, p := range pert.Filters {
+		prev := origOps[p.Col]
+		if p.Op == sqlx.OpNe && !prev[sqlx.OpNe] {
+			add(ChangeUnequal)
+			break
+		}
+	}
+	for _, p := range pert.Filters {
+		prev := origOps[p.Col]
+		if isRange(p.Op) && prev[sqlx.OpEq] && !prev[p.Op] {
+			add(ChangeEqToRange)
+			break
+		}
+	}
+	if countUncovered(pert) > countUncovered(orig) {
+		add(ChangeUncoveredSelect)
+	}
+	if pert.HasOrConj() && !orig.HasOrConj() {
+		add(ChangeOrConj)
+	}
+	if !sameCols(orig.OrderBy, pert.OrderBy) || !sameCols(orig.GroupBy, pert.GroupBy) {
+		add(ChangeOrderGroup)
+	}
+	return out
+}
+
+func isRange(op string) bool {
+	switch op {
+	case sqlx.OpLt, sqlx.OpLe, sqlx.OpGt, sqlx.OpGe:
+		return true
+	}
+	return false
+}
+
+func opsByColumn(q *sqlx.Query) map[sqlx.ColumnRef]map[string]bool {
+	m := map[sqlx.ColumnRef]map[string]bool{}
+	for _, p := range q.Filters {
+		if m[p.Col] == nil {
+			m[p.Col] = map[string]bool{}
+		}
+		m[p.Col][p.Op] = true
+	}
+	return m
+}
+
+// countUncovered counts SELECT columns not appearing in the query's WHERE
+// clause (filters or joins).
+func countUncovered(q *sqlx.Query) int {
+	covered := map[sqlx.ColumnRef]bool{}
+	for _, p := range q.Filters {
+		covered[p.Col] = true
+	}
+	for _, j := range q.Joins {
+		covered[j.Left] = true
+		covered[j.Right] = true
+	}
+	n := 0
+	for _, s := range q.Select {
+		if !covered[s.Col] {
+			n++
+		}
+	}
+	return n
+}
+
+func sameCols(a, b []sqlx.ColumnRef) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ChangeCounts tallies, per change type, how many perturbed queries of a
+// workload pair exhibit each change.
+func ChangeCounts(e *engine.Engine, orig, pert *Workload) [NumChangeTypes]int {
+	var counts [NumChangeTypes]int
+	n := len(orig.Items)
+	if len(pert.Items) < n {
+		n = len(pert.Items)
+	}
+	for i := 0; i < n; i++ {
+		for _, c := range Changes(e, orig.Items[i].Query, pert.Items[i].Query) {
+			counts[c]++
+		}
+	}
+	return counts
+}

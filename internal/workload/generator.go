@@ -1,0 +1,237 @@
+package workload
+
+import (
+	"math/rand"
+
+	"github.com/trap-repro/trap/internal/schema"
+	"github.com/trap-repro/trap/internal/sqlx"
+)
+
+// Template is a parameterized SPAJ query shape: structure is fixed, filter
+// values are bound per instantiation. This mirrors the paper's observation
+// that production workloads are variants of a small template set.
+type Template struct {
+	ID      int
+	Tables  []string
+	Joins   []sqlx.JoinPred
+	Select  []sqlx.SelectItem
+	Filters []filterSlot
+	GroupBy []sqlx.ColumnRef
+	OrderBy []sqlx.ColumnRef
+}
+
+// filterSlot is one filter predicate with a value placeholder.
+type filterSlot struct {
+	Col sqlx.ColumnRef
+	Op  string
+}
+
+// Generator synthesizes queries from a fixed set of random templates over
+// a schema's join graph. It is deterministic given its seed.
+type Generator struct {
+	s         *schema.Schema
+	rng       *rand.Rand
+	templates []*Template
+}
+
+// NewGenerator builds a generator with numTemplates random templates.
+func NewGenerator(s *schema.Schema, seed int64, numTemplates int) *Generator {
+	g := &Generator{s: s, rng: rand.New(rand.NewSource(seed))}
+	if numTemplates < 1 {
+		numTemplates = 1
+	}
+	for i := 0; i < numTemplates; i++ {
+		g.templates = append(g.templates, g.makeTemplate(i))
+	}
+	return g
+}
+
+// NumTemplates returns the template count.
+func (g *Generator) NumTemplates() int { return len(g.templates) }
+
+// Templates returns the generator's templates.
+func (g *Generator) Templates() []*Template { return g.templates }
+
+// Schema returns the generator's schema.
+func (g *Generator) Schema() *schema.Schema { return g.s }
+
+// makeTemplate builds one random template: a connected random walk over
+// the join graph, a payload, sargable AND-connected filters, and optional
+// GROUP BY / ORDER BY clauses.
+func (g *Generator) makeTemplate(id int) *Template {
+	r := g.rng
+	t := &Template{ID: id}
+
+	// Random connected table set via a walk on the join graph.
+	start := g.s.Tables[r.Intn(len(g.s.Tables))]
+	for len(g.s.JoinsOf(start.Name)) == 0 && len(g.s.Joins) > 0 {
+		start = g.s.Tables[r.Intn(len(g.s.Tables))]
+	}
+	inSet := map[string]bool{start.Name: true}
+	t.Tables = []string{start.Name}
+	want := 1 + r.Intn(4)
+	for len(t.Tables) < want {
+		// Collect join edges expanding the current set.
+		var frontier []schema.JoinEdge
+		for _, j := range g.s.Joins {
+			if inSet[j.LeftTable] != inSet[j.RightTable] {
+				frontier = append(frontier, j)
+			}
+		}
+		if len(frontier) == 0 {
+			break
+		}
+		j := frontier[r.Intn(len(frontier))]
+		next := j.LeftTable
+		if inSet[next] {
+			next = j.RightTable
+		}
+		inSet[next] = true
+		t.Tables = append(t.Tables, next)
+		t.Joins = append(t.Joins, sqlx.JoinPred{
+			Left:  sqlx.ColumnRef{Table: j.LeftTable, Column: j.LeftColumn},
+			Right: sqlx.ColumnRef{Table: j.RightTable, Column: j.RightColumn},
+		})
+	}
+
+	pick := func() sqlx.ColumnRef {
+		tn := t.Tables[r.Intn(len(t.Tables))]
+		tb := g.s.Table(tn)
+		c := tb.Columns[r.Intn(len(tb.Columns))]
+		return sqlx.ColumnRef{Table: tn, Column: c.Name}
+	}
+	// Prefer columns usable in predicates: moderate NDV, not comments.
+	pickFilter := func() sqlx.ColumnRef {
+		for tries := 0; tries < 12; tries++ {
+			c := pick()
+			col := g.s.Column(c)
+			if col.Width >= 40 { // skip comment-like columns
+				continue
+			}
+			if col.Dist.NDV >= 2 {
+				return c
+			}
+		}
+		return pick()
+	}
+
+	// Payload: 1-4 items, sometimes one aggregate.
+	np := 1 + r.Intn(4)
+	seen := map[sqlx.ColumnRef]bool{}
+	for i := 0; i < np; i++ {
+		c := pick()
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		t.Select = append(t.Select, sqlx.SelectItem{Col: c})
+	}
+	hasAgg := r.Float64() < 0.3
+	if hasAgg {
+		agg := sqlx.Aggregators[r.Intn(len(sqlx.Aggregators))]
+		c := pickFilter()
+		t.Select = append(t.Select, sqlx.SelectItem{Agg: agg, Col: c})
+		// Aggregates require grouping by the plain payload columns.
+		for _, s := range t.Select {
+			if s.Agg == "" {
+				t.GroupBy = append(t.GroupBy, s.Col)
+			}
+		}
+	}
+
+	// Filters: 1-3 sargable AND-connected predicates on distinct columns.
+	nf := 1 + r.Intn(3)
+	usedF := map[sqlx.ColumnRef]bool{}
+	for i := 0; i < nf; i++ {
+		c := pickFilter()
+		if usedF[c] {
+			continue
+		}
+		usedF[c] = true
+		op := sqlx.OpEq
+		if r.Float64() < 0.4 {
+			op = []string{sqlx.OpLt, sqlx.OpLe, sqlx.OpGt, sqlx.OpGe}[r.Intn(4)]
+		}
+		t.Filters = append(t.Filters, filterSlot{Col: c, Op: op})
+	}
+
+	// ORDER BY: 0-2 columns (only without aggregates, keeping the query
+	// well-formed in the SPAJ subset).
+	if !hasAgg && r.Float64() < 0.5 {
+		no := 1 + r.Intn(2)
+		usedO := map[sqlx.ColumnRef]bool{}
+		for i := 0; i < no; i++ {
+			c := pickFilter()
+			if usedO[c] {
+				continue
+			}
+			usedO[c] = true
+			t.OrderBy = append(t.OrderBy, c)
+		}
+	}
+	return t
+}
+
+// Instantiate binds the template's value placeholders using r, producing a
+// complete query. Equality values are drawn by quantile so frequent values
+// appear frequently; range values target a selectivity in [0.02, 0.5].
+func (t *Template) Instantiate(s *schema.Schema, r *rand.Rand) *sqlx.Query {
+	q := &sqlx.Query{
+		Select:  append([]sqlx.SelectItem(nil), t.Select...),
+		Joins:   append([]sqlx.JoinPred(nil), t.Joins...),
+		GroupBy: append([]sqlx.ColumnRef(nil), t.GroupBy...),
+		OrderBy: append([]sqlx.ColumnRef(nil), t.OrderBy...),
+	}
+	for _, tn := range t.Tables {
+		q.From = append(q.From, sqlx.TableRef{Name: tn})
+	}
+	for i, f := range t.Filters {
+		col := s.Column(f.Col)
+		var val sqlx.Datum
+		switch f.Op {
+		case sqlx.OpEq, sqlx.OpNe:
+			v := col.Dist.Quantile(r.Float64())
+			val = col.DatumOf(col.Dist.IndexOf(v))
+		case sqlx.OpLt, sqlx.OpLe:
+			sel := 0.02 + r.Float64()*0.48
+			v := col.Dist.Quantile(sel)
+			val = col.DatumOf(col.Dist.IndexOf(v))
+		default: // >, >=
+			sel := 0.02 + r.Float64()*0.48
+			v := col.Dist.Quantile(1 - sel)
+			val = col.DatumOf(col.Dist.IndexOf(v))
+		}
+		q.Filters = append(q.Filters, sqlx.Predicate{Col: f.Col, Op: f.Op, Val: val})
+		if i > 0 {
+			q.Conjs = append(q.Conjs, sqlx.ConjAnd)
+		}
+	}
+	return q
+}
+
+// Query generates one query from a random template.
+func (g *Generator) Query() *sqlx.Query {
+	t := g.templates[g.rng.Intn(len(g.templates))]
+	return t.Instantiate(g.s, g.rng)
+}
+
+// Workload generates a workload of the given size (unit weights).
+func (g *Generator) Workload(size int) *Workload {
+	if size < 1 {
+		size = 1
+	}
+	w := &Workload{}
+	for i := 0; i < size; i++ {
+		w.Items = append(w.Items, Item{Query: g.Query(), Weight: 1})
+	}
+	return w
+}
+
+// WorkloadSized generates a workload with a random size in [1, maxSize],
+// matching the paper's sampling of workload sizes in [1, 50].
+func (g *Generator) WorkloadSized(maxSize int) *Workload {
+	if maxSize < 1 {
+		maxSize = 1
+	}
+	return g.Workload(1 + g.rng.Intn(maxSize))
+}

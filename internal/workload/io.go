@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/trap-repro/trap/internal/sqlx"
+)
+
+// WriteSQL serializes the workload as SQL text, one statement per line
+// terminated by ";". Non-unit weights are recorded in a trailing
+// "-- weight=N" comment.
+func (w *Workload) WriteSQL(out io.Writer) error {
+	bw := bufio.NewWriter(out)
+	for _, it := range w.Items {
+		if _, err := bw.WriteString(it.Query.String()); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(";"); err != nil {
+			return err
+		}
+		if it.Weight != 1 {
+			if _, err := fmt.Fprintf(bw, " -- weight=%g", it.Weight); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString("\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSQL parses a workload written by WriteSQL (or any file of
+// ";"-terminated SPAJ statements, one per line; "--" comments and blank
+// lines are skipped, "-- weight=N" sets the weight).
+func ReadSQL(in io.Reader) (*Workload, error) {
+	w := &Workload{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		weight := 1.0
+		if i := strings.Index(line, "--"); i >= 0 {
+			comment := strings.TrimSpace(line[i+2:])
+			if rest, ok := strings.CutPrefix(comment, "weight="); ok {
+				v, err := strconv.ParseFloat(strings.Fields(rest)[0], 64)
+				if err != nil {
+					return nil, fmt.Errorf("workload: line %d: bad weight: %v", lineNo, err)
+				}
+				weight = v
+			}
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		line = strings.TrimSuffix(line, ";")
+		q, err := sqlx.Parse(line)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", lineNo, err)
+		}
+		w.Items = append(w.Items, Item{Query: q, Weight: weight})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}

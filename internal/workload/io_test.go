@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadSQLRoundTrip(t *testing.T) {
+	g, _ := tpchGen(t, 31)
+	w := g.Workload(6)
+	w.Items[2].Weight = 5
+	var buf bytes.Buffer
+	if err := w.WriteSQL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSQL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != w.Size() {
+		t.Fatalf("size %d != %d", back.Size(), w.Size())
+	}
+	for i := range w.Items {
+		if back.Items[i].Query.String() != w.Items[i].Query.String() {
+			t.Errorf("query %d differs", i)
+		}
+		if back.Items[i].Weight != w.Items[i].Weight {
+			t.Errorf("weight %d differs: %v vs %v", i, back.Items[i].Weight, w.Items[i].Weight)
+		}
+	}
+}
+
+func TestReadSQLSkipsCommentsAndBlanks(t *testing.T) {
+	in := `
+-- header comment
+SELECT t.a FROM t WHERE t.a = 1;
+
+SELECT t.b FROM t; -- weight=2.5
+`
+	w, err := ReadSQL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != 2 {
+		t.Fatalf("size = %d", w.Size())
+	}
+	if w.Items[1].Weight != 2.5 {
+		t.Errorf("weight = %v", w.Items[1].Weight)
+	}
+}
+
+func TestReadSQLErrors(t *testing.T) {
+	if _, err := ReadSQL(strings.NewReader("SELECT broken FROM;")); err == nil {
+		t.Error("bad SQL accepted")
+	}
+	if _, err := ReadSQL(strings.NewReader("SELECT t.a FROM t; -- weight=abc")); err == nil {
+		t.Error("bad weight accepted")
+	}
+}

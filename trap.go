@@ -1,0 +1,199 @@
+// Package trap is the public API of the TRAP reproduction: tailored
+// robustness assessment for index advisors via adversarial perturbation
+// (ICDE 2024).
+//
+// The typical flow is three lines: pick a dataset, pick an advisor, and
+// assess it —
+//
+//	a, _ := trap.NewAssessor("tpch", trap.TPCH(100), trap.Quick(), 42)
+//	report, _ := a.Assess(trap.AdvisorByName("Extend"), trap.SharedTable)
+//	fmt.Println(report.MeanIUDR)
+//
+// Underneath, the assessor trains TRAP's encoder-decoder generator
+// against the advisor (pretraining + reinforced perturbation policy
+// learning with a learned index-utility reward), generates adversarial
+// workloads within the edit budget and perturbation constraint, and
+// reports the Index Utility Decrease Ratio.
+//
+// Everything is stdlib-only and deterministic given the seeds.
+package trap
+
+import (
+	"fmt"
+
+	"github.com/trap-repro/trap/internal/advisor"
+	"github.com/trap-repro/trap/internal/assess"
+	"github.com/trap-repro/trap/internal/bench"
+	"github.com/trap-repro/trap/internal/core"
+	"github.com/trap-repro/trap/internal/engine"
+	"github.com/trap-repro/trap/internal/schema"
+	"github.com/trap-repro/trap/internal/sqlx"
+	"github.com/trap-repro/trap/internal/workload"
+)
+
+// Re-exported core types. The internal packages stay importable only
+// from this module; downstream users program against these aliases.
+type (
+	// Schema is a simulated database: tables, statistics, join graph.
+	Schema = schema.Schema
+	// Index is a (multi-)column B-tree index definition.
+	Index = schema.Index
+	// Config is an index configuration.
+	Config = schema.Config
+	// Query is a parsed SPAJ SQL query.
+	Query = sqlx.Query
+	// ColumnRef names a table column.
+	ColumnRef = sqlx.ColumnRef
+	// Workload is a weighted query set.
+	Workload = workload.Workload
+	// Generator synthesizes template-based workloads.
+	Generator = workload.Generator
+	// Engine is the simulated what-if optimizer.
+	Engine = engine.Engine
+	// Advisor selects index configurations for workloads.
+	Advisor = advisor.Advisor
+	// Trainable is a learning-based advisor.
+	Trainable = advisor.Trainable
+	// Constraint is an advisor tuning constraint (storage or #indexes).
+	Constraint = advisor.Constraint
+	// PerturbConstraint is a Table I perturbation constraint.
+	PerturbConstraint = core.PerturbConstraint
+	// Params scales the assessment pipeline.
+	Params = assess.Params
+	// Report is the outcome of assessing one advisor.
+	Report = assess.Assessment
+)
+
+// The three perturbation constraints of the paper's Table I.
+const (
+	ValueOnly        = core.ValueOnly
+	ColumnConsistent = core.ColumnConsistent
+	SharedTable      = core.SharedTable
+)
+
+// TPCH builds the TPC-H dataset (8 tables, 61 columns) with SF1
+// cardinalities divided by scaleDown.
+func TPCH(scaleDown int64) *Schema { return bench.TPCH(scaleDown) }
+
+// TPCDS builds the TPC-DS dataset (25 tables, 429 columns).
+func TPCDS(scaleDown int64) *Schema { return bench.TPCDS(scaleDown) }
+
+// Transaction builds the banking OLTP dataset (10 tables, 189 columns)
+// standing in for the paper's proprietary TRANSACTION workload.
+func Transaction(scaleDown int64) *Schema { return bench.TRANSACTION(scaleDown) }
+
+// Parse parses SPAJ SQL text.
+func Parse(sql string) (*Query, error) { return sqlx.Parse(sql) }
+
+// EditDistance is the token-level distance k(q, q') of Definition 3.4.
+func EditDistance(a, b *Query) int { return sqlx.EditDistance(a, b) }
+
+// Quick returns the fast assessment parameters (seconds per advisor).
+func Quick() Params { return assess.QuickParams() }
+
+// Full returns the heavier parameters for serious runs.
+func Full() Params { return assess.FullParams() }
+
+// AdvisorByName constructs one of the paper's ten advisors ("Extend",
+// "DB2Advis", "AutoAdmin", "Drop", "Relaxation", "DTA", "SWIRL",
+// "DRLindex", "DQN", "MCTS").
+func AdvisorByName(name string) (Advisor, error) {
+	spec, err := assess.SpecByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Make(1), nil
+}
+
+// AdvisorNames lists the ten assessed advisors in the paper's order.
+func AdvisorNames() []string {
+	var out []string
+	for _, s := range assess.TenAdvisors() {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+// Assessor is the high-level entry point: it owns a dataset's engine,
+// workloads, vocabulary and learned utility model, and assesses advisors
+// with TRAP-generated adversarial workloads.
+type Assessor struct {
+	suite *assess.Suite
+}
+
+// NewAssessor builds an assessor over a schema.
+func NewAssessor(name string, s *Schema, p Params, seed int64) (*Assessor, error) {
+	suite, err := assess.NewSuite(name, s, p, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Assessor{suite: suite}, nil
+}
+
+// Suite exposes the underlying assessment suite for advanced use (the
+// per-figure experiment drivers live on it).
+func (a *Assessor) Suite() *assess.Suite { return a.suite }
+
+// Engine returns the simulated optimizer.
+func (a *Assessor) Engine() *Engine { return a.suite.E }
+
+// Generator returns the workload generator.
+func (a *Assessor) Generator() *Generator { return a.suite.Gen }
+
+// StorageConstraint returns the suite's storage-budget constraint (half
+// the dataset size, the paper's moderate default).
+func (a *Assessor) StorageConstraint() Constraint { return a.suite.Storage }
+
+// CountConstraint returns the suite's #index constraint.
+func (a *Assessor) CountConstraint() Constraint { return a.suite.Count }
+
+// AssessNamed assesses one of the ten paper advisors by name, using its
+// Table III baseline and constraint kind, under the given perturbation
+// constraint. Learned advisors are trained first.
+func (a *Assessor) AssessNamed(name string, pc PerturbConstraint) (*Report, error) {
+	spec, err := assess.SpecByName(name)
+	if err != nil {
+		return nil, err
+	}
+	adv, err := a.suite.BuildAdvisor(spec)
+	if err != nil {
+		return nil, err
+	}
+	base := a.suite.BaselineAdvisor(spec)
+	ac := a.suite.ConstraintFor(spec)
+	return a.assess(adv, base, ac, pc)
+}
+
+// Assess assesses a custom advisor against the null-configuration
+// baseline under the suite's storage constraint.
+func (a *Assessor) Assess(adv Advisor, pc PerturbConstraint) (*Report, error) {
+	if tr, ok := adv.(Trainable); ok {
+		if err := tr.Train(a.suite.E, a.suite.Train, a.suite.Storage); err != nil {
+			return nil, err
+		}
+	}
+	return a.assess(adv, nil, a.suite.Storage, pc)
+}
+
+// AssessWith assesses a custom advisor with an explicit baseline and
+// tuning constraint.
+func (a *Assessor) AssessWith(adv, base Advisor, c Constraint, pc PerturbConstraint) (*Report, error) {
+	return a.assess(adv, base, c, pc)
+}
+
+func (a *Assessor) assess(adv, base Advisor, c Constraint, pc PerturbConstraint) (*Report, error) {
+	m, err := a.suite.BuildMethod("TRAP", pc, adv, base, c, assess.MethodConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("trap: training generator: %w", err)
+	}
+	return a.suite.Measure(m, adv, base, c)
+}
+
+// Utility computes the index utility u(W, d, I) of Definition 3.2 with
+// the runtime stand-in.
+func (a *Assessor) Utility(w *Workload, cfg, base Config) (float64, error) {
+	return workload.Utility(a.suite.E, w, cfg, base)
+}
+
+// IUDR is the Index Utility Decrease Ratio of Definition 3.3.
+func IUDR(uOrig, uPert float64) float64 { return workload.IUDR(uOrig, uPert) }

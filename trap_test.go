@@ -1,0 +1,165 @@
+package trap
+
+import (
+	"testing"
+
+	"github.com/trap-repro/trap/internal/advisor"
+	"github.com/trap-repro/trap/internal/engine"
+	"github.com/trap-repro/trap/internal/schema"
+	"github.com/trap-repro/trap/internal/workload"
+)
+
+// apiParams is the minimal configuration for API-level tests.
+func apiParams() Params {
+	p := Quick()
+	p.Templates = 8
+	p.TrainWorkloads = 3
+	p.TestWorkloads = 3
+	p.WorkloadSize = 4
+	p.UtilitySamples = 200
+	p.PretrainPairs = 4
+	p.PretrainEpochs = 1
+	p.RLEpochs = 1
+	p.AdvisorEpisodes = 8
+	return p
+}
+
+func TestDatasetConstructors(t *testing.T) {
+	if TPCH(100).ColumnCount() != 61 {
+		t.Error("TPCH shape wrong")
+	}
+	if TPCDS(100).ColumnCount() != 429 {
+		t.Error("TPCDS shape wrong")
+	}
+	if Transaction(100).ColumnCount() != 189 {
+		t.Error("Transaction shape wrong")
+	}
+}
+
+func TestAdvisorByName(t *testing.T) {
+	names := AdvisorNames()
+	if len(names) != 10 {
+		t.Fatalf("AdvisorNames = %d", len(names))
+	}
+	for _, n := range names {
+		a, err := AdvisorByName(n)
+		if err != nil || a.Name() != n {
+			t.Errorf("AdvisorByName(%s): %v", n, err)
+		}
+	}
+	if _, err := AdvisorByName("nope"); err == nil {
+		t.Error("unknown advisor accepted")
+	}
+}
+
+func TestParseAndEditDistance(t *testing.T) {
+	a, err := Parse("SELECT t.x FROM t WHERE t.x = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Parse("SELECT t.x FROM t WHERE t.x = 2")
+	if EditDistance(a, b) != 1 {
+		t.Error("EditDistance wrong")
+	}
+}
+
+func TestAssessNamedEndToEnd(t *testing.T) {
+	a, err := NewAssessor("tpch", TPCH(200), apiParams(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.AssessNamed("Extend", ValueOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		t.Fatal("nil report")
+	}
+	for _, p := range rep.Pairs {
+		if p.Orig.Size() != p.Pert.Size() {
+			t.Error("pair size mismatch")
+		}
+		for i := range p.Orig.Items {
+			if d := EditDistance(p.Orig.Items[i].Query, p.Pert.Items[i].Query); d > apiParams().Eps {
+				t.Errorf("edit distance %d exceeds budget", d)
+			}
+		}
+	}
+}
+
+// leadColumnAdvisor is a trivial custom advisor for API testing: index
+// the first filter column of every query.
+type leadColumnAdvisor struct{}
+
+func (leadColumnAdvisor) Name() string { return "LeadColumn" }
+
+func (leadColumnAdvisor) Recommend(e *engine.Engine, w *workload.Workload, c advisor.Constraint) (schema.Config, error) {
+	var cfg schema.Config
+	for _, it := range w.Items {
+		if len(it.Query.Filters) == 0 {
+			continue
+		}
+		col := it.Query.Filters[0].Col
+		ix := schema.Index{Table: col.Table, Columns: []string{col.Column}}
+		if c.Fits(e.Schema(), cfg, ix) {
+			cfg = cfg.Add(ix)
+		}
+	}
+	return cfg, nil
+}
+
+func TestAssessCustomAdvisor(t *testing.T) {
+	a, err := NewAssessor("tpch", TPCH(200), apiParams(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.Assess(leadColumnAdvisor{}, SharedTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rep
+	if a.StorageConstraint().StorageBytes <= 0 {
+		t.Error("storage constraint unset")
+	}
+	if a.CountConstraint().MaxIndexes <= 0 {
+		t.Error("count constraint unset")
+	}
+}
+
+func TestAssessWithExplicitBaseline(t *testing.T) {
+	a, err := NewAssessor("tpch", TPCH(200), apiParams(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, err := AdvisorByName("DTA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := AdvisorByName("Drop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.AssessWith(adv, base, a.CountConstraint(), ValueOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rep
+	if a.Suite() == nil || a.Engine() == nil || a.Generator() == nil {
+		t.Error("accessors returned nil")
+	}
+}
+
+func TestUtilityAndIUDRAPI(t *testing.T) {
+	a, err := NewAssessor("tpch", TPCH(200), apiParams(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := a.Generator().Workload(4)
+	u, err := a.Utility(w, nil, nil)
+	if err != nil || u != 0 {
+		t.Errorf("self-utility = %v (%v), want 0", u, err)
+	}
+	if IUDR(0.5, 0.25) != 0.5 {
+		t.Error("IUDR wrong")
+	}
+}
