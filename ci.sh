@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI entry point: formatting, vet, tier-1 build+test, and the race
+# detector over the whole module. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed:" "$unformatted"
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== tier-1: build + test =="
+go build ./...
+go test ./...
+
+echo "== race detector =="
+go test -race ./...
+
+echo "ci: all green"

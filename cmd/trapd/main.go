@@ -1,0 +1,80 @@
+// Command trapd is the long-running TRAP assessment service: it
+// pre-builds per-dataset assessment suites, serves the HTTP JSON API of
+// internal/service, runs assessment jobs on a bounded worker pool, and
+// exposes runtime metrics at /metrics.
+//
+// Usage:
+//
+//	trapd [-addr :8080] [-datasets tpch,tpcds,transaction] [-scale quick|full]
+//	      [-workers N] [-queue N] [-seed 42]
+//	      [-request-timeout 30s] [-job-timeout 15m] [-max-body 1048576]
+//
+// trapd shuts down gracefully on SIGINT/SIGTERM: the listener closes,
+// in-flight requests and running assessment jobs drain, and queued jobs
+// are canceled.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/trap-repro/trap/internal/assess"
+	"github.com/trap-repro/trap/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	datasets := flag.String("datasets", "tpch", "comma-separated datasets to serve (tpch,tpcds,transaction)")
+	scale := flag.String("scale", "quick", "suite parameters: quick or full")
+	workers := flag.Int("workers", 0, "assessment worker pool size (default: NumCPU)")
+	queue := flag.Int("queue", 0, "pending-job queue depth (default: 4x workers)")
+	seed := flag.Int64("seed", 42, "random seed for suite construction")
+	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "synchronous request deadline")
+	jobTimeout := flag.Duration("job-timeout", 15*time.Minute, "assessment job deadline")
+	maxBody := flag.Int64("max-body", 1<<20, "maximum request body bytes")
+	flag.Parse()
+
+	p := assess.QuickParams()
+	if *scale == "full" {
+		p = assess.FullParams()
+	} else if *scale != "quick" {
+		fmt.Fprintf(os.Stderr, "trapd: unknown scale %q (want quick or full)\n", *scale)
+		os.Exit(1)
+	}
+
+	var names []string
+	for _, d := range strings.Split(*datasets, ",") {
+		if d = strings.TrimSpace(d); d != "" {
+			names = append(names, d)
+		}
+	}
+
+	srv, err := service.NewServer(service.Config{
+		Addr:           *addr,
+		Datasets:       names,
+		Params:         p,
+		Seed:           *seed,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		RequestTimeout: *reqTimeout,
+		JobTimeout:     *jobTimeout,
+		MaxBodyBytes:   *maxBody,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trapd:", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Run(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "trapd:", err)
+		os.Exit(1)
+	}
+}

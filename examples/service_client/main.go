@@ -1,0 +1,176 @@
+// Example service_client starts trapd in-process, walks the HTTP API —
+// parse, explain, advise — then submits an async assessment job, polls
+// it to completion and prints the advisor's IUDR plus a few metrics.
+// It doubles as a smoke test for the async job path.
+//
+// Run with:
+//
+//	go run ./examples/service_client
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/trap-repro/trap/internal/assess"
+	"github.com/trap-repro/trap/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "service_client:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Shrink the quick parameters so the whole walkthrough finishes in
+	// seconds; a real deployment runs `trapd -scale quick` or full.
+	p := assess.QuickParams()
+	p.Templates = 8
+	p.TrainWorkloads = 3
+	p.TestWorkloads = 3
+	p.WorkloadSize = 4
+	p.UtilitySamples = 300
+	p.PretrainPairs = 4
+	p.PretrainEpochs = 1
+	p.RLEpochs = 1
+
+	fmt.Println("building tpch suite (workloads + utility model)...")
+	srv, err := service.NewServer(service.Config{
+		Datasets: []string{"tpch"},
+		Params:   p,
+		Seed:     42,
+		Workers:  2,
+	})
+	if err != nil {
+		return err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	fmt.Println("trapd listening on", ts.URL)
+
+	// 1. Parse.
+	var parsed struct {
+		Query  string `json:"query"`
+		Tokens int    `json:"tokens"`
+	}
+	sql := "SELECT lineitem.l_quantity FROM lineitem WHERE lineitem.l_orderkey = 5"
+	if err := post(ts.URL+"/v1/parse", map[string]any{"sql": sql}, &parsed); err != nil {
+		return err
+	}
+	fmt.Printf("parsed (%d tokens): %s\n", parsed.Tokens, parsed.Query)
+
+	// 2. Explain under a hypothetical index.
+	var explained struct {
+		EstimatedCost float64 `json:"estimatedCost"`
+		RuntimeCost   float64 `json:"runtimeCost"`
+	}
+	err = post(ts.URL+"/v1/explain", map[string]any{
+		"dataset": "tpch", "sql": sql, "indexes": []string{"lineitem(l_orderkey)"},
+	}, &explained)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("explain: what-if cost %.1f, runtime stand-in %.1f\n",
+		explained.EstimatedCost, explained.RuntimeCost)
+
+	// 3. Advise.
+	var advised struct {
+		Indexes           []string `json:"indexes"`
+		WhatIfImprovement float64  `json:"whatIfImprovement"`
+	}
+	err = post(ts.URL+"/v1/advise", map[string]any{
+		"dataset": "tpch", "advisor": "Extend",
+		"queries": []string{sql, "SELECT orders.o_totalprice FROM orders WHERE orders.o_custkey = 7"},
+	}, &advised)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("advise: Extend recommends %v (what-if improvement %.1f%%)\n",
+		advised.Indexes, 100*advised.WhatIfImprovement)
+
+	// 4. Async robustness assessment: submit, then poll the job.
+	var job service.Job
+	err = post(ts.URL+"/v1/assess", map[string]any{
+		"dataset": "tpch", "advisor": "Extend", "method": "TRAP", "constraint": "shared",
+	}, &job)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("assessment %s submitted (status %s); polling...\n", job.ID, job.Status)
+	for job.Status == service.JobPending || job.Status == service.JobRunning {
+		time.Sleep(200 * time.Millisecond)
+		if err := get(ts.URL+"/v1/jobs/"+job.ID, &job); err != nil {
+			return err
+		}
+	}
+	if job.Status != service.JobDone {
+		return fmt.Errorf("job ended %s: %s", job.Status, job.Error)
+	}
+	fmt.Printf("TRAP vs Extend on tpch: mean IUDR %.4f over %d workloads (%d pairs, %dms)\n",
+		job.Result.MeanIUDR, job.Result.Workloads, job.Result.Pairs, job.Result.ElapsedMilli)
+
+	// 5. A taste of /metrics.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	fmt.Println("selected metrics:")
+	for _, line := range strings.Split(string(body), "\n") {
+		for _, want := range []string{
+			"engine_whatif_calls_total", "engine_plan_cache_hit_ratio",
+			"trap_rl_epochs_total", "trapd_jobs_done_total",
+		} {
+			if strings.HasPrefix(line, want) {
+				fmt.Println(" ", line)
+			}
+		}
+	}
+	return nil
+}
+
+func post(url string, body any, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decode(resp, out)
+}
+
+func get(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decode(resp, out)
+}
+
+func decode(resp *http.Response, out any) error {
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(raw)))
+	}
+	return json.Unmarshal(raw, out)
+}

@@ -3,6 +3,7 @@ package assess
 import (
 	"github.com/trap-repro/trap/internal/advisor"
 	"github.com/trap-repro/trap/internal/engine"
+	"github.com/trap-repro/trap/internal/obs"
 	"github.com/trap-repro/trap/internal/schema"
 	"github.com/trap-repro/trap/internal/workload"
 )
@@ -47,9 +48,11 @@ func (s *Suite) Measure(m *Method, adv advisor.Advisor, base advisor.Advisor, ac
 
 // MeasureOn is Measure over an explicit workload set.
 func (s *Suite) MeasureOn(m *Method, adv advisor.Advisor, base advisor.Advisor, ac advisor.Constraint, tests []*workload.Workload) (*Assessment, error) {
+	defer obs.StartSpan(mMeasureSecs).End()
 	out := &Assessment{}
 	var sum float64
 	for _, w := range tests {
+		mAssessedWorkloads.Inc()
 		u, err := s.UtilityOf(adv, base, ac, w)
 		if err != nil || u <= s.P.Theta {
 			continue
@@ -61,8 +64,10 @@ func (s *Suite) MeasureOn(m *Method, adv advisor.Advisor, base advisor.Advisor, 
 		var wSum float64
 		var wN int
 		for _, pert := range variants {
+			mPairsMeasured.Inc()
 			pair := Pair{Orig: w, Pert: pert, U: u}
 			if !s.Sargable(pert) {
+				mPairsNonSargable.Inc()
 				pair.NonSargable = true
 				out.Pairs = append(out.Pairs, pair)
 				continue

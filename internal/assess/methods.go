@@ -5,6 +5,7 @@ import (
 
 	"github.com/trap-repro/trap/internal/advisor"
 	"github.com/trap-repro/trap/internal/core"
+	"github.com/trap-repro/trap/internal/obs"
 	"github.com/trap-repro/trap/internal/workload"
 )
 
@@ -44,6 +45,7 @@ type MethodConfig struct {
 // GRU and Seq2Seq are RL-trained with the same reward but without
 // attention/pretraining; Random needs no training.
 func (s *Suite) BuildMethod(name string, pc core.PerturbConstraint, adv advisor.Advisor, base advisor.Advisor, ac advisor.Constraint, mc MethodConfig) (*Method, error) {
+	defer obs.StartSpan(mMethodBuildSecs).End()
 	epochs := s.P.RLEpochs
 	if mc.RLEpochs > 0 {
 		epochs = mc.RLEpochs
@@ -109,8 +111,13 @@ func (s *Suite) BuildMethod(name string, pc core.PerturbConstraint, adv advisor.
 }
 
 // pretrainInto applies the advisor-independent pretraining phase to a
-// TRAP model, reusing a cached encoder snapshot per constraint.
+// TRAP model, reusing a cached encoder snapshot per constraint. The
+// suite lock serializes concurrent builders: the first one pretrains,
+// later ones (and concurrent jobs on other advisors) reuse the snapshot.
+// It also protects Gen's RNG, which Pretrain samples pairs from.
 func (s *Suite) pretrainInto(fw *core.Framework, model *core.TRAPModel, pc core.PerturbConstraint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if snap, ok := s.pretrained[pc]; ok {
 		model.EncoderParams().SetState(snap)
 		return nil

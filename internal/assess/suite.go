@@ -8,12 +8,27 @@ package assess
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"github.com/trap-repro/trap/internal/advisor"
 	"github.com/trap-repro/trap/internal/core"
 	"github.com/trap-repro/trap/internal/engine"
+	"github.com/trap-repro/trap/internal/obs"
 	"github.com/trap-repro/trap/internal/schema"
 	"github.com/trap-repro/trap/internal/workload"
+)
+
+// Assessment-phase metrics, aggregated across suites.
+var (
+	mSuiteBuildSecs    = obs.Default().Histogram("assess_suite_build_seconds")
+	mAdvisorTrainSecs  = obs.Default().Histogram("assess_advisor_train_seconds")
+	mMethodBuildSecs   = obs.Default().Histogram("assess_method_build_seconds")
+	mMeasureSecs       = obs.Default().Histogram("assess_measure_seconds")
+	mRecommendSecs     = obs.Default().Histogram("advisor_recommend_seconds")
+	mRecommendCalls    = obs.Default().Counter("advisor_recommend_total")
+	mPairsMeasured     = obs.Default().Counter("assess_pairs_total")
+	mPairsNonSargable  = obs.Default().Counter("assess_pairs_nonsargable_total")
+	mAssessedWorkloads = obs.Default().Counter("assess_workloads_total")
 )
 
 // Params scales every experiment: the defaults used by tests and
@@ -78,6 +93,17 @@ func FullParams() Params {
 }
 
 // Suite bundles one dataset's assessment context.
+//
+// # Concurrency
+//
+// A Suite may be shared by concurrent assessments (trapd runs one suite
+// per dataset across its whole worker pool) under the following
+// contract: the engine, workloads, vocabulary and utility model are safe
+// for concurrent use; BuildAdvisor, BuildMethod, Measure/MeasureOn and
+// UtilityOf may run concurrently as long as every call operates on its
+// own advisor/method instances (advisors and frameworks are stateful).
+// The shared pretraining cache and the workload generator's RNG are
+// serialized internally by mu.
 type Suite struct {
 	Name    string
 	P       Params
@@ -94,6 +120,9 @@ type Suite struct {
 	Storage advisor.Constraint
 	Count   advisor.Constraint
 
+	// mu serializes the mutable shared state below (and Gen's RNG, which
+	// the pretraining phase draws from).
+	mu sync.Mutex
 	// pretrained caches encoder snapshots per perturbation constraint so
 	// the one-time pretraining phase is shared across advisors.
 	pretrained map[core.PerturbConstraint][][]float64
@@ -101,6 +130,7 @@ type Suite struct {
 
 // NewSuite builds a suite over a schema.
 func NewSuite(name string, s *schema.Schema, p Params, seed int64) (*Suite, error) {
+	defer obs.StartSpan(mSuiteBuildSecs).End()
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -190,7 +220,10 @@ func (s *Suite) BuildAdvisor(spec AdvisorSpec) (advisor.Advisor, error) {
 		v.Episodes = s.P.AdvisorEpisodes
 	}
 	if tr, ok := a.(advisor.Trainable); ok {
-		if err := tr.Train(s.E, s.Train, s.ConstraintFor(spec)); err != nil {
+		sp := obs.StartSpan(mAdvisorTrainSecs)
+		err := tr.Train(s.E, s.Train, s.ConstraintFor(spec))
+		sp.End()
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -226,7 +259,10 @@ func (s *Suite) baselineConfig(base advisor.Advisor, c advisor.Constraint, w *wo
 // UtilityOf measures the advisor's index utility on a workload with the
 // runtime stand-in (Definition 3.2).
 func (s *Suite) UtilityOf(a advisor.Advisor, base advisor.Advisor, c advisor.Constraint, w *workload.Workload) (float64, error) {
+	mRecommendCalls.Inc()
+	sp := obs.StartSpan(mRecommendSecs)
 	cfg, err := a.Recommend(s.E, w, c)
+	sp.End()
 	if err != nil {
 		return 0, err
 	}

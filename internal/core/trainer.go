@@ -8,9 +8,20 @@ import (
 	"github.com/trap-repro/trap/internal/advisor"
 	"github.com/trap-repro/trap/internal/engine"
 	"github.com/trap-repro/trap/internal/nn"
+	"github.com/trap-repro/trap/internal/obs"
 	"github.com/trap-repro/trap/internal/schema"
 	"github.com/trap-repro/trap/internal/sqlx"
 	"github.com/trap-repro/trap/internal/workload"
+)
+
+// Generator-training metrics, aggregated across frameworks.
+var (
+	mPretrainEpochs     = obs.Default().Counter("trap_pretrain_epochs_total")
+	mPretrainEpochSecs  = obs.Default().Histogram("trap_pretrain_epoch_seconds")
+	mRLEpochs           = obs.Default().Counter("trap_rl_epochs_total")
+	mRLEpochSecs        = obs.Default().Histogram("trap_rl_epoch_seconds")
+	mRLLastReward       = obs.Default().Gauge("trap_rl_last_mean_reward")
+	mGeneratedWorkloads = obs.Default().Counter("trap_generated_workloads_total")
 )
 
 // Framework ties a generation model to a perturbation constraint, an edit
@@ -86,6 +97,7 @@ func (f *Framework) Pretrain(gen *workload.Generator, pairs, epochs int) ([]floa
 	opt := nn.NewAdam(f.LR)
 	var trace []float64
 	for ep := 0; ep < epochs; ep++ {
+		sp := obs.StartSpan(mPretrainEpochSecs)
 		total, steps := 0.0, 0
 		for _, d := range data {
 			gt := nn.NewGraph(true)
@@ -104,6 +116,8 @@ func (f *Framework) Pretrain(gen *workload.Generator, pairs, epochs int) ([]floa
 		if steps > 0 {
 			trace = append(trace, total/float64(steps))
 		}
+		sp.End()
+		mPretrainEpochs.Inc()
 	}
 	// Encoder-only transfer: refresh the decoder for RL exploration.
 	f.Model.ResetDecoder(f.rng)
@@ -191,6 +205,7 @@ func (f *Framework) RLTrain(e *engine.Engine, adv advisor.Advisor, baseAdv advis
 	}
 	var trace []float64
 	for ep := 0; ep < epochs; ep++ {
+		sp := obs.StartSpan(mRLEpochSecs)
 		var sum float64
 		var n int
 		for _, w := range train {
@@ -258,6 +273,9 @@ func (f *Framework) RLTrain(e *engine.Engine, adv advisor.Advisor, baseAdv advis
 		} else {
 			trace = append(trace, 0)
 		}
+		mRLLastReward.Set(trace[len(trace)-1])
+		sp.End()
+		mRLEpochs.Inc()
 	}
 	return trace, nil
 }
@@ -285,11 +303,13 @@ func (f *Framework) LoadModel(r io.Reader) error {
 // Generate produces the adversarial workload W' for w by greedy decoding
 // with the trained policy.
 func (f *Framework) Generate(w *workload.Workload) (*workload.Workload, error) {
+	mGeneratedWorkloads.Inc()
 	return PerturbWorkload(f.Model, f.Vocab, w, f.Constraint, f.Eps, false, f.rng)
 }
 
 // GenerateSampled produces a randomized perturbation (used by the Random
 // baseline's repeated attempts).
 func (f *Framework) GenerateSampled(w *workload.Workload) (*workload.Workload, error) {
+	mGeneratedWorkloads.Inc()
 	return PerturbWorkload(f.Model, f.Vocab, w, f.Constraint, f.Eps, true, f.rng)
 }

@@ -4,21 +4,53 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
+	"github.com/trap-repro/trap/internal/obs"
 	"github.com/trap-repro/trap/internal/schema"
 	"github.com/trap-repro/trap/internal/sqlx"
 	"github.com/trap-repro/trap/internal/stats"
 )
 
-// Engine is the simulated cost-based optimizer over a schema. It is safe
-// for concurrent use.
+// Process-wide engine metrics, aggregated across all Engine instances
+// (per-instance numbers are available from Engine.CacheStats).
+var (
+	mWhatIfCalls  = obs.Default().Counter("engine_whatif_calls_total")
+	mTrueCalls    = obs.Default().Counter("engine_truecost_calls_total")
+	mCacheHits    = obs.Default().Counter("engine_plan_cache_hits_total")
+	mCacheMisses  = obs.Default().Counter("engine_plan_cache_misses_total")
+	mCacheEvicted = obs.Default().Counter("engine_plan_cache_evicted_total")
+	mPlanSeconds  = obs.Default().Histogram("engine_plan_seconds")
+)
+
+// defaultCacheLimit bounds the plan cache; beyond it a fraction of the
+// entries is evicted (never the whole cache).
+const defaultCacheLimit = 400_000
+
+// Engine is the simulated cost-based optimizer over a schema.
+//
+// # Concurrency
+//
+// An Engine is safe for concurrent use by multiple goroutines with no
+// external locking: the schema and estimation-error profile are immutable
+// after construction, and the only mutable state — the memoized histogram
+// map and the plan cache — is guarded by one RWMutex. Two goroutines that
+// miss on the same histogram may both build it; the builds are
+// deterministic per column so the duplicate write is benign. Cached
+// *PlanNode values are shared across callers and MUST be treated as
+// read-only; every path in this package builds fresh nodes before
+// caching and never mutates a node after it is published.
 type Engine struct {
 	schema *schema.Schema
 	estErr stats.EstimationError
 
-	mu        sync.RWMutex
-	hists     map[string]stats.Histogram
-	planCache map[string]*PlanNode
+	// Cache statistics (atomic: updated outside the map lock on hits).
+	hits, misses, evicted atomic.Uint64
+
+	mu         sync.RWMutex
+	hists      map[string]stats.Histogram
+	planCache  map[string]*PlanNode
+	cacheLimit int
 }
 
 // New builds an engine over the schema with the default estimation-error
@@ -31,11 +63,53 @@ func New(s *schema.Schema) *Engine {
 // given error profile — the knob behind the estimation-error ablation.
 func NewWithError(s *schema.Schema, e stats.EstimationError) *Engine {
 	return &Engine{
-		schema:    s,
-		estErr:    e,
-		hists:     map[string]stats.Histogram{},
-		planCache: map[string]*PlanNode{},
+		schema:     s,
+		estErr:     e,
+		hists:      map[string]stats.Histogram{},
+		planCache:  map[string]*PlanNode{},
+		cacheLimit: defaultCacheLimit,
 	}
+}
+
+// CacheStats is a point-in-time view of one engine's plan cache.
+type CacheStats struct {
+	Entries int
+	Hits    uint64
+	Misses  uint64
+	Evicted uint64
+}
+
+// HitRatio returns hits/(hits+misses), or 0 before any lookup.
+func (s CacheStats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// CacheStats returns this engine's plan-cache statistics.
+func (e *Engine) CacheStats() CacheStats {
+	e.mu.RLock()
+	n := len(e.planCache)
+	e.mu.RUnlock()
+	return CacheStats{
+		Entries: n,
+		Hits:    e.hits.Load(),
+		Misses:  e.misses.Load(),
+		Evicted: e.evicted.Load(),
+	}
+}
+
+// SetCacheLimit bounds the plan cache at n entries (minimum 8); crossing
+// the bound evicts a fraction of the entries rather than the whole cache.
+func (e *Engine) SetCacheLimit(n int) {
+	if n < 8 {
+		n = 8
+	}
+	e.mu.Lock()
+	e.cacheLimit = n
+	e.mu.Unlock()
 }
 
 // Schema returns the engine's schema.
@@ -49,30 +123,65 @@ func (e *Engine) ClearCache() {
 }
 
 // Plan returns the cheapest plan for q under the index configuration cfg,
-// priced with the given statistics mode. Results are cached.
+// priced with the given statistics mode. Results are cached; the returned
+// node is shared and must not be mutated.
 func (e *Engine) Plan(q *sqlx.Query, cfg schema.Config, mode Mode) (*PlanNode, error) {
 	key := mode.String() + "|" + cfg.Key() + "|" + q.String()
 	e.mu.RLock()
 	if p, ok := e.planCache[key]; ok {
 		e.mu.RUnlock()
+		e.hits.Add(1)
+		mCacheHits.Inc()
 		return p, nil
 	}
 	e.mu.RUnlock()
+	e.misses.Add(1)
+	mCacheMisses.Inc()
+	sp := obs.StartSpan(mPlanSeconds)
 	p, err := e.plan(q, cfg, mode)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	e.mu.Lock()
-	if len(e.planCache) > 400_000 {
-		e.planCache = map[string]*PlanNode{}
+	if len(e.planCache) >= e.cacheLimit {
+		e.evictLocked()
 	}
 	e.planCache[key] = p
 	e.mu.Unlock()
 	return p, nil
 }
 
-// QueryCost returns the total cost of the cheapest plan for q.
+// evictLocked drops ~1/8 of the cache (at least one entry), sampling
+// entries via Go's randomized map iteration order. Unlike a full reset,
+// sustained load keeps most of the working set warm. Called with e.mu
+// held for writing.
+func (e *Engine) evictLocked() {
+	drop := len(e.planCache) / 8
+	if drop < 1 {
+		drop = 1
+	}
+	n := uint64(0)
+	for k := range e.planCache {
+		delete(e.planCache, k)
+		n++
+		if int(n) >= drop {
+			break
+		}
+	}
+	e.evicted.Add(n)
+	mCacheEvicted.Add(int64(n))
+}
+
+// QueryCost returns the total cost of the cheapest plan for q. In
+// ModeEstimated this is the engine's what-if interface — the call
+// advisors are billed for.
 func (e *Engine) QueryCost(q *sqlx.Query, cfg schema.Config, mode Mode) (float64, error) {
+	if mode == ModeEstimated {
+		mWhatIfCalls.Inc()
+	} else {
+		mTrueCalls.Inc()
+	}
 	p, err := e.Plan(q, cfg, mode)
 	if err != nil {
 		return 0, err

@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/trap-repro/trap/internal/schema"
+	"github.com/trap-repro/trap/internal/sqlx"
+)
+
+// TestConcurrentQueryCost hammers one engine from many goroutines mixing
+// cache hits, misses and both statistics modes; run under -race it is the
+// engine's concurrency-contract check.
+func TestConcurrentQueryCost(t *testing.T) {
+	e := New(testSchema())
+	cfg := schema.Config{}.
+		Add(schema.Index{Table: "orders", Columns: []string{"cust_id"}}).
+		Add(schema.Index{Table: "customers", Columns: []string{"id", "region"}})
+
+	queries := make([]*sqlx.Query, 0, 24)
+	for i := 0; i < 24; i++ {
+		sql := fmt.Sprintf(
+			"SELECT orders.total FROM orders, customers WHERE orders.cust_id = customers.id AND orders.total < %d",
+			1000+i*37)
+		queries = append(queries, sqlx.MustParse(sql))
+	}
+
+	// Reference costs computed single-threaded.
+	want := make(map[int][2]float64)
+	for i, q := range queries {
+		ce, err := e.QueryCost(q, cfg, ModeEstimated)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, err := e.QueryCost(q, cfg, ModeTrue)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = [2]float64{ce, ct}
+	}
+	e.ClearCache()
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for round := 0; round < 8; round++ {
+				for i, q := range queries {
+					mode := ModeEstimated
+					if (seed+round+i)%2 == 0 {
+						mode = ModeTrue
+					}
+					c, err := e.QueryCost(q, cfg, mode)
+					if err != nil {
+						errs <- err
+						return
+					}
+					w := want[i][0]
+					if mode == ModeTrue {
+						w = want[i][1]
+					}
+					if c != w {
+						errs <- fmt.Errorf("query %d mode %v: got %v want %v", i, mode, c, w)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := e.CacheStats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("expected both hits and misses, got %+v", st)
+	}
+	if st.Entries == 0 {
+		t.Fatal("cache is empty after concurrent planning")
+	}
+	if r := st.HitRatio(); r <= 0 || r >= 1 {
+		t.Fatalf("hit ratio out of range: %v", r)
+	}
+}
+
+// TestBoundedEviction verifies crossing the cache limit evicts only a
+// fraction of the entries instead of dropping the whole cache.
+func TestBoundedEviction(t *testing.T) {
+	e := New(testSchema())
+	const limit = 64
+	e.SetCacheLimit(limit)
+
+	for i := 0; i < 4*limit; i++ {
+		sql := fmt.Sprintf("SELECT orders.id FROM orders WHERE orders.total = %d", i)
+		if _, err := e.QueryCost(sqlx.MustParse(sql), nil, ModeEstimated); err != nil {
+			t.Fatal(err)
+		}
+		st := e.CacheStats()
+		if st.Entries > limit {
+			t.Fatalf("cache exceeded limit after %d inserts: %d > %d", i+1, st.Entries, limit)
+		}
+	}
+	st := e.CacheStats()
+	if st.Evicted == 0 {
+		t.Fatal("no evictions recorded")
+	}
+	// Bounded eviction must keep most of the cache warm: after sustained
+	// inserts well past the limit, far more than limit/8 entries survive.
+	if st.Entries < limit/2 {
+		t.Fatalf("eviction dropped too much: %d entries left of %d", st.Entries, limit)
+	}
+	// Cached entries still hit.
+	before := e.CacheStats().Hits
+	sql := fmt.Sprintf("SELECT orders.id FROM orders WHERE orders.total = %d", 4*limit-1)
+	if _, err := e.QueryCost(sqlx.MustParse(sql), nil, ModeEstimated); err != nil {
+		t.Fatal(err)
+	}
+	if e.CacheStats().Hits != before+1 {
+		t.Fatal("most recent entry was evicted")
+	}
+}

@@ -1,0 +1,402 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/trap-repro/trap/internal/assess"
+	"github.com/trap-repro/trap/internal/engine"
+	"github.com/trap-repro/trap/internal/schema"
+	"github.com/trap-repro/trap/internal/sqlx"
+	"github.com/trap-repro/trap/internal/workload"
+)
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/parse", s.handleParse)
+	s.mux.HandleFunc("POST /v1/explain", s.handleExplain)
+	s.mux.HandleFunc("POST /v1/advise", s.handleAdvise)
+	s.mux.HandleFunc("POST /v1/assess", s.handleAssess)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody decodes a JSON request body, rejecting unknown fields.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return false
+	}
+	return true
+}
+
+// reqCtx bounds a synchronous handler by the configured request timeout.
+func (s *Server) reqCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+}
+
+// writeCtxError maps a context error onto 504/499-style responses.
+func writeCtxError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, "request aborted: %v", err)
+}
+
+// GET /healthz
+
+type healthResponse struct {
+	Status   string            `json:"status"`
+	Datasets []string          `json:"datasets"`
+	Uptime   string            `json:"uptime"`
+	Jobs     map[JobStatus]int `json:"jobs"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:   "ok",
+		Datasets: s.Datasets(),
+		Uptime:   time.Since(s.start).Round(time.Millisecond).String(),
+		Jobs:     s.jobs.countByStatus(),
+	})
+}
+
+// GET /metrics
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = s.reg.WriteText(w)
+}
+
+// POST /v1/parse
+
+type parseRequest struct {
+	SQL string `json:"sql"`
+}
+
+type parseResponse struct {
+	Query   string   `json:"query"`
+	Tables  []string `json:"tables"`
+	Columns []string `json:"columns"`
+	Tokens  int      `json:"tokens"`
+}
+
+func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
+	var req parseRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	q, err := sqlx.Parse(req.SQL)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parse error: %v", err)
+		return
+	}
+	resp := parseResponse{Query: q.String(), Tables: q.Tables()}
+	for _, c := range q.Columns() {
+		resp.Columns = append(resp.Columns, c.String())
+	}
+	resp.Tokens = len(q.Tokens())
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// POST /v1/explain
+
+type explainRequest struct {
+	Dataset string   `json:"dataset"`
+	SQL     string   `json:"sql"`
+	Indexes []string `json:"indexes"`
+}
+
+type explainResponse struct {
+	EstimatedPlan string  `json:"estimatedPlan"`
+	TruePlan      string  `json:"truePlan"`
+	EstimatedCost float64 `json:"estimatedCost"`
+	TrueCost      float64 `json:"trueCost"`
+	RuntimeCost   float64 `json:"runtimeCost"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req explainRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	suite, ok := s.suiteFor(w, req.Dataset)
+	if !ok {
+		return
+	}
+	q, err := sqlx.Parse(req.SQL)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parse error: %v", err)
+		return
+	}
+	cfg, err := ParseIndexes(req.Indexes)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	resp, err := runBounded(ctx, func() (*explainResponse, error) {
+		est, err := suite.E.Plan(q, cfg, engine.ModeEstimated)
+		if err != nil {
+			return nil, err
+		}
+		tru, err := suite.E.Plan(q, cfg, engine.ModeTrue)
+		if err != nil {
+			return nil, err
+		}
+		rc, err := suite.E.RuntimeCost(q, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &explainResponse{
+			EstimatedPlan: est.String(),
+			TruePlan:      tru.String(),
+			EstimatedCost: est.Cost,
+			TrueCost:      tru.Cost,
+			RuntimeCost:   rc,
+		}, nil
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			writeCtxError(w, ctx.Err())
+			return
+		}
+		writeError(w, http.StatusUnprocessableEntity, "planning failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// POST /v1/advise
+
+type adviseRequest struct {
+	Dataset string   `json:"dataset"`
+	Advisor string   `json:"advisor"`
+	Queries []string `json:"queries"`
+}
+
+type adviseResponse struct {
+	Advisor           string   `json:"advisor"`
+	Indexes           []string `json:"indexes"`
+	SizeBytes         float64  `json:"sizeBytes"`
+	WhatIfImprovement float64  `json:"whatIfImprovement"`
+	ElapsedMilli      int64    `json:"elapsedMs"`
+}
+
+func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	var req adviseRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	suite, ok := s.suiteFor(w, req.Dataset)
+	if !ok {
+		return
+	}
+	spec, err := assess.SpecByName(req.Advisor)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "queries must contain at least one SQL statement")
+		return
+	}
+	var queries []*sqlx.Query
+	for i, sql := range req.Queries {
+		q, err := sqlx.Parse(sql)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "queries[%d]: parse error: %v", i, err)
+			return
+		}
+		queries = append(queries, q)
+	}
+	wl := workload.New(queries...)
+
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	t0 := time.Now()
+	resp, err := runBounded(ctx, func() (*adviseResponse, error) {
+		// Learned advisors are trained on the suite's training workloads
+		// first; heuristics recommend directly.
+		adv, err := suite.BuildAdvisor(spec)
+		if err != nil {
+			return nil, err
+		}
+		ac := suite.ConstraintFor(spec)
+		cfg, err := adv.Recommend(suite.E, wl, ac)
+		if err != nil {
+			return nil, err
+		}
+		resp := &adviseResponse{
+			Advisor:   spec.Name,
+			Indexes:   []string{},
+			SizeBytes: cfg.SizeBytes(suite.E.Schema()),
+		}
+		for _, ix := range cfg {
+			resp.Indexes = append(resp.Indexes, formatIndex(ix))
+		}
+		base, err := workload.Cost(suite.E, wl, nil, engine.ModeEstimated)
+		if err == nil && base > 0 {
+			with, err := workload.Cost(suite.E, wl, cfg, engine.ModeEstimated)
+			if err == nil {
+				resp.WhatIfImprovement = 1 - with/base
+			}
+		}
+		return resp, nil
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			writeCtxError(w, ctx.Err())
+			return
+		}
+		writeError(w, http.StatusUnprocessableEntity, "advising failed: %v", err)
+		return
+	}
+	resp.ElapsedMilli = time.Since(t0).Milliseconds()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// POST /v1/assess
+
+type assessRequest struct {
+	Dataset    string `json:"dataset"`
+	Advisor    string `json:"advisor"`
+	Method     string `json:"method"`
+	Constraint string `json:"constraint"`
+}
+
+func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
+	var req assessRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if _, ok := s.suiteFor(w, req.Dataset); !ok {
+		return
+	}
+	if _, err := assess.SpecByName(req.Advisor); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Method == "" {
+		req.Method = "TRAP"
+	}
+	if !validMethod(req.Method) {
+		writeError(w, http.StatusBadRequest, "unknown method %q (want one of %s)",
+			req.Method, strings.Join(assess.MethodNames, ", "))
+		return
+	}
+	if _, err := parseConstraint(req.Constraint); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	job := s.jobs.create(req.Dataset, req.Advisor, req.Method, req.Constraint)
+	s.mJobsSub.Inc()
+	if !s.pool.submit(job.ID) {
+		s.jobs.update(job.ID, func(j *Job) {
+			j.Status = JobFailed
+			j.Error = "job queue full"
+		})
+		writeError(w, http.StatusServiceUnavailable, "job queue full (%d pending)", s.cfg.QueueDepth)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+func validMethod(name string) bool {
+	for _, m := range assess.MethodNames {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+// GET /v1/jobs/{id}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+// suiteFor resolves a dataset name, writing a 404 when it is not loaded.
+func (s *Server) suiteFor(w http.ResponseWriter, name string) (*assess.Suite, bool) {
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "dataset is required (one of %s)",
+			strings.Join(s.Datasets(), ", "))
+		return nil, false
+	}
+	suite := s.suites[name]
+	if suite == nil {
+		writeError(w, http.StatusNotFound, "dataset %q not loaded (have %s)",
+			name, strings.Join(s.Datasets(), ", "))
+		return nil, false
+	}
+	return suite, true
+}
+
+// ParseIndexes parses "table(col1,col2)" index specs into a Config.
+func ParseIndexes(specs []string) (schema.Config, error) {
+	var cfg schema.Config
+	for _, part := range specs {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		open := strings.IndexByte(part, '(')
+		if open <= 0 || !strings.HasSuffix(part, ")") {
+			return nil, fmt.Errorf("bad index spec %q (want table(col,...))", part)
+		}
+		table := strings.TrimSpace(part[:open])
+		var cols []string
+		for _, c := range strings.Split(part[open+1:len(part)-1], ",") {
+			c = strings.TrimSpace(c)
+			if c == "" {
+				return nil, fmt.Errorf("bad index spec %q: empty column", part)
+			}
+			cols = append(cols, c)
+		}
+		cfg = cfg.Add(schema.Index{Table: table, Columns: cols})
+	}
+	return cfg, nil
+}
+
+// formatIndex renders an index in the same spec format ParseIndexes reads.
+func formatIndex(ix schema.Index) string {
+	return fmt.Sprintf("%s(%s)", ix.Table, strings.Join(ix.Columns, ","))
+}

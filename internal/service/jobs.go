@@ -1,0 +1,181 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// JobStatus is the lifecycle state of an async assessment job.
+type JobStatus string
+
+// Job lifecycle states: pending → running → done | failed. Jobs still
+// queued when the server shuts down become canceled.
+const (
+	JobPending  JobStatus = "pending"
+	JobRunning  JobStatus = "running"
+	JobDone     JobStatus = "done"
+	JobFailed   JobStatus = "failed"
+	JobCanceled JobStatus = "canceled"
+)
+
+// JobResult is the outcome of a completed assessment job.
+type JobResult struct {
+	MeanIUDR     float64 `json:"meanIUDR"`
+	Workloads    int     `json:"workloads"`
+	Pairs        int     `json:"pairs"`
+	NonSargable  int     `json:"nonSargable"`
+	ElapsedMilli int64   `json:"elapsedMs"`
+}
+
+// Job is one async assessment request.
+type Job struct {
+	ID         string     `json:"id"`
+	Status     JobStatus  `json:"status"`
+	Dataset    string     `json:"dataset"`
+	Advisor    string     `json:"advisor"`
+	Method     string     `json:"method"`
+	Constraint string     `json:"constraint"`
+	Error      string     `json:"error,omitempty"`
+	Result     *JobResult `json:"result,omitempty"`
+	Created    time.Time  `json:"created"`
+	Started    *time.Time `json:"started,omitempty"`
+	Finished   *time.Time `json:"finished,omitempty"`
+}
+
+// jobStore is a concurrency-safe in-memory job registry.
+type jobStore struct {
+	mu   sync.Mutex
+	next atomic.Int64
+	jobs map[string]*Job
+}
+
+func newJobStore() *jobStore {
+	return &jobStore{jobs: map[string]*Job{}}
+}
+
+// create registers a new pending job and returns a snapshot of it.
+func (s *jobStore) create(dataset, advisor, method, constraint string) Job {
+	j := &Job{
+		ID:         fmt.Sprintf("job-%d", s.next.Add(1)),
+		Status:     JobPending,
+		Dataset:    dataset,
+		Advisor:    advisor,
+		Method:     method,
+		Constraint: constraint,
+		Created:    time.Now(),
+	}
+	s.mu.Lock()
+	s.jobs[j.ID] = j
+	s.mu.Unlock()
+	return *j
+}
+
+// get returns a snapshot of the job, if it exists.
+func (s *jobStore) get(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// update applies fn to the job under the store lock.
+func (s *jobStore) update(id string, fn func(*Job)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		fn(j)
+	}
+}
+
+// countByStatus tallies jobs per status.
+func (s *jobStore) countByStatus() map[JobStatus]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := map[JobStatus]int{}
+	for _, j := range s.jobs {
+		out[j.Status]++
+	}
+	return out
+}
+
+// workerPool runs jobs on a bounded set of goroutines over a bounded
+// queue. Shutdown stops intake, cancels still-queued jobs and waits for
+// in-flight jobs to drain.
+type workerPool struct {
+	queue  chan string
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+}
+
+// newWorkerPool starts n workers pulling job IDs off a queue of the
+// given depth and handing them to run.
+func newWorkerPool(n, depth int, run func(id string)) *workerPool {
+	p := &workerPool{queue: make(chan string, depth)}
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for id := range p.queue {
+				run(id)
+			}
+		}()
+	}
+	return p
+}
+
+// submit enqueues a job ID; it reports false when the queue is full or
+// the pool is shutting down.
+func (p *workerPool) submit(id string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.queue <- id:
+		return true
+	default:
+		return false
+	}
+}
+
+// shutdown stops intake and waits — up to ctx's deadline — for the
+// workers to drain in-flight jobs. Job IDs still queued (never started)
+// are returned so the caller can mark them canceled.
+func (p *workerPool) shutdown(ctx context.Context) (canceled []string) {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		// Drain never-started jobs before closing so workers exit after
+		// finishing only what they already picked up.
+		for {
+			select {
+			case id := <-p.queue:
+				canceled = append(canceled, id)
+				continue
+			default:
+			}
+			break
+		}
+		close(p.queue)
+	}
+	p.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+	}
+	return canceled
+}

@@ -1,0 +1,389 @@
+// Package service implements trapd, the long-running TRAP assessment
+// daemon: an HTTP JSON API over a registry of pre-built per-dataset
+// assessment suites, a bounded worker pool for async assessment jobs,
+// and a /metrics endpoint exposing the internal/obs registry.
+//
+// Endpoints:
+//
+//	POST /v1/parse    — parse SPAJ SQL, return the canonical form
+//	POST /v1/explain  — plan a query under hypothetical indexes
+//	POST /v1/advise   — recommend an index configuration for a workload
+//	POST /v1/assess   — start an async robustness assessment (job ID)
+//	GET  /v1/jobs/{id} — poll job status and result
+//	GET  /metrics     — text metric exposition
+//	GET  /healthz     — liveness and suite inventory
+//
+// The suites (engine, workloads, vocabulary, learned utility model) are
+// built once at startup and shared by every request; the engine and
+// suite concurrency contracts (see internal/engine and internal/assess)
+// make that safe.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"github.com/trap-repro/trap/internal/assess"
+	"github.com/trap-repro/trap/internal/bench"
+	"github.com/trap-repro/trap/internal/core"
+	"github.com/trap-repro/trap/internal/obs"
+	"github.com/trap-repro/trap/internal/schema"
+)
+
+// DatasetNames lists the datasets trapd can serve.
+var DatasetNames = []string{"tpch", "tpcds", "transaction"}
+
+// SchemaByName builds the named benchmark schema.
+func SchemaByName(name string, scaleDown int64) (*schema.Schema, error) {
+	switch name {
+	case "tpch":
+		return bench.TPCH(scaleDown), nil
+	case "tpcds":
+		return bench.TPCDS(scaleDown), nil
+	case "transaction":
+		return bench.TRANSACTION(scaleDown), nil
+	}
+	return nil, fmt.Errorf("unknown dataset %q", name)
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// Addr is the listen address (":8080" style). Only used by Run.
+	Addr string
+	// Datasets to pre-build suites for (default: tpch).
+	Datasets []string
+	// Params scales the suites (default assess.QuickParams()).
+	Params assess.Params
+	// Seed makes suite construction deterministic (default 42).
+	Seed int64
+	// Workers sizes the assessment worker pool (default runtime.NumCPU()).
+	Workers int
+	// QueueDepth bounds the pending-job queue (default 4×Workers).
+	QueueDepth int
+	// RequestTimeout bounds synchronous endpoints (default 30s).
+	RequestTimeout time.Duration
+	// JobTimeout bounds one assessment job (default 15m).
+	JobTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (default 1MiB).
+	MaxBodyBytes int64
+	// Registry receives the service metrics (default obs.Default()).
+	Registry *obs.Registry
+	// Logf sinks server logs (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if len(c.Datasets) == 0 {
+		c.Datasets = []string{"tpch"}
+	}
+	if c.Params == (assess.Params{}) {
+		c.Params = assess.QuickParams()
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 15 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Registry == nil {
+		c.Registry = obs.Default()
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+}
+
+// Server is the trapd HTTP service.
+type Server struct {
+	cfg    Config
+	reg    *obs.Registry
+	suites map[string]*assess.Suite
+	jobs   *jobStore
+	pool   *workerPool
+	mux    *http.ServeMux
+	start  time.Time
+
+	mRequests   *obs.Counter
+	mReqSecs    *obs.Histogram
+	mJobsSub    *obs.Counter
+	mJobsDone   *obs.Counter
+	mJobsFailed *obs.Counter
+	mJobsRun    *obs.Gauge
+	mJobSecs    *obs.Histogram
+}
+
+// NewServer builds the suites for every configured dataset (this is the
+// slow part: workload generation and utility-model training) and wires
+// the handlers and worker pool. The server is ready to serve as soon as
+// NewServer returns.
+func NewServer(cfg Config) (*Server, error) {
+	cfg.fill()
+	s := &Server{
+		cfg:    cfg,
+		reg:    cfg.Registry,
+		suites: map[string]*assess.Suite{},
+		jobs:   newJobStore(),
+		start:  time.Now(),
+
+		mRequests:   cfg.Registry.Counter("trapd_http_requests_total"),
+		mReqSecs:    cfg.Registry.Histogram("trapd_http_request_seconds"),
+		mJobsSub:    cfg.Registry.Counter("trapd_jobs_submitted_total"),
+		mJobsDone:   cfg.Registry.Counter("trapd_jobs_done_total"),
+		mJobsFailed: cfg.Registry.Counter("trapd_jobs_failed_total"),
+		mJobsRun:    cfg.Registry.Gauge("trapd_jobs_running"),
+		mJobSecs:    cfg.Registry.Histogram("trapd_job_seconds"),
+	}
+	for _, name := range cfg.Datasets {
+		sch, err := SchemaByName(name, cfg.Params.ScaleDown)
+		if err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		t0 := time.Now()
+		suite, err := assess.NewSuite(name, sch, cfg.Params, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("service: building %s suite: %w", name, err)
+		}
+		s.suites[name] = suite
+		cfg.Logf("trapd: built %s suite in %v (%d train / %d test workloads)",
+			name, time.Since(t0).Round(time.Millisecond), len(suite.Train), len(suite.Test))
+
+		// Per-dataset plan-cache gauges, evaluated at scrape time.
+		e := suite.E
+		s.reg.GaugeFunc(fmt.Sprintf("engine_plan_cache_entries{dataset=%q}", name),
+			func() float64 { return float64(e.CacheStats().Entries) })
+		s.reg.GaugeFunc(fmt.Sprintf("engine_plan_cache_hit_ratio{dataset=%q}", name),
+			func() float64 { return e.CacheStats().HitRatio() })
+	}
+	s.reg.GaugeFunc("trapd_jobs_pending", func() float64 {
+		return float64(s.jobs.countByStatus()[JobPending])
+	})
+	s.pool = newWorkerPool(cfg.Workers, cfg.QueueDepth, s.runJob)
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler (metrics middleware
+// included) — used directly by tests and in-process embedding.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.mRequests.Inc()
+		s.reg.Counter(routeCounterName(r)).Inc()
+		defer obs.StartSpan(s.mReqSecs).End()
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// routeCounterName buckets request paths into low-cardinality metric
+// names (job IDs are collapsed).
+func routeCounterName(r *http.Request) string {
+	path := r.URL.Path
+	if strings.HasPrefix(path, "/v1/jobs/") {
+		path = "/v1/jobs"
+	}
+	return fmt.Sprintf("trapd_http_requests_total{path=%q}", path)
+}
+
+// Suite returns the named dataset's suite (nil when not loaded).
+func (s *Server) Suite(name string) *assess.Suite { return s.suites[name] }
+
+// Datasets lists the loaded dataset names in config order.
+func (s *Server) Datasets() []string {
+	out := make([]string, 0, len(s.suites))
+	for _, n := range s.cfg.Datasets {
+		if _, ok := s.suites[n]; ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Run serves on cfg.Addr until ctx is canceled, then shuts down
+// gracefully: the listener closes, in-flight HTTP requests get
+// shutdownGrace to finish, and the worker pool drains running jobs.
+func (s *Server) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.serve(ctx, ln)
+}
+
+const shutdownGrace = 30 * time.Second
+
+func (s *Server) serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	s.cfg.Logf("trapd: serving on %s (datasets: %s, %d workers)",
+		ln.Addr(), strings.Join(s.Datasets(), ","), s.cfg.Workers)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.cfg.Logf("trapd: shutting down, draining in-flight jobs")
+	sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	err := hs.Shutdown(sctx)
+	s.Drain(sctx)
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("trapd: shutdown grace period expired")
+	}
+	return err
+}
+
+// Drain stops job intake, cancels queued-but-unstarted jobs, and waits
+// (bounded by ctx) for running jobs to finish.
+func (s *Server) Drain(ctx context.Context) {
+	for _, id := range s.pool.shutdown(ctx) {
+		s.jobs.update(id, func(j *Job) {
+			if j.Status == JobPending {
+				j.Status = JobCanceled
+				j.Error = "server shut down before the job started"
+			}
+		})
+	}
+}
+
+// runJob executes one assessment job on a worker goroutine.
+func (s *Server) runJob(id string) {
+	j, ok := s.jobs.get(id)
+	if !ok {
+		return
+	}
+	now := time.Now()
+	s.jobs.update(id, func(j *Job) {
+		j.Status = JobRunning
+		j.Started = &now
+	})
+	s.mJobsRun.Add(1)
+	sp := obs.StartSpan(s.mJobSecs)
+	res, err := s.runAssessment(j)
+	elapsed := sp.End()
+	s.mJobsRun.Add(-1)
+
+	fin := time.Now()
+	s.jobs.update(id, func(j *Job) {
+		j.Finished = &fin
+		if err != nil {
+			j.Status = JobFailed
+			j.Error = err.Error()
+			return
+		}
+		res.ElapsedMilli = elapsed.Milliseconds()
+		j.Status = JobDone
+		j.Result = res
+	})
+	if err != nil {
+		s.mJobsFailed.Inc()
+		s.cfg.Logf("trapd: %s failed after %v: %v", id, elapsed.Round(time.Millisecond), err)
+	} else {
+		s.mJobsDone.Inc()
+		s.cfg.Logf("trapd: %s done in %v (meanIUDR=%.4f over %d workloads)",
+			id, elapsed.Round(time.Millisecond), res.MeanIUDR, res.Workloads)
+	}
+}
+
+// runAssessment trains the method against the advisor and measures IUDR
+// over the suite's test workloads, bounded by the job timeout. The
+// assessment pipeline is not context-aware, so a timed-out computation
+// finishes on its goroutine and is discarded; the job fails promptly.
+func (s *Server) runAssessment(j Job) (*JobResult, error) {
+	suite := s.suites[j.Dataset]
+	if suite == nil {
+		return nil, fmt.Errorf("dataset %q not loaded", j.Dataset)
+	}
+	spec, err := assess.SpecByName(j.Advisor)
+	if err != nil {
+		return nil, err
+	}
+	pc, err := parseConstraint(j.Constraint)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.JobTimeout)
+	defer cancel()
+	return runBounded(ctx, func() (*JobResult, error) {
+		adv, err := suite.BuildAdvisor(spec)
+		if err != nil {
+			return nil, fmt.Errorf("building advisor: %w", err)
+		}
+		base := suite.BaselineAdvisor(spec)
+		ac := suite.ConstraintFor(spec)
+		m, err := suite.BuildMethod(j.Method, pc, adv, base, ac, assess.MethodConfig{})
+		if err != nil {
+			return nil, fmt.Errorf("building method: %w", err)
+		}
+		rep, err := suite.Measure(m, adv, base, ac)
+		if err != nil {
+			return nil, fmt.Errorf("measuring: %w", err)
+		}
+		res := &JobResult{MeanIUDR: rep.MeanIUDR, Workloads: rep.N, Pairs: len(rep.Pairs)}
+		for _, p := range rep.Pairs {
+			if p.NonSargable {
+				res.NonSargable++
+			}
+		}
+		return res, nil
+	})
+}
+
+// parseConstraint maps the wire name to a perturbation constraint.
+func parseConstraint(name string) (core.PerturbConstraint, error) {
+	switch name {
+	case "", "shared", "shared-table":
+		return core.SharedTable, nil
+	case "value", "value-only":
+		return core.ValueOnly, nil
+	case "column", "column-consistent":
+		return core.ColumnConsistent, nil
+	}
+	return 0, fmt.Errorf("unknown perturbation constraint %q (want value, column or shared)", name)
+}
+
+// runBounded runs f on its own goroutine and returns its result, or
+// ctx's error once the deadline passes (f keeps running and its result
+// is dropped).
+func runBounded[T any](ctx context.Context, f func() (T, error)) (T, error) {
+	var zero T
+	if err := ctx.Err(); err != nil {
+		return zero, err
+	}
+	type res struct {
+		v   T
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		v, err := f()
+		ch <- res{v, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.v, r.err
+	case <-ctx.Done():
+		return zero, ctx.Err()
+	}
+}
