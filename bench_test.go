@@ -9,6 +9,7 @@ package trap
 // EXPERIMENTS.md.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -108,7 +109,7 @@ func BenchmarkTab4GenerationEfficiency(b *testing.B) {
 		for range results {
 		}
 		adv, _ := s.BuildAdvisor(mustSpec(b, "Extend"))
-		m, err := s.BuildMethod("Random", core.SharedTable, adv, nil, s.Storage, assess.MethodConfig{})
+		m, err := s.BuildMethod(context.Background(), "Random", core.SharedTable, adv, nil, s.Storage, assess.MethodConfig{})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# CI entry point: formatting, vet, tier-1 build+test, and the race
-# detector over the whole module. Run from the repo root.
+# CI entry point: formatting, vet, tier-1 build+test, the race detector
+# over the whole module, and a fault-injection smoke pass. Every test
+# invocation carries a timeout so a wedged cancellation path fails the
+# build instead of hanging it. Run from the repo root.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -16,9 +18,19 @@ go vet ./...
 
 echo "== tier-1: build + test =="
 go build ./...
-go test ./...
+go test -timeout 120s ./...
 
 echo "== race detector =="
-go test -race ./...
+go test -race -timeout 300s ./...
+
+echo "== fault-injection smoke =="
+# Drive the deterministic fault harness end to end: panic isolation,
+# transient-error retry, cancellation, and checkpoint/resume.
+go test -timeout 120s -count=1 \
+    -run 'TestJobPanicIsolation|TestJobTransientRetry|TestJobCancelEndpoints|TestJobCheckpointResume' \
+    ./internal/service
+go test -timeout 120s -count=1 \
+    -run 'TestCheckpointResumeEquivalence|TestRLTrainInjectedTransientError' \
+    ./internal/core
 
 echo "ci: all green"

@@ -8,10 +8,17 @@
 //	trapd [-addr :8080] [-datasets tpch,tpcds,transaction] [-scale quick|full]
 //	      [-workers N] [-queue N] [-seed 42]
 //	      [-request-timeout 30s] [-job-timeout 15m] [-max-body 1048576]
+//	      [-max-retries 2] [-retry-backoff 100ms] [-job-ttl 1h] [-gc-interval 1m]
+//	      [-spool DIR] [-checkpoint-every 1] [-inject SPEC]
 //
 // trapd shuts down gracefully on SIGINT/SIGTERM: the listener closes,
 // in-flight requests and running assessment jobs drain, and queued jobs
-// are canceled.
+// are canceled. With -spool set, RL training checkpoints every
+// -checkpoint-every epochs so canceled/crashed/retried jobs resume from
+// the last completed epoch. -inject arms the deterministic fault
+// harness (see internal/faultinject), e.g.
+//
+//	trapd -spool /tmp/trapd -inject 'core.rl.epoch:error:count=1'
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"time"
 
 	"github.com/trap-repro/trap/internal/assess"
+	"github.com/trap-repro/trap/internal/faultinject"
 	"github.com/trap-repro/trap/internal/service"
 )
 
@@ -38,7 +46,23 @@ func main() {
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "synchronous request deadline")
 	jobTimeout := flag.Duration("job-timeout", 15*time.Minute, "assessment job deadline")
 	maxBody := flag.Int64("max-body", 1<<20, "maximum request body bytes")
+	maxRetries := flag.Int("max-retries", 2, "max retries for jobs failing on transient errors (negative disables)")
+	retryBackoff := flag.Duration("retry-backoff", 100*time.Millisecond, "base retry backoff (doubles per attempt, plus jitter)")
+	jobTTL := flag.Duration("job-ttl", time.Hour, "how long finished jobs stay queryable before GC")
+	gcInterval := flag.Duration("gc-interval", time.Minute, "job garbage-collection interval")
+	spool := flag.String("spool", "", "checkpoint spool directory (empty disables checkpoint/resume)")
+	ckptEvery := flag.Int("checkpoint-every", 1, "RL epochs between training checkpoints")
+	injectSpec := flag.String("inject", "", "fault-injection rules, e.g. 'core.rl.epoch:error:count=1;engine.cost:delay:every=100,delay=5ms'")
 	flag.Parse()
+
+	injector, err := faultinject.Parse(*injectSpec, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trapd:", err)
+		os.Exit(1)
+	}
+	if injector != nil {
+		fmt.Fprintln(os.Stderr, "trapd: FAULT INJECTION ARMED:", *injectSpec)
+	}
 
 	p := assess.QuickParams()
 	if *scale == "full" {
@@ -56,15 +80,22 @@ func main() {
 	}
 
 	srv, err := service.NewServer(service.Config{
-		Addr:           *addr,
-		Datasets:       names,
-		Params:         p,
-		Seed:           *seed,
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		RequestTimeout: *reqTimeout,
-		JobTimeout:     *jobTimeout,
-		MaxBodyBytes:   *maxBody,
+		Addr:            *addr,
+		Datasets:        names,
+		Params:          p,
+		Seed:            *seed,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		RequestTimeout:  *reqTimeout,
+		JobTimeout:      *jobTimeout,
+		MaxBodyBytes:    *maxBody,
+		MaxRetries:      *maxRetries,
+		RetryBackoff:    *retryBackoff,
+		JobTTL:          *jobTTL,
+		GCInterval:      *gcInterval,
+		SpoolDir:        *spool,
+		CheckpointEvery: *ckptEvery,
+		Injector:        injector,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "trapd:", err)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -84,7 +85,7 @@ func run(dataset, advName, constraint string, eps, nWorkloads int, seed int64, s
 	base := suite.BaselineAdvisor(spec)
 	ac := suite.ConstraintFor(spec)
 	fmt.Printf("training TRAP against %s under %s (eps=%d) ...\n", advName, pc, eps)
-	m, err := suite.BuildMethod("TRAP", pc, adv, base, ac, assess.MethodConfig{})
+	m, err := suite.BuildMethod(context.Background(), "TRAP", pc, adv, base, ac, assess.MethodConfig{})
 	if err != nil {
 		return err
 	}
@@ -99,7 +100,7 @@ func run(dataset, advName, constraint string, eps, nWorkloads int, seed int64, s
 		if err != nil || u <= p.Theta {
 			continue
 		}
-		variants, err := m.Variants(w)
+		variants, err := m.Variants(context.Background(), w)
 		if err != nil {
 			return err
 		}

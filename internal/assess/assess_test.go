@@ -1,6 +1,7 @@
 package assess
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -88,11 +89,11 @@ func TestBuildMethodsAndMeasure(t *testing.T) {
 	s := tinySuite(t)
 	adv := &advisor.Extend{Opt: advisor.DefaultOptions()}
 	for _, name := range MethodNames {
-		m, err := s.BuildMethod(name, core.ValueOnly, adv, nil, s.Storage, MethodConfig{})
+		m, err := s.BuildMethod(context.Background(), name, core.ValueOnly, adv, nil, s.Storage, MethodConfig{})
 		if err != nil {
 			t.Fatalf("BuildMethod(%s): %v", name, err)
 		}
-		res, err := s.Measure(m, adv, nil, s.Storage)
+		res, err := s.Measure(context.Background(), m, adv, nil, s.Storage)
 		if err != nil {
 			t.Fatalf("Measure(%s): %v", name, err)
 		}
@@ -106,12 +107,12 @@ func TestBuildMethodsAndMeasure(t *testing.T) {
 		}
 	}
 	// Random must produce its extra attempts.
-	m, _ := s.BuildMethod("Random", core.ValueOnly, adv, nil, s.Storage, MethodConfig{})
-	vs, err := m.Variants(s.Test[0])
+	m, _ := s.BuildMethod(context.Background(), "Random", core.ValueOnly, adv, nil, s.Storage, MethodConfig{})
+	vs, err := m.Variants(context.Background(), s.Test[0])
 	if err != nil || len(vs) != s.P.RandomAttempts {
 		t.Errorf("Random attempts = %d (%v), want %d", len(vs), err, s.P.RandomAttempts)
 	}
-	if _, err := s.BuildMethod("bogus", core.ValueOnly, adv, nil, s.Storage, MethodConfig{}); err == nil {
+	if _, err := s.BuildMethod(context.Background(), "bogus", core.ValueOnly, adv, nil, s.Storage, MethodConfig{}); err == nil {
 		t.Error("unknown method accepted")
 	}
 }
@@ -119,14 +120,14 @@ func TestBuildMethodsAndMeasure(t *testing.T) {
 func TestPretrainCacheReused(t *testing.T) {
 	s := tinySuite(t)
 	adv := &advisor.Drop{}
-	if _, err := s.BuildMethod("TRAP", core.ValueOnly, adv, nil, s.Count, MethodConfig{}); err != nil {
+	if _, err := s.BuildMethod(context.Background(), "TRAP", core.ValueOnly, adv, nil, s.Count, MethodConfig{}); err != nil {
 		t.Fatal(err)
 	}
 	if len(s.pretrained) != 1 {
 		t.Fatalf("pretrain cache size %d", len(s.pretrained))
 	}
 	snap := s.pretrained[core.ValueOnly]
-	if _, err := s.BuildMethod("TRAP", core.ValueOnly, adv, nil, s.Count, MethodConfig{}); err != nil {
+	if _, err := s.BuildMethod(context.Background(), "TRAP", core.ValueOnly, adv, nil, s.Count, MethodConfig{}); err != nil {
 		t.Fatal(err)
 	}
 	if len(s.pretrained) != 1 || &s.pretrained[core.ValueOnly][0][0] != &snap[0][0] {

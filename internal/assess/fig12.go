@@ -1,6 +1,7 @@
 package assess
 
 import (
+	"context"
 	"github.com/trap-repro/trap/internal/advisor"
 	"github.com/trap-repro/trap/internal/core"
 )
@@ -16,11 +17,11 @@ func (s *Suite) trainAdvisor(a advisor.Advisor, ac advisor.Constraint) error {
 // measureTRAPAgainst builds a TRAP method against the advisor and
 // measures the IUDR.
 func (s *Suite) measureTRAPAgainst(a advisor.Advisor, base advisor.Advisor, ac advisor.Constraint, pc core.PerturbConstraint) (float64, int, error) {
-	m, err := s.BuildMethod("TRAP", pc, a, base, ac, MethodConfig{})
+	m, err := s.BuildMethod(context.Background(), "TRAP", pc, a, base, ac, MethodConfig{})
 	if err != nil {
 		return 0, 0, err
 	}
-	res, err := s.Measure(m, a, base, ac)
+	res, err := s.Measure(context.Background(), m, a, base, ac)
 	if err != nil {
 		return 0, 0, err
 	}

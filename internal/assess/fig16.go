@@ -1,6 +1,7 @@
 package assess
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -19,7 +20,7 @@ import (
 func (s *Suite) collectPairs(pc core.PerturbConstraint, rounds int) ([]Pair, error) {
 	adv := &advisor.Extend{Opt: advisor.DefaultOptions()}
 	ac := s.Storage
-	m, err := s.BuildMethod("TRAP", pc, adv, nil, ac, MethodConfig{})
+	m, err := s.BuildMethod(context.Background(), "TRAP", pc, adv, nil, ac, MethodConfig{})
 	if err != nil {
 		return nil, err
 	}
@@ -30,7 +31,7 @@ func (s *Suite) collectPairs(pc core.PerturbConstraint, rounds int) ([]Pair, err
 			if err != nil || u <= s.P.Theta {
 				continue
 			}
-			pert, err := m.FW.GenerateSampled(w)
+			pert, err := m.FW.GenerateSampled(context.Background(), w)
 			if err != nil {
 				return nil, err
 			}

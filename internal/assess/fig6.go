@@ -1,6 +1,7 @@
 package assess
 
 import (
+	"context"
 	"github.com/trap-repro/trap/internal/advisor"
 	"github.com/trap-repro/trap/internal/bench"
 	"github.com/trap-repro/trap/internal/core"
@@ -41,11 +42,11 @@ func Fig6(suites []*Suite, advisors, methods []string, constraints []core.Pertur
 			ac := s.ConstraintFor(spec)
 			for _, pc := range constraints {
 				for _, mname := range methods {
-					m, err := s.BuildMethod(mname, pc, adv, base, ac, MethodConfig{})
+					m, err := s.BuildMethod(context.Background(), mname, pc, adv, base, ac, MethodConfig{})
 					if err != nil {
 						return nil, nil, err
 					}
-					res, err := s.Measure(m, adv, base, ac)
+					res, err := s.Measure(context.Background(), m, adv, base, ac)
 					if err != nil {
 						return nil, nil, err
 					}
@@ -78,11 +79,11 @@ func Fig10(p Params, columns []int, methods []string, seed int64) (*Table, error
 		adv := &advisor.Extend{Opt: advisor.DefaultOptions()}
 		ac := s.Storage
 		for _, mname := range methods {
-			m, err := s.BuildMethod(mname, core.SharedTable, adv, nil, ac, MethodConfig{})
+			m, err := s.BuildMethod(context.Background(), mname, core.SharedTable, adv, nil, ac, MethodConfig{})
 			if err != nil {
 				return nil, err
 			}
-			res, err := s.Measure(m, adv, nil, ac)
+			res, err := s.Measure(context.Background(), m, adv, nil, ac)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package assess
 
 import (
+	"context"
 	"time"
 
 	"github.com/trap-repro/trap/internal/core"
@@ -66,24 +67,24 @@ func Fig7Tab4(s *Suite, genQueries int) ([]Fig7Tab4Result, *Table, *Table, error
 	for _, mod := range modules {
 		var mExtend, mSWIRL *Method
 		if mod.name == "TRAP" {
-			mExtend, err = s.BuildMethod("TRAP", pc, extend, nil, s.Storage, MethodConfig{})
+			mExtend, err = s.BuildMethod(context.Background(), "TRAP", pc, extend, nil, s.Storage, MethodConfig{})
 			if err == nil {
-				mSWIRL, err = s.BuildMethod("TRAP", pc, swirl, swirlBase, s.Storage, MethodConfig{})
+				mSWIRL, err = s.BuildMethod(context.Background(), "TRAP", pc, swirl, swirlBase, s.Storage, MethodConfig{})
 			}
 		} else {
-			mExtend, err = s.BuildMethod(mod.name, pc, extend, nil, s.Storage, MethodConfig{Model: mod.make()})
+			mExtend, err = s.BuildMethod(context.Background(), mod.name, pc, extend, nil, s.Storage, MethodConfig{Model: mod.make()})
 			if err == nil {
-				mSWIRL, err = s.BuildMethod(mod.name, pc, swirl, swirlBase, s.Storage, MethodConfig{Model: mod.make()})
+				mSWIRL, err = s.BuildMethod(context.Background(), mod.name, pc, swirl, swirlBase, s.Storage, MethodConfig{Model: mod.make()})
 			}
 		}
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		resE, err := s.Measure(mExtend, extend, nil, s.Storage)
+		resE, err := s.Measure(context.Background(), mExtend, extend, nil, s.Storage)
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		resS, err := s.Measure(mSWIRL, swirl, swirlBase, s.Storage)
+		resS, err := s.Measure(context.Background(), mSWIRL, swirl, swirlBase, s.Storage)
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -160,11 +161,11 @@ func Fig8(s *Suite) ([]Fig8Result, *Table, error) {
 		ac := s.ConstraintFor(spec)
 		var fullFinal float64
 		for vi, v := range variants {
-			m, err := s.BuildMethod("TRAP", core.SharedTable, adv, base, ac, v.mc)
+			m, err := s.BuildMethod(context.Background(), "TRAP", core.SharedTable, adv, base, ac, v.mc)
 			if err != nil {
 				return nil, nil, err
 			}
-			res, err := s.Measure(m, adv, base, ac)
+			res, err := s.Measure(context.Background(), m, adv, base, ac)
 			if err != nil {
 				return nil, nil, err
 			}

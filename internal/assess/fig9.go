@@ -1,6 +1,7 @@
 package assess
 
 import (
+	"context"
 	"github.com/trap-repro/trap/internal/advisor"
 	"github.com/trap-repro/trap/internal/core"
 	"github.com/trap-repro/trap/internal/workload"
@@ -19,7 +20,7 @@ func Fig9(s *Suite, methods []string) (*Table, error) {
 	// progressively stricter filters.
 	builtDefault := map[string]*Method{}
 	for _, mname := range methods {
-		m, err := s.BuildMethod(mname, core.SharedTable, adv, nil, ac, MethodConfig{})
+		m, err := s.BuildMethod(context.Background(), mname, core.SharedTable, adv, nil, ac, MethodConfig{})
 		if err != nil {
 			return nil, err
 		}
@@ -29,7 +30,7 @@ func Fig9(s *Suite, methods []string) (*Table, error) {
 		saved := s.P.Theta
 		s.P.Theta = theta
 		for _, mname := range methods {
-			res, err := s.Measure(builtDefault[mname], adv, nil, ac)
+			res, err := s.Measure(context.Background(), builtDefault[mname], adv, nil, ac)
 			if err != nil {
 				s.P.Theta = saved
 				return nil, err
@@ -42,11 +43,11 @@ func Fig9(s *Suite, methods []string) (*Table, error) {
 	// (b) ε sweep: each budget needs its own trained method.
 	for _, eps := range []int{1, 3, 5, 7, 9} {
 		for _, mname := range methods {
-			m, err := s.BuildMethod(mname, core.SharedTable, adv, nil, ac, MethodConfig{Eps: eps})
+			m, err := s.BuildMethod(context.Background(), mname, core.SharedTable, adv, nil, ac, MethodConfig{Eps: eps})
 			if err != nil {
 				return nil, err
 			}
-			res, err := s.Measure(m, adv, nil, ac)
+			res, err := s.Measure(context.Background(), m, adv, nil, ac)
 			if err != nil {
 				return nil, err
 			}
@@ -65,7 +66,7 @@ func Fig9(s *Suite, methods []string) (*Table, error) {
 			tests = append(tests, s.Gen.Workload(size))
 		}
 		for _, mname := range methods {
-			res, err := s.MeasureOn(builtDefault[mname], adv, nil, ac, tests)
+			res, err := s.MeasureOn(context.Background(), builtDefault[mname], adv, nil, ac, tests)
 			if err != nil {
 				return nil, err
 			}
@@ -86,11 +87,11 @@ func Fig11(s *Suite, methods []string) (*Table, error) {
 	for _, frac := range []float64{0.05, 0.1, 0.25, 0.5, 0.75} {
 		ac := advisor.Constraint{StorageBytes: total * frac}
 		for _, mname := range methods {
-			m, err := s.BuildMethod(mname, core.SharedTable, adv, nil, ac, MethodConfig{})
+			m, err := s.BuildMethod(context.Background(), mname, core.SharedTable, adv, nil, ac, MethodConfig{})
 			if err != nil {
 				return nil, err
 			}
-			res, err := s.Measure(m, adv, nil, ac)
+			res, err := s.Measure(context.Background(), m, adv, nil, ac)
 			if err != nil {
 				return nil, err
 			}

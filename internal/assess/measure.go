@@ -1,6 +1,8 @@
 package assess
 
 import (
+	"context"
+
 	"github.com/trap-repro/trap/internal/advisor"
 	"github.com/trap-repro/trap/internal/engine"
 	"github.com/trap-repro/trap/internal/obs"
@@ -42,28 +44,35 @@ func (s *Suite) Sargable(w *workload.Workload) bool {
 // workloads: for every workload where the advisor is properly operating
 // (u > θ), the method's perturbed variants are generated, non-sargable
 // variants are excluded (Definition 3.3), and IUDR is averaged.
-func (s *Suite) Measure(m *Method, adv advisor.Advisor, base advisor.Advisor, ac advisor.Constraint) (*Assessment, error) {
-	return s.MeasureOn(m, adv, base, ac, s.Test)
+func (s *Suite) Measure(ctx context.Context, m *Method, adv advisor.Advisor, base advisor.Advisor, ac advisor.Constraint) (*Assessment, error) {
+	return s.MeasureOn(ctx, m, adv, base, ac, s.Test)
 }
 
-// MeasureOn is Measure over an explicit workload set.
-func (s *Suite) MeasureOn(m *Method, adv advisor.Advisor, base advisor.Advisor, ac advisor.Constraint, tests []*workload.Workload) (*Assessment, error) {
+// MeasureOn is Measure over an explicit workload set. Cancellation is
+// honored between workloads and between pairs.
+func (s *Suite) MeasureOn(ctx context.Context, m *Method, adv advisor.Advisor, base advisor.Advisor, ac advisor.Constraint, tests []*workload.Workload) (*Assessment, error) {
 	defer obs.StartSpan(mMeasureSecs).End()
 	out := &Assessment{}
 	var sum float64
 	for _, w := range tests {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		mAssessedWorkloads.Inc()
 		u, err := s.UtilityOf(adv, base, ac, w)
 		if err != nil || u <= s.P.Theta {
 			continue
 		}
-		variants, err := m.Variants(w)
+		variants, err := m.Variants(ctx, w)
 		if err != nil {
 			return nil, err
 		}
 		var wSum float64
 		var wN int
 		for _, pert := range variants {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			mPairsMeasured.Inc()
 			pair := Pair{Orig: w, Pert: pert, U: u}
 			if !s.Sargable(pert) {
@@ -100,7 +109,7 @@ func (s *Suite) GenerationCost(m *Method, n int) error {
 	made := 0
 	for made < n {
 		for _, w := range s.Test {
-			variants, err := m.Variants(w)
+			variants, err := m.Variants(context.Background(), w)
 			if err != nil {
 				return err
 			}

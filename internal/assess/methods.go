@@ -1,7 +1,9 @@
 package assess
 
 import (
+	"context"
 	"fmt"
+	"io"
 
 	"github.com/trap-repro/trap/internal/advisor"
 	"github.com/trap-repro/trap/internal/core"
@@ -21,6 +23,9 @@ type Method struct {
 	Attempts int // >1 for Random: extra sampled variants, averaged
 	// Trace is the RL reward trace recorded during training.
 	Trace []float64
+	// Resumed reports whether training continued from a checkpoint
+	// (MethodConfig.Resume) instead of starting fresh.
+	Resumed bool
 }
 
 // MethodConfig tweaks method construction for the ablations.
@@ -37,14 +42,26 @@ type MethodConfig struct {
 	Eps int
 	// Theta overrides the utility threshold.
 	Theta float64
+
+	// EpochHook, when non-nil, runs after every completed RL epoch with
+	// the framework and the epoch index — trapd's checkpointing hook.
+	// A non-nil return aborts training with that error.
+	EpochHook func(fw *core.Framework, epoch int) error
+	// Resume, when non-nil, is a checkpoint stream written by
+	// core.Framework.SaveCheckpoint: training restores it and continues
+	// from the checkpointed epoch. An unreadable or mismatched
+	// checkpoint falls back to fresh training (resume is best-effort —
+	// a corrupt spool file must not fail the job).
+	Resume io.Reader
 }
 
 // BuildMethod constructs and trains a generation method against an
 // advisor. TRAP gets pretraining (cached per constraint: it is an
 // advisor-independent one-time effort) and the learned-utility reward;
 // GRU and Seq2Seq are RL-trained with the same reward but without
-// attention/pretraining; Random needs no training.
-func (s *Suite) BuildMethod(name string, pc core.PerturbConstraint, adv advisor.Advisor, base advisor.Advisor, ac advisor.Constraint, mc MethodConfig) (*Method, error) {
+// attention/pretraining; Random needs no training. Cancellation via ctx
+// interrupts pretraining and RL training at epoch/workload boundaries.
+func (s *Suite) BuildMethod(ctx context.Context, name string, pc core.PerturbConstraint, adv advisor.Advisor, base advisor.Advisor, ac advisor.Constraint, mc MethodConfig) (*Method, error) {
 	defer obs.StartSpan(mMethodBuildSecs).End()
 	epochs := s.P.RLEpochs
 	if mc.RLEpochs > 0 {
@@ -63,7 +80,23 @@ func (s *Suite) BuildMethod(name string, pc core.PerturbConstraint, adv advisor.
 		if !mc.NoCostModel {
 			fw.Utility = s.Utility
 		}
+		fw.Inject = s.Inject
+		if mc.EpochHook != nil {
+			hook := mc.EpochHook
+			fw.EpochHook = func(epoch int) error { return hook(fw, epoch) }
+		}
 		return fw
+	}
+	// resume restores a checkpoint into fw; it reports whether the
+	// restore succeeded (failure means train from scratch).
+	resume := func(fw *core.Framework) bool {
+		if mc.Resume == nil {
+			return false
+		}
+		if _, err := fw.LoadCheckpoint(mc.Resume); err != nil {
+			return false
+		}
+		return true
 	}
 	rng := s.rng(int64(pc) + 7)
 	switch name {
@@ -72,41 +105,47 @@ func (s *Suite) BuildMethod(name string, pc core.PerturbConstraint, adv advisor.
 		return &Method{Name: name, FW: fw, Attempts: s.P.RandomAttempts}, nil
 	case "GRU":
 		fw := newFW(core.NewGRUModel(s.Vocab, s.P.Sizes, rng))
-		trace, err := fw.RLTrain(s.E, adv, base, ac, s.Train, epochs)
+		resumed := resume(fw)
+		trace, err := fw.RLTrain(ctx, s.E, adv, base, ac, s.Train, epochs)
 		if err != nil {
 			return nil, err
 		}
-		return &Method{Name: name, FW: fw, Attempts: 1, Trace: trace}, nil
+		return &Method{Name: name, FW: fw, Attempts: 1, Trace: trace, Resumed: resumed}, nil
 	case "Seq2Seq":
 		fw := newFW(core.NewSeq2Seq(s.Vocab, s.P.Sizes, rng))
-		trace, err := fw.RLTrain(s.E, adv, base, ac, s.Train, epochs)
+		resumed := resume(fw)
+		trace, err := fw.RLTrain(ctx, s.E, adv, base, ac, s.Train, epochs)
 		if err != nil {
 			return nil, err
 		}
-		return &Method{Name: name, FW: fw, Attempts: 1, Trace: trace}, nil
+		return &Method{Name: name, FW: fw, Attempts: 1, Trace: trace, Resumed: resumed}, nil
 	case "TRAP":
 		model := core.NewTRAPModel(s.Vocab, s.P.Sizes, rng)
 		fw := newFW(model)
-		if !mc.NoPretrain {
-			if err := s.pretrainInto(fw, model, pc); err != nil {
+		// A successful resume restores post-pretraining parameters, so
+		// the pretraining phase is skipped along with completed epochs.
+		resumed := resume(fw)
+		if !resumed && !mc.NoPretrain {
+			if err := s.pretrainInto(ctx, fw, model, pc); err != nil {
 				return nil, err
 			}
 		}
-		trace, err := fw.RLTrain(s.E, adv, base, ac, s.Train, epochs)
+		trace, err := fw.RLTrain(ctx, s.E, adv, base, ac, s.Train, epochs)
 		if err != nil {
 			return nil, err
 		}
-		return &Method{Name: name, FW: fw, Attempts: 1, Trace: trace}, nil
+		return &Method{Name: name, FW: fw, Attempts: 1, Trace: trace, Resumed: resumed}, nil
 	default:
 		if mc.Model == nil {
 			return nil, fmt.Errorf("assess: unknown method %q", name)
 		}
 		fw := newFW(mc.Model)
-		trace, err := fw.RLTrain(s.E, adv, base, ac, s.Train, epochs)
+		resumed := resume(fw)
+		trace, err := fw.RLTrain(ctx, s.E, adv, base, ac, s.Train, epochs)
 		if err != nil {
 			return nil, err
 		}
-		return &Method{Name: name, FW: fw, Attempts: 1, Trace: trace}, nil
+		return &Method{Name: name, FW: fw, Attempts: 1, Trace: trace, Resumed: resumed}, nil
 	}
 }
 
@@ -115,14 +154,14 @@ func (s *Suite) BuildMethod(name string, pc core.PerturbConstraint, adv advisor.
 // suite lock serializes concurrent builders: the first one pretrains,
 // later ones (and concurrent jobs on other advisors) reuse the snapshot.
 // It also protects Gen's RNG, which Pretrain samples pairs from.
-func (s *Suite) pretrainInto(fw *core.Framework, model *core.TRAPModel, pc core.PerturbConstraint) error {
+func (s *Suite) pretrainInto(ctx context.Context, fw *core.Framework, model *core.TRAPModel, pc core.PerturbConstraint) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if snap, ok := s.pretrained[pc]; ok {
 		model.EncoderParams().SetState(snap)
 		return nil
 	}
-	if _, err := fw.Pretrain(s.Gen, s.P.PretrainPairs, s.P.PretrainEpochs); err != nil {
+	if _, err := fw.Pretrain(ctx, s.Gen, s.P.PretrainPairs, s.P.PretrainEpochs); err != nil {
 		return err
 	}
 	s.pretrained[pc] = model.EncoderParams().State()
@@ -132,9 +171,9 @@ func (s *Suite) pretrainInto(fw *core.Framework, model *core.TRAPModel, pc core.
 // Variants produces the method's perturbed workload(s) for a test
 // workload: one greedy decode for trained models, Attempts sampled
 // decodes for Random.
-func (m *Method) Variants(w *workload.Workload) ([]*workload.Workload, error) {
+func (m *Method) Variants(ctx context.Context, w *workload.Workload) ([]*workload.Workload, error) {
 	if m.Attempts <= 1 {
-		p, err := m.FW.Generate(w)
+		p, err := m.FW.Generate(ctx, w)
 		if err != nil {
 			return nil, err
 		}
@@ -142,7 +181,7 @@ func (m *Method) Variants(w *workload.Workload) ([]*workload.Workload, error) {
 	}
 	var out []*workload.Workload
 	for i := 0; i < m.Attempts; i++ {
-		p, err := m.FW.GenerateSampled(w)
+		p, err := m.FW.GenerateSampled(ctx, w)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package assess
 
 import (
+	"context"
 	"github.com/trap-repro/trap/internal/advisor"
 	"github.com/trap-repro/trap/internal/core"
 	"github.com/trap-repro/trap/internal/stats"
@@ -25,7 +26,7 @@ func (s *Suite) Oscillation(adv advisor.Advisor, base advisor.Advisor, ac adviso
 		}
 		utils := []float64{u}
 		for k := 0; k < samplesPerWorkload; k++ {
-			pert, err := fw.GenerateSampled(w)
+			pert, err := fw.GenerateSampled(context.Background(), w)
 			if err != nil {
 				return 0, err
 			}

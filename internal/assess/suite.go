@@ -13,6 +13,7 @@ import (
 	"github.com/trap-repro/trap/internal/advisor"
 	"github.com/trap-repro/trap/internal/core"
 	"github.com/trap-repro/trap/internal/engine"
+	"github.com/trap-repro/trap/internal/faultinject"
 	"github.com/trap-repro/trap/internal/obs"
 	"github.com/trap-repro/trap/internal/schema"
 	"github.com/trap-repro/trap/internal/workload"
@@ -119,6 +120,12 @@ type Suite struct {
 	// the paper's moderate default); Count is the #index constraint.
 	Storage advisor.Constraint
 	Count   advisor.Constraint
+
+	// Inject, when non-nil, arms the fault-injection points of every
+	// framework the suite builds (and should also be installed on E via
+	// SetInjector by the owner). Set before any BuildMethod call; nil
+	// disables injection.
+	Inject faultinject.Injector
 
 	// mu serializes the mutable shared state below (and Gen's RNG, which
 	// the pretraining phase draws from).

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"github.com/trap-repro/trap/internal/nn"
+)
+
+// checkpointBlob is the on-disk form of a training checkpoint: the model
+// parameters (the SaveModel wire format, so checkpoints stay compatible
+// with plain model snapshots), the Adam moment estimates, and the number
+// of completed RL epochs.
+type checkpointBlob struct {
+	Version int
+	Epoch   int // RL epochs completed; resume starts here
+	Params  []byte
+	AdamT   int
+	AdamM   [][]float64
+	AdamV   [][]float64
+}
+
+const checkpointVersion = 1
+
+// SaveCheckpoint writes a resumable training checkpoint after doneEpochs
+// completed RL epochs: model parameters plus optimizer state. A
+// framework restored with LoadCheckpoint and trained to the original
+// epoch target produces bit-identical parameters to an uninterrupted run
+// with the same seed (RLTrain re-seeds its RNG per epoch, so later
+// epochs do not depend on the RNG position the interrupted run left
+// behind).
+func (f *Framework) SaveCheckpoint(w io.Writer, doneEpochs int) error {
+	p := f.Model.Params()
+	if p == nil {
+		return fmt.Errorf("core: model %s has no parameters to checkpoint", f.Model.Name())
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		return err
+	}
+	blob := checkpointBlob{Version: checkpointVersion, Epoch: doneEpochs, Params: buf.Bytes()}
+	if f.opt != nil {
+		blob.AdamT, blob.AdamM, blob.AdamV = f.opt.State(p)
+	}
+	return gob.NewEncoder(w).Encode(&blob)
+}
+
+// LoadCheckpoint restores a SaveCheckpoint snapshot into an identically
+// constructed framework (same model kind, sizes and vocabulary) and
+// returns the number of completed epochs. It sets StartEpoch so the next
+// RLTrain call continues from where the checkpointed run stopped.
+func (f *Framework) LoadCheckpoint(r io.Reader) (int, error) {
+	p := f.Model.Params()
+	if p == nil {
+		return 0, fmt.Errorf("core: model %s has no parameters to restore", f.Model.Name())
+	}
+	var blob checkpointBlob
+	if err := gob.NewDecoder(r).Decode(&blob); err != nil {
+		return 0, fmt.Errorf("core: decode checkpoint: %w", err)
+	}
+	if blob.Version != checkpointVersion {
+		return 0, fmt.Errorf("core: checkpoint version %d, want %d", blob.Version, checkpointVersion)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := p.Load(bytes.NewReader(blob.Params)); err != nil {
+		return 0, err
+	}
+	if blob.AdamM != nil {
+		opt := nn.NewAdam(f.LR)
+		if err := opt.SetState(p, blob.AdamT, blob.AdamM, blob.AdamV); err != nil {
+			return 0, err
+		}
+		f.opt = opt
+	}
+	f.StartEpoch = blob.Epoch
+	return blob.Epoch, nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -314,7 +315,7 @@ func TestPretrainReducesLoss(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	m := NewTRAPModel(f.v, Sizes{Embed: 16, Hidden: 16}, rng)
 	fw := NewFramework(m, f.v, SharedTable, 6)
-	trace, err := fw.Pretrain(f.gen, 8, 6)
+	trace, err := fw.Pretrain(context.Background(), f.gen, 8, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -357,7 +358,7 @@ func TestRLTrainImprovesReward(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		train = append(train, f.gen.Workload(3))
 	}
-	trace, err := fw.RLTrain(f.e, adv, nil, c, train, 4)
+	trace, err := fw.RLTrain(context.Background(), f.e, adv, nil, c, train, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,7 +366,7 @@ func TestRLTrainImprovesReward(t *testing.T) {
 		t.Fatalf("trace length %d", len(trace))
 	}
 	// Generation must work after training.
-	pert, err := fw.Generate(train[0])
+	pert, err := fw.Generate(context.Background(), train[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -387,7 +388,7 @@ func TestRewardOfSkipsLowUtility(t *testing.T) {
 	fw.Theta = 0.99 // impossible threshold
 	adv := &advisor.Drop{}
 	w := f.gen.Workload(3)
-	if _, err := fw.RewardOf(f.e, adv, nil, advisor.Constraint{MaxIndexes: 2}, w, w); err == nil {
+	if _, err := fw.RewardOf(context.Background(), f.e, adv, nil, advisor.Constraint{MaxIndexes: 2}, w, w); err == nil {
 		t.Error("expected below-theta error")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -89,7 +90,7 @@ func TestMultiQueryWorkloadPerturbation(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		w.Items = append(w.Items, workload.Item{Query: f.gen.Query(), Weight: float64(i + 1)})
 	}
-	pert, err := PerturbWorkload(RandomModel{}, f.v, w, SharedTable, 5, true, rand.New(rand.NewSource(1)))
+	pert, err := PerturbWorkload(context.Background(), RandomModel{}, f.v, w, SharedTable, 5, true, rand.New(rand.NewSource(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,13 +141,13 @@ func TestGenerateSampledDiffersFromGreedy(t *testing.T) {
 	m := NewTRAPModel(f.v, Sizes{Embed: 16, Hidden: 16}, rand.New(rand.NewSource(10)))
 	fw := NewFramework(m, f.v, SharedTable, 11)
 	w := f.gen.Workload(4)
-	greedy, err := fw.Generate(w)
+	greedy, err := fw.Generate(context.Background(), w)
 	if err != nil {
 		t.Fatal(err)
 	}
 	differs := false
 	for i := 0; i < 6 && !differs; i++ {
-		sampled, err := fw.GenerateSampled(w)
+		sampled, err := fw.GenerateSampled(context.Background(), w)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -158,7 +159,7 @@ func TestGenerateSampledDiffersFromGreedy(t *testing.T) {
 		t.Error("sampled decoding never diverged from greedy")
 	}
 	// Greedy is deterministic.
-	greedy2, _ := fw.Generate(w)
+	greedy2, _ := fw.Generate(context.Background(), w)
 	if greedy2.Key() != greedy.Key() {
 		t.Error("greedy decoding not deterministic")
 	}

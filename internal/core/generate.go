@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -114,10 +115,14 @@ func Replay(g *nn.Graph, m Scorer, v *Vocab, q *sqlx.Query, c PerturbConstraint,
 }
 
 // PerturbWorkload decodes every query of w, preserving weights.
-func PerturbWorkload(m Scorer, v *Vocab, w *workload.Workload, c PerturbConstraint, eps int, sample bool, rng *rand.Rand) (*workload.Workload, error) {
+// Cancellation is honored between queries.
+func PerturbWorkload(ctx context.Context, m Scorer, v *Vocab, w *workload.Workload, c PerturbConstraint, eps int, sample bool, rng *rand.Rand) (*workload.Workload, error) {
 	g := nn.NewGraph(false)
 	out := &workload.Workload{}
 	for _, it := range w.Items {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r, err := Decode(g, m, v, it.Query, c, eps, sample, rng)
 		if err != nil {
 			return nil, err

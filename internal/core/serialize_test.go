@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 
@@ -19,7 +20,7 @@ func TestModelSaveLoadRoundTrip(t *testing.T) {
 	fw1 := NewFramework(m1, f.v, SharedTable, 2)
 	fw2 := NewFramework(m2, f.v, SharedTable, 2)
 	// Train briefly so the saved state is non-trivial.
-	if _, err := fw1.Pretrain(f.gen, 4, 2); err != nil {
+	if _, err := fw1.Pretrain(context.Background(), f.gen, 4, 2); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
@@ -31,11 +32,11 @@ func TestModelSaveLoadRoundTrip(t *testing.T) {
 	}
 	// Identical greedy outputs after restore.
 	w := f.gen.Workload(4)
-	g1, err := fw1.Generate(w)
+	g1, err := fw1.Generate(context.Background(), w)
 	if err != nil {
 		t.Fatal(err)
 	}
-	g2, err := fw2.Generate(w)
+	g2, err := fw2.Generate(context.Background(), w)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -185,7 +186,7 @@ func BenchmarkPretrainEpoch(b *testing.B) {
 	fw := NewFramework(m, f.v, SharedTable, 5)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := fw.Pretrain(f.gen, 4, 1); err != nil {
+		if _, err := fw.Pretrain(context.Background(), f.gen, 4, 1); err != nil {
 			b.Fatal(err)
 		}
 	}

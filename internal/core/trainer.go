@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 
 	"github.com/trap-repro/trap/internal/advisor"
 	"github.com/trap-repro/trap/internal/engine"
+	"github.com/trap-repro/trap/internal/faultinject"
 	"github.com/trap-repro/trap/internal/nn"
 	"github.com/trap-repro/trap/internal/obs"
 	"github.com/trap-repro/trap/internal/schema"
@@ -29,6 +32,26 @@ var (
 // two-phase training paradigm: index-advisor-independent pretraining
 // (Section IV-C) followed by reinforced perturbation policy learning with
 // the self-critic baseline (Section IV-B).
+//
+// # Concurrency and cancellation
+//
+// Every long-running method takes a context and checks it cooperatively
+// at epoch and workload (pair) granularity, so deadlines and shutdown
+// interrupt training instead of waiting it out. A Framework is safe for
+// concurrent use: an internal mutex serializes model access, with
+// training holding it per workload so concurrent Generate calls
+// interleave at workload boundaries. Note that GenerateSampled draws
+// from the shared RNG and therefore perturbs training determinism when
+// run concurrently with RLTrain; greedy Generate does not.
+//
+// # Determinism and checkpoints
+//
+// The RNG is re-seeded deterministically at every RL epoch boundary (a
+// mix of the construction seed and the epoch index), which makes an
+// epoch's randomness independent of everything that ran before it. That
+// is what makes checkpoint/resume exact: a run restored from
+// SaveCheckpoint and continued produces bit-identical parameters to an
+// uninterrupted run with the same seed.
 type Framework struct {
 	Model      Scorer
 	Vocab      *Vocab
@@ -46,7 +69,27 @@ type Framework struct {
 	// policy-gradient loss (the batch B of Equation 6).
 	Batch int
 
-	rng *rand.Rand
+	// StartEpoch is the first RL epoch RLTrain runs (set by
+	// LoadCheckpoint so resumed jobs skip completed epochs).
+	StartEpoch int
+	// EpochHook, when non-nil, is called after every completed RL epoch
+	// with the epoch index — the checkpointing hook. It runs with no
+	// framework lock held, so it may call SaveCheckpoint. A non-nil
+	// return aborts training with that error.
+	EpochHook func(epoch int) error
+	// Inject is the fault-injection hook; nil (the default) disables
+	// injection entirely.
+	Inject faultinject.Injector
+
+	seed int64
+	rng  *rand.Rand
+	// opt is the RL optimizer; it persists across RLTrain calls (and
+	// through checkpoints) so Adam's moment estimates survive a resume.
+	opt *nn.Adam
+
+	// mu serializes model parameters, the RNG and uCache between
+	// training steps and concurrent Generate calls.
+	mu sync.Mutex
 
 	// uCache memoizes the advisor's utility on original workloads during
 	// RL training (deterministic, so safe to reuse across trajectories).
@@ -63,9 +106,15 @@ func NewFramework(m Scorer, v *Vocab, c PerturbConstraint, seed int64) *Framewor
 		Theta:      0.1,
 		LR:         0.001,
 		Batch:      2,
+		seed:       seed,
 		rng:        rand.New(rand.NewSource(seed)),
 		uCache:     map[string]float64{},
 	}
+}
+
+// epochSeed derives the deterministic RNG seed for one RL epoch.
+func (f *Framework) epochSeed(epoch int) int64 {
+	return f.seed*1_000_003 + int64(epoch)*7_919 + 1
 }
 
 // Pretrain runs the index-advisor-independent phase (Equation 7): random
@@ -73,37 +122,49 @@ func NewFramework(m Scorer, v *Vocab, c PerturbConstraint, seed int64) *Framewor
 // trained to reproduce them by teacher forcing through the reference
 // tree. Afterwards the decoder is re-initialized — only the encoder's
 // SQL understanding transfers to the RL phase. Returns the per-epoch
-// mean loss trace.
-func (f *Framework) Pretrain(gen *workload.Generator, pairs, epochs int) ([]float64, error) {
+// mean loss trace. Cancellation is honored between epochs and between
+// pairs.
+func (f *Framework) Pretrain(ctx context.Context, gen *workload.Generator, pairs, epochs int) ([]float64, error) {
 	rnd := RandomModel{}
 	type pair struct {
 		q       *sqlx.Query
 		choices []int
 	}
 	var data []pair
+	f.mu.Lock()
 	g := nn.NewGraph(false)
 	for len(data) < pairs {
+		if err := ctx.Err(); err != nil {
+			f.mu.Unlock()
+			return nil, err
+		}
 		q := gen.Query()
 		r, err := Decode(g, rnd, f.Vocab, q, f.Constraint, f.Eps, true, f.rng)
 		if err != nil {
+			f.mu.Unlock()
 			return nil, err
 		}
 		data = append(data, pair{q: q, choices: r.Choices})
 	}
 	params := f.Model.Params()
+	f.mu.Unlock()
 	if params == nil {
 		return nil, fmt.Errorf("core: model %s has no parameters to pretrain", f.Model.Name())
 	}
 	opt := nn.NewAdam(f.LR)
 	var trace []float64
-	for ep := 0; ep < epochs; ep++ {
-		sp := obs.StartSpan(mPretrainEpochSecs)
+	epoch := func() (float64, int, error) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
 		total, steps := 0.0, 0
 		for _, d := range data {
+			if err := ctx.Err(); err != nil {
+				return 0, 0, err
+			}
 			gt := nn.NewGraph(true)
 			r, err := Replay(gt, f.Model, f.Vocab, d.q, f.Constraint, f.Eps, d.choices)
 			if err != nil {
-				return nil, err
+				return 0, 0, err
 			}
 			for _, st := range r.Steps {
 				total += nn.CrossEntropy(st.Logits, st.Chosen, 1)
@@ -113,6 +174,20 @@ func (f *Framework) Pretrain(gen *workload.Generator, pairs, epochs int) ([]floa
 			params.ClipGrads(5)
 			opt.Step(params)
 		}
+		return total, steps, nil
+	}
+	for ep := 0; ep < epochs; ep++ {
+		if err := ctx.Err(); err != nil {
+			return trace, err
+		}
+		if err := faultinject.Fire(f.Inject, faultinject.PointPretrainEpoch); err != nil {
+			return trace, err
+		}
+		sp := obs.StartSpan(mPretrainEpochSecs)
+		total, steps, err := epoch()
+		if err != nil {
+			return trace, err
+		}
 		if steps > 0 {
 			trace = append(trace, total/float64(steps))
 		}
@@ -120,13 +195,15 @@ func (f *Framework) Pretrain(gen *workload.Generator, pairs, epochs int) ([]floa
 		mPretrainEpochs.Inc()
 	}
 	// Encoder-only transfer: refresh the decoder for RL exploration.
+	f.mu.Lock()
 	f.Model.ResetDecoder(f.rng)
+	f.mu.Unlock()
 	return trace, nil
 }
 
 // utilityOf evaluates u(W, d, ·) for a configuration against a baseline,
 // with the learned model when available and what-if estimates otherwise.
-func (f *Framework) utilityOf(e *engine.Engine, w *workload.Workload, cfg, base schema.Config) float64 {
+func (f *Framework) utilityOf(ctx context.Context, e *engine.Engine, w *workload.Workload, cfg, base schema.Config) float64 {
 	if f.Utility != nil {
 		u, err := f.Utility.Utility(e, w, cfg, base)
 		if err != nil {
@@ -134,11 +211,11 @@ func (f *Framework) utilityOf(e *engine.Engine, w *workload.Workload, cfg, base 
 		}
 		return u
 	}
-	cb, err := workload.Cost(e, w, base, engine.ModeEstimated)
+	cb, err := workload.CostCtx(ctx, e, w, base, engine.ModeEstimated)
 	if err != nil || cb <= 0 {
 		return 0
 	}
-	ci, err := workload.Cost(e, w, cfg, engine.ModeEstimated)
+	ci, err := workload.CostCtx(ctx, e, w, cfg, engine.ModeEstimated)
 	if err != nil {
 		return 0
 	}
@@ -147,7 +224,15 @@ func (f *Framework) utilityOf(e *engine.Engine, w *workload.Workload, cfg, base 
 
 // RewardOf computes the training reward r = IUDR for a perturbed
 // workload against an advisor (Equation 6's r).
-func (f *Framework) RewardOf(e *engine.Engine, adv advisor.Advisor, baseAdv advisor.Advisor, c advisor.Constraint, w, pert *workload.Workload) (float64, error) {
+func (f *Framework) RewardOf(ctx context.Context, e *engine.Engine, adv advisor.Advisor, baseAdv advisor.Advisor, c advisor.Constraint, w, pert *workload.Workload) (float64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rewardOf(ctx, e, adv, baseAdv, c, w, pert)
+}
+
+// rewardOf is RewardOf with f.mu already held (the RL loop calls it from
+// inside a locked training step).
+func (f *Framework) rewardOf(ctx context.Context, e *engine.Engine, adv advisor.Advisor, baseAdv advisor.Advisor, c advisor.Constraint, w, pert *workload.Workload) (float64, error) {
 	baseline := func(target *workload.Workload) schema.Config {
 		if baseAdv == nil {
 			return nil
@@ -168,7 +253,7 @@ func (f *Framework) RewardOf(e *engine.Engine, adv advisor.Advisor, baseAdv advi
 		if err != nil {
 			return 0, err
 		}
-		u = f.utilityOf(e, w, cfgW, baseline(w))
+		u = f.utilityOf(ctx, e, w, cfgW, baseline(w))
 		f.uCache[key] = u
 	}
 	if u <= f.Theta {
@@ -178,7 +263,7 @@ func (f *Framework) RewardOf(e *engine.Engine, adv advisor.Advisor, baseAdv advi
 	if err != nil {
 		return 0, err
 	}
-	uPert := f.utilityOf(e, pert, cfgP, baseline(pert))
+	uPert := f.utilityOf(ctx, e, pert, cfgP, baseline(pert))
 	r := workload.IUDR(u, uPert)
 	if r > 2 {
 		r = 2
@@ -192,81 +277,113 @@ func (f *Framework) RewardOf(e *engine.Engine, adv advisor.Advisor, baseAdv advi
 // RLTrain runs reinforced perturbation policy learning against an advisor
 // (Equation 6): sampled perturbations are rewarded by the IUDR they
 // inflict, with the greedy decode as the self-critic baseline. Returns
-// the per-epoch mean sampled reward trace.
-func (f *Framework) RLTrain(e *engine.Engine, adv advisor.Advisor, baseAdv advisor.Advisor, c advisor.Constraint, train []*workload.Workload, epochs int) ([]float64, error) {
+// the per-epoch mean sampled reward trace (for the epochs it ran).
+//
+// Training starts at StartEpoch (0 unless restored by LoadCheckpoint)
+// and re-seeds the RNG at every epoch boundary, so a resumed run is
+// bit-identical to an uninterrupted one. Cancellation is honored between
+// epochs and between workloads; EpochHook runs after each epoch.
+func (f *Framework) RLTrain(ctx context.Context, e *engine.Engine, adv advisor.Advisor, baseAdv advisor.Advisor, c advisor.Constraint, train []*workload.Workload, epochs int) ([]float64, error) {
 	params := f.Model.Params()
 	if params == nil {
 		return nil, fmt.Errorf("core: model %s is not trainable", f.Model.Name())
 	}
-	opt := nn.NewAdam(f.LR)
+	f.mu.Lock()
+	if f.opt == nil {
+		f.opt = nn.NewAdam(f.LR)
+	}
+	opt := f.opt
+	f.mu.Unlock()
 	batch := f.Batch
 	if batch < 1 {
 		batch = 1
 	}
-	var trace []float64
-	for ep := 0; ep < epochs; ep++ {
-		sp := obs.StartSpan(mRLEpochSecs)
+	// step trains on one workload under the framework lock and returns
+	// its contribution to the epoch's sampled-reward mean.
+	step := func(w *workload.Workload) (float64, int) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		// Greedy self-critic baseline (no gradients).
+		gb := nn.NewGraph(false)
+		greedy := &workload.Workload{}
+		for _, it := range w.Items {
+			r, err := Decode(gb, f.Model, f.Vocab, it.Query, f.Constraint, f.Eps, false, f.rng)
+			if err != nil {
+				return 0, 0
+			}
+			greedy.Items = append(greedy.Items, workload.Item{Query: r.Query, Weight: it.Weight})
+		}
+		rb, rbErr := f.rewardOf(ctx, e, adv, baseAdv, c, w, greedy)
+		if rbErr != nil {
+			// Below-θ workloads are skipped entirely (Definition 3.3).
+			return 0, 0
+		}
+		// Batch of sampled trajectories (Equation 6), sharing one tape.
+		g := nn.NewGraph(true)
+		updated := false
 		var sum float64
 		var n int
-		for _, w := range train {
-			// Greedy self-critic baseline (no gradients).
-			gb := nn.NewGraph(false)
-			greedy := &workload.Workload{}
+		for b := 0; b < batch; b++ {
+			pert := &workload.Workload{}
+			var steps []DecStep
 			ok := true
 			for _, it := range w.Items {
-				r, err := Decode(gb, f.Model, f.Vocab, it.Query, f.Constraint, f.Eps, false, f.rng)
+				r, err := Decode(g, f.Model, f.Vocab, it.Query, f.Constraint, f.Eps, true, f.rng)
 				if err != nil {
 					ok = false
 					break
 				}
-				greedy.Items = append(greedy.Items, workload.Item{Query: r.Query, Weight: it.Weight})
+				pert.Items = append(pert.Items, workload.Item{Query: r.Query, Weight: it.Weight})
+				steps = append(steps, r.Steps...)
 			}
 			if !ok {
 				continue
 			}
-			rb, rbErr := f.RewardOf(e, adv, baseAdv, c, w, greedy)
-			if rbErr != nil {
-				// Below-θ workloads are skipped entirely (Definition 3.3).
+			r, err := f.rewardOf(ctx, e, adv, baseAdv, c, w, pert)
+			if err != nil {
 				continue
 			}
-			// Batch of sampled trajectories (Equation 6), sharing one tape.
-			g := nn.NewGraph(true)
-			updated := false
-			for b := 0; b < batch; b++ {
-				pert := &workload.Workload{}
-				var steps []DecStep
-				ok := true
-				for _, it := range w.Items {
-					r, err := Decode(g, f.Model, f.Vocab, it.Query, f.Constraint, f.Eps, true, f.rng)
-					if err != nil {
-						ok = false
-						break
-					}
-					pert.Items = append(pert.Items, workload.Item{Query: r.Query, Weight: it.Weight})
-					steps = append(steps, r.Steps...)
+			advantage := (r - rb) / float64(batch)
+			if advantage != 0 {
+				for _, st := range steps {
+					nn.CrossEntropy(st.Logits, st.Chosen, advantage)
 				}
-				if !ok {
-					continue
-				}
-				r, err := f.RewardOf(e, adv, baseAdv, c, w, pert)
-				if err != nil {
-					continue
-				}
-				advantage := (r - rb) / float64(batch)
-				if advantage != 0 {
-					for _, st := range steps {
-						nn.CrossEntropy(st.Logits, st.Chosen, advantage)
-					}
-					updated = true
-				}
-				sum += r
-				n++
+				updated = true
 			}
-			if updated {
-				g.Backward()
-				params.ClipGrads(5)
-				opt.Step(params)
+			sum += r
+			n++
+		}
+		if updated {
+			g.Backward()
+			params.ClipGrads(5)
+			opt.Step(params)
+		}
+		return sum, n
+	}
+	var trace []float64
+	for ep := f.StartEpoch; ep < epochs; ep++ {
+		if err := ctx.Err(); err != nil {
+			return trace, err
+		}
+		if err := faultinject.Fire(f.Inject, faultinject.PointRLEpoch); err != nil {
+			return trace, err
+		}
+		sp := obs.StartSpan(mRLEpochSecs)
+		f.mu.Lock()
+		f.rng = rand.New(rand.NewSource(f.epochSeed(ep)))
+		f.mu.Unlock()
+		var sum float64
+		var n int
+		for _, w := range train {
+			if err := ctx.Err(); err != nil {
+				return trace, err
 			}
+			if err := faultinject.Fire(f.Inject, faultinject.PointRLWorkload); err != nil {
+				return trace, err
+			}
+			ws, wn := step(w)
+			sum += ws
+			n += wn
 		}
 		if n > 0 {
 			trace = append(trace, sum/float64(n))
@@ -276,6 +393,11 @@ func (f *Framework) RLTrain(e *engine.Engine, adv advisor.Advisor, baseAdv advis
 		mRLLastReward.Set(trace[len(trace)-1])
 		sp.End()
 		mRLEpochs.Inc()
+		if f.EpochHook != nil {
+			if err := f.EpochHook(ep); err != nil {
+				return trace, err
+			}
+		}
 	}
 	return trace, nil
 }
@@ -288,6 +410,8 @@ func (f *Framework) SaveModel(w io.Writer) error {
 	if p == nil {
 		return fmt.Errorf("core: model %s has no parameters to save", f.Model.Name())
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	return p.Save(w)
 }
 
@@ -297,19 +421,33 @@ func (f *Framework) LoadModel(r io.Reader) error {
 	if p == nil {
 		return fmt.Errorf("core: model %s has no parameters to load", f.Model.Name())
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	return p.Load(r)
 }
 
 // Generate produces the adversarial workload W' for w by greedy decoding
-// with the trained policy.
-func (f *Framework) Generate(w *workload.Workload) (*workload.Workload, error) {
+// with the trained policy. Greedy decoding is deterministic and does not
+// consume the shared RNG, so Generate may run concurrently with training
+// without perturbing it.
+func (f *Framework) Generate(ctx context.Context, w *workload.Workload) (*workload.Workload, error) {
 	mGeneratedWorkloads.Inc()
-	return PerturbWorkload(f.Model, f.Vocab, w, f.Constraint, f.Eps, false, f.rng)
+	if err := faultinject.Fire(f.Inject, faultinject.PointGenerate); err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return PerturbWorkload(ctx, f.Model, f.Vocab, w, f.Constraint, f.Eps, false, f.rng)
 }
 
 // GenerateSampled produces a randomized perturbation (used by the Random
 // baseline's repeated attempts).
-func (f *Framework) GenerateSampled(w *workload.Workload) (*workload.Workload, error) {
+func (f *Framework) GenerateSampled(ctx context.Context, w *workload.Workload) (*workload.Workload, error) {
 	mGeneratedWorkloads.Inc()
-	return PerturbWorkload(f.Model, f.Vocab, w, f.Constraint, f.Eps, true, f.rng)
+	if err := faultinject.Fire(f.Inject, faultinject.PointGenerate); err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return PerturbWorkload(ctx, f.Model, f.Vocab, w, f.Constraint, f.Eps, true, f.rng)
 }

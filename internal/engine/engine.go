@@ -1,11 +1,13 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
 
+	"github.com/trap-repro/trap/internal/faultinject"
 	"github.com/trap-repro/trap/internal/obs"
 	"github.com/trap-repro/trap/internal/schema"
 	"github.com/trap-repro/trap/internal/sqlx"
@@ -51,7 +53,14 @@ type Engine struct {
 	hists      map[string]stats.Histogram
 	planCache  map[string]*PlanNode
 	cacheLimit int
+
+	// inject, when non-nil, fires the engine.cost fault-injection point
+	// on every QueryCost call (test/diagnostic configuration only).
+	inject atomic.Pointer[injectorBox]
 }
+
+// injectorBox wraps the interface so it can live in an atomic.Pointer.
+type injectorBox struct{ in faultinject.Injector }
 
 // New builds an engine over the schema with the default estimation-error
 // profile.
@@ -173,6 +182,16 @@ func (e *Engine) evictLocked() {
 	mCacheEvicted.Add(int64(n))
 }
 
+// SetInjector installs a fault injector on the engine's what-if costing
+// path (nil disables injection, the production default).
+func (e *Engine) SetInjector(in faultinject.Injector) {
+	if in == nil {
+		e.inject.Store(nil)
+		return
+	}
+	e.inject.Store(&injectorBox{in: in})
+}
+
 // QueryCost returns the total cost of the cheapest plan for q. In
 // ModeEstimated this is the engine's what-if interface — the call
 // advisors are billed for.
@@ -182,11 +201,41 @@ func (e *Engine) QueryCost(q *sqlx.Query, cfg schema.Config, mode Mode) (float64
 	} else {
 		mTrueCalls.Inc()
 	}
+	if box := e.inject.Load(); box != nil {
+		if err := faultinject.Fire(box.in, faultinject.PointEngineCost); err != nil {
+			return 0, err
+		}
+	}
 	p, err := e.Plan(q, cfg, mode)
 	if err != nil {
 		return 0, err
 	}
 	return p.Cost, nil
+}
+
+// CostItem is one weighted query in a CostBatch call.
+type CostItem struct {
+	Q      *sqlx.Query
+	Weight float64
+}
+
+// CostBatch prices a batch of weighted queries under one configuration
+// and returns the weighted total. Cancellation is honored between
+// queries, so a canceled assessment stops what-if costing at the next
+// query boundary instead of draining the whole batch.
+func (e *Engine) CostBatch(ctx context.Context, items []CostItem, cfg schema.Config, mode Mode) (float64, error) {
+	total := 0.0
+	for _, it := range items {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		c, err := e.QueryCost(it.Q, cfg, mode)
+		if err != nil {
+			return 0, err
+		}
+		total += c * it.Weight
+	}
+	return total, nil
 }
 
 // RuntimeCost is the stand-in for actual query runtime: the true-statistics

@@ -1,6 +1,9 @@
 package nn
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Adam is the Adam optimizer.
 type Adam struct {
@@ -43,6 +46,52 @@ func (a *Adam) Step(p *Params) {
 			t.G[i] = 0
 		}
 	}
+}
+
+// State exports the optimizer's step count and first/second moment
+// vectors in the order of p.Tensors(), for checkpointing. The returned
+// slices are copies. Tensors the optimizer has not stepped yet export
+// zero moments.
+func (a *Adam) State(p *Params) (t int, m, v [][]float64) {
+	ts := p.Tensors()
+	m = make([][]float64, len(ts))
+	v = make([][]float64, len(ts))
+	for i, tensor := range ts {
+		m[i] = make([]float64, tensor.Size())
+		v[i] = make([]float64, tensor.Size())
+		copy(m[i], a.m[tensor])
+		copy(v[i], a.v[tensor])
+	}
+	return a.t, m, v
+}
+
+// SetState restores a State snapshot captured against an identically
+// shaped parameter registry, so a resumed training run continues with
+// the exact moment estimates of the interrupted one.
+func (a *Adam) SetState(p *Params, t int, m, v [][]float64) error {
+	ts := p.Tensors()
+	if len(m) != len(ts) || len(v) != len(ts) {
+		return fmt.Errorf("nn: optimizer state has %d/%d moment vectors, model has %d tensors",
+			len(m), len(v), len(ts))
+	}
+	for i, tensor := range ts {
+		if len(m[i]) != tensor.Size() || len(v[i]) != tensor.Size() {
+			return fmt.Errorf("nn: optimizer moment %d has %d/%d values, tensor has %d",
+				i, len(m[i]), len(v[i]), tensor.Size())
+		}
+	}
+	a.t = t
+	a.m = make(map[*Tensor][]float64, len(ts))
+	a.v = make(map[*Tensor][]float64, len(ts))
+	for i, tensor := range ts {
+		mi := make([]float64, len(m[i]))
+		vi := make([]float64, len(v[i]))
+		copy(mi, m[i])
+		copy(vi, v[i])
+		a.m[tensor] = mi
+		a.v[tensor] = vi
+	}
+	return nil
 }
 
 // SGD is plain stochastic gradient descent (used by the small RL advisors).

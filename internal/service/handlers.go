@@ -24,6 +24,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/advise", s.handleAdvise)
 	s.mux.HandleFunc("POST /v1/assess", s.handleAssess)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 }
 
 // errorBody is the uniform error envelope.
@@ -322,12 +323,21 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 	}
 	job := s.jobs.create(req.Dataset, req.Advisor, req.Method, req.Constraint)
 	s.mJobsSub.Inc()
-	if !s.pool.submit(job.ID) {
+	if err := s.pool.submit(job.ID); err != nil {
+		now := time.Now()
 		s.jobs.update(job.ID, func(j *Job) {
 			j.Status = JobFailed
-			j.Error = "job queue full"
+			j.Error = err.Error()
+			j.Finished = &now
 		})
-		writeError(w, http.StatusServiceUnavailable, "job queue full (%d pending)", s.cfg.QueueDepth)
+		// 503 + Retry-After: the condition is load (or shutdown), not a
+		// bad request — the client should resubmit later.
+		w.Header().Set("Retry-After", "5")
+		if errors.Is(err, ErrPoolClosed) {
+			writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		} else {
+			writeError(w, http.StatusServiceUnavailable, "job queue full (%d pending)", s.cfg.QueueDepth)
+		}
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job)
@@ -352,6 +362,42 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, j)
+}
+
+// DELETE /v1/jobs/{id}
+
+// handleJobCancel cancels a job: a still-queued job is finalized as
+// canceled immediately (the worker skips it on dequeue); a running job
+// has its context canceled, which the training and measurement loops
+// honor at the next epoch/pair boundary. Terminal jobs are a 409.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	if j.Status.terminal() {
+		writeError(w, http.StatusConflict, "job %s already %s", id, j.Status)
+		return
+	}
+	canceledNow := false
+	now := time.Now()
+	s.jobs.update(id, func(j *Job) {
+		if j.Status == JobPending {
+			j.Status = JobCanceled
+			j.Error = "canceled before start"
+			j.Finished = &now
+			canceledNow = true
+		}
+	})
+	if canceledNow {
+		s.mJobsCanceled.Inc()
+	} else if cancel := s.jobs.takeCancel(id); cancel != nil {
+		cancel()
+	}
+	j, _ = s.jobs.get(id)
+	writeJSON(w, http.StatusAccepted, j)
 }
 
 // suiteFor resolves a dataset name, writing a 404 when it is not loaded.

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -11,8 +12,9 @@ import (
 // JobStatus is the lifecycle state of an async assessment job.
 type JobStatus string
 
-// Job lifecycle states: pending → running → done | failed. Jobs still
-// queued when the server shuts down become canceled.
+// Job lifecycle states: pending → running → done | failed | canceled.
+// Jobs still queued when the server shuts down (or canceled via
+// DELETE /v1/jobs/{id} before a worker picks them up) become canceled.
 const (
 	JobPending  JobStatus = "pending"
 	JobRunning  JobStatus = "running"
@@ -20,6 +22,11 @@ const (
 	JobFailed   JobStatus = "failed"
 	JobCanceled JobStatus = "canceled"
 )
+
+// terminal reports whether the status is a final state.
+func (s JobStatus) terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
 
 // JobResult is the outcome of a completed assessment job.
 type JobResult struct {
@@ -32,28 +39,36 @@ type JobResult struct {
 
 // Job is one async assessment request.
 type Job struct {
-	ID         string     `json:"id"`
-	Status     JobStatus  `json:"status"`
-	Dataset    string     `json:"dataset"`
-	Advisor    string     `json:"advisor"`
-	Method     string     `json:"method"`
-	Constraint string     `json:"constraint"`
-	Error      string     `json:"error,omitempty"`
-	Result     *JobResult `json:"result,omitempty"`
-	Created    time.Time  `json:"created"`
-	Started    *time.Time `json:"started,omitempty"`
-	Finished   *time.Time `json:"finished,omitempty"`
+	ID         string    `json:"id"`
+	Status     JobStatus `json:"status"`
+	Dataset    string    `json:"dataset"`
+	Advisor    string    `json:"advisor"`
+	Method     string    `json:"method"`
+	Constraint string    `json:"constraint"`
+	Error      string    `json:"error,omitempty"`
+	// Stack holds the goroutine stack when the job failed on a panic.
+	Stack string `json:"stack,omitempty"`
+	// Attempts counts execution attempts (>1 after transient-error retries).
+	Attempts int `json:"attempts,omitempty"`
+	// Resumed reports whether training continued from a spooled checkpoint.
+	Resumed  bool       `json:"resumed,omitempty"`
+	Result   *JobResult `json:"result,omitempty"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
 }
 
-// jobStore is a concurrency-safe in-memory job registry.
+// jobStore is a concurrency-safe in-memory job registry. It also holds
+// the per-job cancel functions that back DELETE /v1/jobs/{id}.
 type jobStore struct {
-	mu   sync.Mutex
-	next atomic.Int64
-	jobs map[string]*Job
+	mu      sync.Mutex
+	next    atomic.Int64
+	jobs    map[string]*Job
+	cancels map[string]context.CancelFunc
 }
 
 func newJobStore() *jobStore {
-	return &jobStore{jobs: map[string]*Job{}}
+	return &jobStore{jobs: map[string]*Job{}, cancels: map[string]context.CancelFunc{}}
 }
 
 // create registers a new pending job and returns a snapshot of it.
@@ -104,6 +119,65 @@ func (s *jobStore) countByStatus() map[JobStatus]int {
 	return out
 }
 
+// size returns the number of jobs currently held (the live-job gauge).
+func (s *jobStore) size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+// setCancel registers the cancel function of a job's execution context.
+func (s *jobStore) setCancel(id string, fn context.CancelFunc) {
+	s.mu.Lock()
+	s.cancels[id] = fn
+	s.mu.Unlock()
+}
+
+// clearCancel drops a job's cancel registration (the job finished).
+func (s *jobStore) clearCancel(id string) {
+	s.mu.Lock()
+	delete(s.cancels, id)
+	s.mu.Unlock()
+}
+
+// takeCancel removes and returns a job's cancel function (nil when the
+// job is not running).
+func (s *jobStore) takeCancel(id string) context.CancelFunc {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn := s.cancels[id]
+	delete(s.cancels, id)
+	return fn
+}
+
+// gc removes terminal jobs that finished more than ttl ago and returns
+// how many were dropped. Running and pending jobs are never collected.
+func (s *jobStore) gc(ttl time.Duration, now time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for id, j := range s.jobs {
+		if !j.Status.terminal() || j.Finished == nil {
+			continue
+		}
+		if now.Sub(*j.Finished) >= ttl {
+			delete(s.jobs, id)
+			delete(s.cancels, id)
+			n++
+		}
+	}
+	return n
+}
+
+// Typed submission failures: handlers translate these into 503s with a
+// Retry-After hint instead of silently dropping the job.
+var (
+	// ErrQueueFull means the pending-job queue is at capacity.
+	ErrQueueFull = errors.New("job queue full")
+	// ErrPoolClosed means the pool stopped intake (server shutting down).
+	ErrPoolClosed = errors.New("worker pool is shut down")
+)
+
 // workerPool runs jobs on a bounded set of goroutines over a bounded
 // queue. Shutdown stops intake, cancels still-queued jobs and waits for
 // in-flight jobs to drain.
@@ -130,19 +204,19 @@ func newWorkerPool(n, depth int, run func(id string)) *workerPool {
 	return p
 }
 
-// submit enqueues a job ID; it reports false when the queue is full or
-// the pool is shutting down.
-func (p *workerPool) submit(id string) bool {
+// submit enqueues a job ID, or reports why it cannot: ErrQueueFull when
+// the queue is at capacity, ErrPoolClosed when intake has stopped.
+func (p *workerPool) submit(id string) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
-		return false
+		return ErrPoolClosed
 	}
 	select {
 	case p.queue <- id:
-		return true
+		return nil
 	default:
-		return false
+		return ErrQueueFull
 	}
 }
 

@@ -20,19 +20,23 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"log"
+	"math/rand"
 	"net"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"time"
 
 	"github.com/trap-repro/trap/internal/assess"
 	"github.com/trap-repro/trap/internal/bench"
 	"github.com/trap-repro/trap/internal/core"
+	"github.com/trap-repro/trap/internal/faultinject"
 	"github.com/trap-repro/trap/internal/obs"
 	"github.com/trap-repro/trap/internal/schema"
 )
@@ -77,6 +81,28 @@ type Config struct {
 	Registry *obs.Registry
 	// Logf sinks server logs (default log.Printf).
 	Logf func(format string, args ...any)
+
+	// MaxRetries bounds re-executions of a job that failed on a
+	// transient error (default 2; negative disables retries).
+	MaxRetries int
+	// RetryBackoff is the base of the exponential retry backoff
+	// (default 100ms; attempt n waits ~RetryBackoff·2ⁿ plus jitter).
+	RetryBackoff time.Duration
+	// JobTTL is how long terminal jobs stay queryable before the
+	// garbage collector drops them (default 1h).
+	JobTTL time.Duration
+	// GCInterval is how often the job garbage collector runs while the
+	// server is serving (default 1m).
+	GCInterval time.Duration
+	// SpoolDir, when set, enables RL-training checkpoints: jobs write a
+	// checkpoint there every CheckpointEvery epochs and resume from it
+	// after a cancel, crash or retry. Empty disables checkpointing.
+	SpoolDir string
+	// CheckpointEvery is the epoch stride between checkpoints (default 1).
+	CheckpointEvery int
+	// Injector arms the fault-injection points in the suites' engines
+	// and frameworks (nil — the default — disables injection).
+	Injector faultinject.Injector
 }
 
 func (c *Config) fill() {
@@ -110,6 +136,23 @@ func (c *Config) fill() {
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	} else if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 100 * time.Millisecond
+	}
+	if c.JobTTL <= 0 {
+		c.JobTTL = time.Hour
+	}
+	if c.GCInterval <= 0 {
+		c.GCInterval = time.Minute
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 1
+	}
 }
 
 // Server is the trapd HTTP service.
@@ -119,16 +162,23 @@ type Server struct {
 	suites map[string]*assess.Suite
 	jobs   *jobStore
 	pool   *workerPool
+	ckpt   *ckptStore // nil when SpoolDir is unset
 	mux    *http.ServeMux
 	start  time.Time
 
-	mRequests   *obs.Counter
-	mReqSecs    *obs.Histogram
-	mJobsSub    *obs.Counter
-	mJobsDone   *obs.Counter
-	mJobsFailed *obs.Counter
-	mJobsRun    *obs.Gauge
-	mJobSecs    *obs.Histogram
+	mRequests     *obs.Counter
+	mReqSecs      *obs.Histogram
+	mJobsSub      *obs.Counter
+	mJobsDone     *obs.Counter
+	mJobsFailed   *obs.Counter
+	mJobsCanceled *obs.Counter
+	mJobRetries   *obs.Counter
+	mJobPanics    *obs.Counter
+	mJobsGCed     *obs.Counter
+	mCkptSaved    *obs.Counter
+	mCkptResumed  *obs.Counter
+	mJobsRun      *obs.Gauge
+	mJobSecs      *obs.Histogram
 }
 
 // NewServer builds the suites for every configured dataset (this is the
@@ -144,13 +194,26 @@ func NewServer(cfg Config) (*Server, error) {
 		jobs:   newJobStore(),
 		start:  time.Now(),
 
-		mRequests:   cfg.Registry.Counter("trapd_http_requests_total"),
-		mReqSecs:    cfg.Registry.Histogram("trapd_http_request_seconds"),
-		mJobsSub:    cfg.Registry.Counter("trapd_jobs_submitted_total"),
-		mJobsDone:   cfg.Registry.Counter("trapd_jobs_done_total"),
-		mJobsFailed: cfg.Registry.Counter("trapd_jobs_failed_total"),
-		mJobsRun:    cfg.Registry.Gauge("trapd_jobs_running"),
-		mJobSecs:    cfg.Registry.Histogram("trapd_job_seconds"),
+		mRequests:     cfg.Registry.Counter("trapd_http_requests_total"),
+		mReqSecs:      cfg.Registry.Histogram("trapd_http_request_seconds"),
+		mJobsSub:      cfg.Registry.Counter("trapd_jobs_submitted_total"),
+		mJobsDone:     cfg.Registry.Counter("trapd_jobs_done_total"),
+		mJobsFailed:   cfg.Registry.Counter("trapd_jobs_failed_total"),
+		mJobsCanceled: cfg.Registry.Counter("trapd_jobs_canceled_total"),
+		mJobRetries:   cfg.Registry.Counter("trapd_job_retries_total"),
+		mJobPanics:    cfg.Registry.Counter("trapd_job_panics_total"),
+		mJobsGCed:     cfg.Registry.Counter("trapd_jobs_gced_total"),
+		mCkptSaved:    cfg.Registry.Counter("trapd_checkpoints_saved_total"),
+		mCkptResumed:  cfg.Registry.Counter("trapd_checkpoints_resumed_total"),
+		mJobsRun:      cfg.Registry.Gauge("trapd_jobs_running"),
+		mJobSecs:      cfg.Registry.Histogram("trapd_job_seconds"),
+	}
+	if cfg.SpoolDir != "" {
+		ck, err := newCkptStore(cfg.SpoolDir, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		s.ckpt = ck
 	}
 	for _, name := range cfg.Datasets {
 		sch, err := SchemaByName(name, cfg.Params.ScaleDown)
@@ -162,6 +225,8 @@ func NewServer(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, fmt.Errorf("service: building %s suite: %w", name, err)
 		}
+		suite.Inject = cfg.Injector
+		suite.E.SetInjector(cfg.Injector)
 		s.suites[name] = suite
 		cfg.Logf("trapd: built %s suite in %v (%d train / %d test workloads)",
 			name, time.Since(t0).Round(time.Millisecond), len(suite.Train), len(suite.Test))
@@ -175,6 +240,9 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	s.reg.GaugeFunc("trapd_jobs_pending", func() float64 {
 		return float64(s.jobs.countByStatus()[JobPending])
+	})
+	s.reg.GaugeFunc("trapd_jobs_live", func() float64 {
+		return float64(s.jobs.size())
 	})
 	s.pool = newWorkerPool(cfg.Workers, cfg.QueueDepth, s.runJob)
 	s.mux = http.NewServeMux()
@@ -235,6 +303,9 @@ func (s *Server) serve(ctx context.Context, ln net.Listener) error {
 	hs := &http.Server{Handler: s.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
+	gctx, stopGC := context.WithCancel(ctx)
+	defer stopGC()
+	go s.gcLoop(gctx)
 	s.cfg.Logf("trapd: serving on %s (datasets: %s, %d workers)",
 		ln.Addr(), strings.Join(s.Datasets(), ","), s.cfg.Workers)
 
@@ -254,6 +325,24 @@ func (s *Server) serve(ctx context.Context, ln net.Listener) error {
 	return err
 }
 
+// gcLoop periodically drops terminal jobs older than JobTTL so the job
+// store does not grow without bound under sustained load.
+func (s *Server) gcLoop(ctx context.Context) {
+	t := time.NewTicker(s.cfg.GCInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-t.C:
+			if n := s.jobs.gc(s.cfg.JobTTL, now); n > 0 {
+				s.mJobsGCed.Add(int64(n))
+				s.cfg.Logf("trapd: gc dropped %d finished jobs older than %v", n, s.cfg.JobTTL)
+			}
+		}
+	}
+}
+
 // Drain stops job intake, cancels queued-but-unstarted jobs, and waits
 // (bounded by ctx) for running jobs to finish.
 func (s *Server) Drain(ctx context.Context) {
@@ -267,50 +356,134 @@ func (s *Server) Drain(ctx context.Context) {
 	}
 }
 
-// runJob executes one assessment job on a worker goroutine.
+// panicError wraps a recovered panic value and its stack so the job
+// layer can mark the job failed with full context instead of letting
+// the panic kill the worker (or the process).
+type panicError struct {
+	val   any
+	stack []byte
+}
+
+func (p *panicError) Error() string { return fmt.Sprintf("panic: %v", p.val) }
+
+// runJob executes one assessment job on a worker goroutine: it gives the
+// job a cancelable timeout context (registered for DELETE /v1/jobs/{id}),
+// retries transient failures with exponential backoff + jitter, isolates
+// panics as job failures, and classifies the terminal state.
 func (s *Server) runJob(id string) {
 	j, ok := s.jobs.get(id)
 	if !ok {
 		return
 	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.JobTimeout)
+	s.jobs.setCancel(id, cancel)
+	defer func() {
+		s.jobs.clearCancel(id)
+		cancel()
+	}()
+	started := false
 	now := time.Now()
 	s.jobs.update(id, func(j *Job) {
-		j.Status = JobRunning
-		j.Started = &now
+		if j.Status == JobPending {
+			j.Status = JobRunning
+			j.Started = &now
+			started = true
+		}
 	})
+	if !started {
+		// Canceled (or otherwise finalized) while queued: nothing to run.
+		return
+	}
 	s.mJobsRun.Add(1)
 	sp := obs.StartSpan(s.mJobSecs)
-	res, err := s.runAssessment(j)
+	var res *JobResult
+	var err error
+	for attempt := 1; ; attempt++ {
+		s.jobs.update(id, func(j *Job) { j.Attempts = attempt })
+		res, err = s.runAssessment(ctx, j)
+		if err == nil || ctx.Err() != nil {
+			break
+		}
+		var pe *panicError
+		if errors.As(err, &pe) {
+			// Panics are never retried: they indicate a bug (or an
+			// injected crash), not a transient condition.
+			break
+		}
+		if attempt > s.cfg.MaxRetries || !faultinject.IsTransient(err) {
+			break
+		}
+		backoff := s.cfg.RetryBackoff << (attempt - 1)
+		backoff += time.Duration(rand.Int63n(int64(backoff)/2 + 1))
+		s.mJobRetries.Inc()
+		s.cfg.Logf("trapd: %s attempt %d failed on transient error, retrying in %v: %v",
+			id, attempt, backoff.Round(time.Millisecond), err)
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			err = ctx.Err()
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
 	elapsed := sp.End()
 	s.mJobsRun.Add(-1)
 
+	var pe *panicError
+	isPanic := errors.As(err, &pe)
 	fin := time.Now()
 	s.jobs.update(id, func(j *Job) {
 		j.Finished = &fin
-		if err != nil {
+		switch {
+		case err == nil:
+			res.ElapsedMilli = elapsed.Milliseconds()
+			j.Status = JobDone
+			j.Result = res
+		case errors.Is(err, context.Canceled):
+			j.Status = JobCanceled
+			j.Error = "canceled"
+		case errors.Is(err, context.DeadlineExceeded):
+			j.Status = JobFailed
+			j.Error = fmt.Sprintf("job timeout (%v) exceeded", s.cfg.JobTimeout)
+		case isPanic:
 			j.Status = JobFailed
 			j.Error = err.Error()
-			return
+			j.Stack = string(pe.stack)
+		default:
+			j.Status = JobFailed
+			j.Error = err.Error()
 		}
-		res.ElapsedMilli = elapsed.Milliseconds()
-		j.Status = JobDone
-		j.Result = res
 	})
-	if err != nil {
-		s.mJobsFailed.Inc()
-		s.cfg.Logf("trapd: %s failed after %v: %v", id, elapsed.Round(time.Millisecond), err)
-	} else {
+	switch {
+	case err == nil:
+		if s.ckpt != nil {
+			s.ckpt.remove(j)
+		}
 		s.mJobsDone.Inc()
 		s.cfg.Logf("trapd: %s done in %v (meanIUDR=%.4f over %d workloads)",
 			id, elapsed.Round(time.Millisecond), res.MeanIUDR, res.Workloads)
+	case errors.Is(err, context.Canceled):
+		s.mJobsCanceled.Inc()
+		s.cfg.Logf("trapd: %s canceled after %v", id, elapsed.Round(time.Millisecond))
+	case isPanic:
+		s.mJobPanics.Inc()
+		s.mJobsFailed.Inc()
+		s.cfg.Logf("trapd: %s panicked after %v: %v", id, elapsed.Round(time.Millisecond), err)
+	default:
+		s.mJobsFailed.Inc()
+		s.cfg.Logf("trapd: %s failed after %v: %v", id, elapsed.Round(time.Millisecond), err)
 	}
 }
 
 // runAssessment trains the method against the advisor and measures IUDR
-// over the suite's test workloads, bounded by the job timeout. The
-// assessment pipeline is not context-aware, so a timed-out computation
-// finishes on its goroutine and is discarded; the job fails promptly.
-func (s *Server) runAssessment(j Job) (*JobResult, error) {
+// over the suite's test workloads under the job's context. The training
+// and measurement loops are context-aware and stop at the next epoch or
+// pair boundary on cancellation; runBounded additionally bounds the few
+// non-context-aware stretches (advisor training), whose discarded
+// goroutine then exits at the next context check it reaches. A panic
+// anywhere in the assessment is captured as a *panicError return.
+func (s *Server) runAssessment(ctx context.Context, j Job) (*JobResult, error) {
 	suite := s.suites[j.Dataset]
 	if suite == nil {
 		return nil, fmt.Errorf("dataset %q not loaded", j.Dataset)
@@ -323,24 +496,52 @@ func (s *Server) runAssessment(j Job) (*JobResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.JobTimeout)
-	defer cancel()
-	return runBounded(ctx, func() (*JobResult, error) {
+	return runBounded(ctx, func() (res *JobResult, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				res, err = nil, &panicError{val: r, stack: debug.Stack()}
+			}
+		}()
 		adv, err := suite.BuildAdvisor(spec)
 		if err != nil {
 			return nil, fmt.Errorf("building advisor: %w", err)
 		}
 		base := suite.BaselineAdvisor(spec)
 		ac := suite.ConstraintFor(spec)
-		m, err := suite.BuildMethod(j.Method, pc, adv, base, ac, assess.MethodConfig{})
+		mc := assess.MethodConfig{}
+		if s.ckpt != nil {
+			if data, derr := s.ckpt.load(j); derr == nil && len(data) > 0 {
+				mc.Resume = bytes.NewReader(data)
+			}
+			every := s.cfg.CheckpointEvery
+			mc.EpochHook = func(fw *core.Framework, epoch int) error {
+				if (epoch+1)%every != 0 {
+					return nil
+				}
+				if serr := s.ckpt.save(j, fw, epoch+1); serr != nil {
+					// Best-effort: a failed checkpoint write must not
+					// fail the job, it only loses resumability.
+					s.cfg.Logf("trapd: %s: checkpoint save failed: %v", j.ID, serr)
+					return nil
+				}
+				s.mCkptSaved.Inc()
+				return nil
+			}
+		}
+		m, err := suite.BuildMethod(ctx, j.Method, pc, adv, base, ac, mc)
 		if err != nil {
 			return nil, fmt.Errorf("building method: %w", err)
 		}
-		rep, err := suite.Measure(m, adv, base, ac)
+		if m.Resumed {
+			s.mCkptResumed.Inc()
+			s.jobs.update(j.ID, func(jj *Job) { jj.Resumed = true })
+			s.cfg.Logf("trapd: %s resumed from checkpoint", j.ID)
+		}
+		rep, err := suite.Measure(ctx, m, adv, base, ac)
 		if err != nil {
 			return nil, fmt.Errorf("measuring: %w", err)
 		}
-		res := &JobResult{MeanIUDR: rep.MeanIUDR, Workloads: rep.N, Pairs: len(rep.Pairs)}
+		res = &JobResult{MeanIUDR: rep.MeanIUDR, Workloads: rep.N, Pairs: len(rep.Pairs)}
 		for _, p := range rep.Pairs {
 			if p.NonSargable {
 				res.NonSargable++

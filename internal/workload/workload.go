@@ -7,6 +7,7 @@
 package workload
 
 import (
+	"context"
 	"strings"
 
 	"github.com/trap-repro/trap/internal/engine"
@@ -99,15 +100,17 @@ func (w *Workload) Columns() []sqlx.ColumnRef {
 // Cost evaluates the weighted workload cost c(W, d, I) under the given
 // index configuration and statistics mode.
 func Cost(e *engine.Engine, w *Workload, cfg schema.Config, mode engine.Mode) (float64, error) {
-	var sum float64
-	for _, it := range w.Items {
-		c, err := e.QueryCost(it.Query, cfg, mode)
-		if err != nil {
-			return 0, err
-		}
-		sum += it.Weight * c
+	return CostCtx(context.Background(), e, w, cfg, mode)
+}
+
+// CostCtx is Cost with cooperative cancellation: costing stops at the
+// next query boundary once ctx is done.
+func CostCtx(ctx context.Context, e *engine.Engine, w *Workload, cfg schema.Config, mode engine.Mode) (float64, error) {
+	items := make([]engine.CostItem, len(w.Items))
+	for i, it := range w.Items {
+		items[i] = engine.CostItem{Q: it.Query, Weight: it.Weight}
 	}
-	return sum, nil
+	return e.CostBatch(ctx, items, cfg, mode)
 }
 
 // RuntimeCost evaluates the workload with the actual-runtime stand-in.

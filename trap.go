@@ -19,6 +19,7 @@
 package trap
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/trap-repro/trap/internal/advisor"
@@ -182,11 +183,11 @@ func (a *Assessor) AssessWith(adv, base Advisor, c Constraint, pc PerturbConstra
 }
 
 func (a *Assessor) assess(adv, base Advisor, c Constraint, pc PerturbConstraint) (*Report, error) {
-	m, err := a.suite.BuildMethod("TRAP", pc, adv, base, c, assess.MethodConfig{})
+	m, err := a.suite.BuildMethod(context.Background(), "TRAP", pc, adv, base, c, assess.MethodConfig{})
 	if err != nil {
 		return nil, fmt.Errorf("trap: training generator: %w", err)
 	}
-	return a.suite.Measure(m, adv, base, c)
+	return a.suite.Measure(context.Background(), m, adv, base, c)
 }
 
 // Utility computes the index utility u(W, d, I) of Definition 3.2 with
