@@ -21,7 +21,16 @@ go build ./...
 go test -timeout 120s ./...
 
 echo "== race detector =="
+# The engine package gets an explicit pass first: the sharded plan cache,
+# singleflight and CostBatch worker pool are the repo's hottest
+# concurrent code and must fail fast and loud on a data race.
+go test -race -timeout 300s -count=1 ./internal/engine
 go test -race -timeout 300s ./...
+
+echo "== benchmark smoke =="
+# One iteration of every CostBatch benchmark: catches bit-rot in the
+# benchmark harness and any pathological slowdown of the costing path.
+go test -run='^$' -bench=CostBatch -benchtime=1x -timeout 120s ./internal/engine
 
 echo "== fault-injection smoke =="
 # Drive the deterministic fault harness end to end: panic isolation,

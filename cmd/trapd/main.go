@@ -6,7 +6,7 @@
 // Usage:
 //
 //	trapd [-addr :8080] [-datasets tpch,tpcds,transaction] [-scale quick|full]
-//	      [-workers N] [-queue N] [-seed 42]
+//	      [-workers N] [-cost-workers N] [-queue N] [-seed 42]
 //	      [-request-timeout 30s] [-job-timeout 15m] [-max-body 1048576]
 //	      [-max-retries 2] [-retry-backoff 100ms] [-job-ttl 1h] [-gc-interval 1m]
 //	      [-spool DIR] [-checkpoint-every 1] [-inject SPEC]
@@ -41,6 +41,7 @@ func main() {
 	datasets := flag.String("datasets", "tpch", "comma-separated datasets to serve (tpch,tpcds,transaction)")
 	scale := flag.String("scale", "quick", "suite parameters: quick or full")
 	workers := flag.Int("workers", 0, "assessment worker pool size (default: NumCPU)")
+	costWorkers := flag.Int("cost-workers", 0, "what-if CostBatch fan-out per engine (default: GOMAXPROCS; 1 = sequential)")
 	queue := flag.Int("queue", 0, "pending-job queue depth (default: 4x workers)")
 	seed := flag.Int64("seed", 42, "random seed for suite construction")
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "synchronous request deadline")
@@ -55,12 +56,17 @@ func main() {
 	injectSpec := flag.String("inject", "", "fault-injection rules, e.g. 'core.rl.epoch:error:count=1;engine.cost:delay:every=100,delay=5ms'")
 	flag.Parse()
 
-	injector, err := faultinject.Parse(*injectSpec, *seed)
+	parsed, err := faultinject.Parse(*injectSpec, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "trapd:", err)
 		os.Exit(1)
 	}
-	if injector != nil {
+	// Assign through the interface only when armed: a typed-nil *Seeded
+	// stored in the Injector interface would defeat the nil check in
+	// faultinject.Fire and panic at the first injection point.
+	var injector faultinject.Injector
+	if parsed != nil {
+		injector = parsed
 		fmt.Fprintln(os.Stderr, "trapd: FAULT INJECTION ARMED:", *injectSpec)
 	}
 
@@ -85,6 +91,7 @@ func main() {
 		Params:          p,
 		Seed:            *seed,
 		Workers:         *workers,
+		CostWorkers:     *costWorkers,
 		QueueDepth:      *queue,
 		RequestTimeout:  *reqTimeout,
 		JobTimeout:      *jobTimeout,

@@ -12,6 +12,7 @@
 package advisor
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -64,6 +65,16 @@ type Trainable interface {
 	Advisor
 	// Train fits the advisor on training workloads under the constraint.
 	Train(e *engine.Engine, train []*workload.Workload, c Constraint) error
+}
+
+// CtxTrainable is a Trainable advisor whose training honors cooperative
+// cancellation: training stops at the next episode boundary once ctx is
+// done and returns ctx.Err(). The RL advisors implement it; callers that
+// hold a context should prefer TrainCtx over Train.
+type CtxTrainable interface {
+	Trainable
+	// TrainCtx is Train bounded by ctx.
+	TrainCtx(ctx context.Context, e *engine.Engine, train []*workload.Workload, c Constraint) error
 }
 
 // Options are the design knobs shared by the advisors, exposed for the

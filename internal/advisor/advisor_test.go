@@ -1,6 +1,7 @@
 package advisor
 
 import (
+	"context"
 	"testing"
 
 	"github.com/trap-repro/trap/internal/bench"
@@ -311,7 +312,7 @@ func TestCandidateFeatures(t *testing.T) {
 func TestEnvStepAndMask(t *testing.T) {
 	f := newFixture(t)
 	c := Constraint{MaxIndexes: 2}
-	env := newEnv(f.e, f.w, c, FineState, DefaultOptions(), true, 1, nil)
+	env := newEnv(context.Background(), f.e, f.w, c, FineState, DefaultOptions(), true, 1, nil)
 	mask := env.validMask()
 	if mask[len(env.cands)] {
 		t.Fatal("stop action must be masked while candidates remain")

@@ -1,6 +1,7 @@
 package advisor
 
 import (
+	"context"
 	"math/rand"
 
 	"github.com/trap-repro/trap/internal/costmodel"
@@ -45,8 +46,9 @@ func (d *dqnCore) ensure(seed int64) {
 	d.q = newScoreNet(StateLen(d.kind), d.hidden, d.rng)
 }
 
-// train runs DQN episodes over the training workloads.
-func (d *dqnCore) train(e *engine.Engine, train []*workload.Workload, c Constraint, episodes int, seed int64) {
+// train runs DQN episodes over the training workloads, stopping at the
+// next episode boundary once ctx is done.
+func (d *dqnCore) train(ctx context.Context, e *engine.Engine, train []*workload.Workload, c Constraint, episodes int, seed int64) error {
 	d.ensure(seed)
 	if cm, err := costmodel.TrainOnWorkloads(e, train, 4, seed+1); err == nil {
 		d.cm = cm
@@ -55,8 +57,11 @@ func (d *dqnCore) train(e *engine.Engine, train []*workload.Workload, c Constrai
 	var buffer []transition
 	eps := d.epsilon
 	for ep := 0; ep < episodes; ep++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		w := train[d.rng.Intn(len(train))]
-		env := newEnv(e, w, c, d.kind, d.opt, d.prune, seed+int64(ep), d.cm)
+		env := newEnv(ctx, e, w, c, d.kind, d.opt, d.prune, seed+int64(ep), d.cm)
 		for {
 			state := env.state()
 			mask := env.validMask()
@@ -112,12 +117,13 @@ func (d *dqnCore) train(e *engine.Engine, train []*workload.Workload, c Constrai
 			eps *= 0.98
 		}
 	}
+	return nil
 }
 
 // recommend runs a greedy Q rollout.
 func (d *dqnCore) recommend(e *engine.Engine, w *workload.Workload, c Constraint, seed int64) schema.Config {
 	d.ensure(seed)
-	env := newEnv(e, w, c, d.kind, d.opt, d.prune, seed, d.cm)
+	env := newEnv(context.Background(), e, w, c, d.kind, d.opt, d.prune, seed, d.cm)
 	for {
 		state := env.state()
 		mask := env.validMask()
@@ -183,9 +189,14 @@ func (a *DRLindex) ensure() {
 
 // Train implements Trainable.
 func (a *DRLindex) Train(e *engine.Engine, train []*workload.Workload, c Constraint) error {
+	return a.TrainCtx(context.Background(), e, train, c)
+}
+
+// TrainCtx implements CtxTrainable: training stops at the next episode
+// boundary once ctx is done.
+func (a *DRLindex) TrainCtx(ctx context.Context, e *engine.Engine, train []*workload.Workload, c Constraint) error {
 	a.ensure()
-	a.core.train(e, train, c, a.Episodes, a.Seed)
-	return nil
+	return a.core.train(ctx, e, train, c, a.Episodes, a.Seed)
 }
 
 // Recommend implements Advisor.
@@ -235,9 +246,14 @@ func (a *DQN) ensure() {
 
 // Train implements Trainable.
 func (a *DQN) Train(e *engine.Engine, train []*workload.Workload, c Constraint) error {
+	return a.TrainCtx(context.Background(), e, train, c)
+}
+
+// TrainCtx implements CtxTrainable: training stops at the next episode
+// boundary once ctx is done.
+func (a *DQN) TrainCtx(ctx context.Context, e *engine.Engine, train []*workload.Workload, c Constraint) error {
 	a.ensure()
-	a.core.train(e, train, c, a.Episodes, a.Seed)
-	return nil
+	return a.core.train(ctx, e, train, c, a.Episodes, a.Seed)
 }
 
 // Recommend implements Advisor.

@@ -1,6 +1,7 @@
 package advisor
 
 import (
+	"context"
 	"math/rand"
 
 	"github.com/trap-repro/trap/internal/costmodel"
@@ -68,6 +69,10 @@ func (n *valueNet) value(g *nn.Graph, state []float64) *nn.Tensor {
 // advisors: the agent adds one index per step until it stops, exhausts
 // the constraint, or hits the step limit.
 type env struct {
+	// ctx bounds the episode's runtime-costing calls; a canceled context
+	// makes envCost return 0 so the episode winds down without draining
+	// full costing loops.
+	ctx   context.Context
 	e     *engine.Engine
 	w     *workload.Workload
 	c     Constraint
@@ -95,7 +100,7 @@ type env struct {
 // execution cost rather than optimizer estimates — the advantage over
 // what-if-driven heuristics they claim (and the paper verifies).
 func (v *env) envCost(cfg schema.Config) float64 {
-	c, err := workload.RuntimeCost(v.e, v.w, cfg)
+	c, err := workload.RuntimeCostCtx(v.ctx, v.e, v.w, cfg)
 	if err != nil {
 		return 0
 	}
@@ -105,13 +110,14 @@ func (v *env) envCost(cfg schema.Config) float64 {
 // newEnv prepares an episode. When pruning is disabled (Figure 13), the
 // candidate pool is polluted with syntactically irrelevant noise indexes
 // and only hard-infeasible actions are masked.
-func newEnv(e *engine.Engine, w *workload.Workload, c Constraint, kind StateKind, opt Options, prune bool, noiseSeed int64, cm *costmodel.Model) *env {
+func newEnv(ctx context.Context, e *engine.Engine, w *workload.Workload, c Constraint, kind StateKind, opt Options, prune bool, noiseSeed int64, cm *costmodel.Model) *env {
 	cands := Candidates(e.Schema(), w, opt)
 	if !prune {
 		cands = append(cands, noiseCandidates(e.Schema(), w, len(cands), noiseSeed)...)
 	}
 	v := &env{
-		e: e, w: w, c: c, kind: kind, prune: prune,
+		ctx: ctx,
+		e:   e, w: w, c: c, kind: kind, prune: prune,
 		cands: cands, selected: make([]bool, len(cands)),
 		maxSteps: 12,
 		cm:       cm,

@@ -1,6 +1,7 @@
 package advisor
 
 import (
+	"context"
 	"math/rand"
 
 	"github.com/trap-repro/trap/internal/costmodel"
@@ -64,6 +65,12 @@ const ppoClip = 0.2
 // Train implements Trainable with PPO: sampled rollouts, a learned value
 // baseline, and a clipped surrogate objective.
 func (a *SWIRL) Train(e *engine.Engine, train []*workload.Workload, c Constraint) error {
+	return a.TrainCtx(context.Background(), e, train, c)
+}
+
+// TrainCtx implements CtxTrainable: training stops at the next episode
+// boundary once ctx is done.
+func (a *SWIRL) TrainCtx(ctx context.Context, e *engine.Engine, train []*workload.Workload, c Constraint) error {
 	a.ensureNets()
 	// Accumulate execution feedback into a learned cost model first: the
 	// advisor's edge over what-if-driven heuristics.
@@ -76,8 +83,11 @@ func (a *SWIRL) Train(e *engine.Engine, train []*workload.Workload, c Constraint
 	vopt := nn.NewAdam(3e-3)
 	gamma := 0.95
 	for ep := 0; ep < a.Episodes; ep++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		w := train[a.rng.Intn(len(train))]
-		env := newEnv(e, w, c, a.State, a.Opt, a.Pruning, a.Seed+int64(ep), a.cm)
+		env := newEnv(ctx, e, w, c, a.State, a.Opt, a.Pruning, a.Seed+int64(ep), a.cm)
 		type stepRec struct {
 			state  []float64
 			mask   []bool
@@ -141,7 +151,7 @@ func (a *SWIRL) Train(e *engine.Engine, train []*workload.Workload, c Constraint
 // called, which mimics an undertrained agent).
 func (a *SWIRL) Recommend(e *engine.Engine, w *workload.Workload, c Constraint) (schema.Config, error) {
 	a.ensureNets()
-	env := newEnv(e, w, c, a.State, a.Opt, a.Pruning, a.Seed, a.cm)
+	env := newEnv(context.Background(), e, w, c, a.State, a.Opt, a.Pruning, a.Seed, a.cm)
 	for {
 		state := env.state()
 		mask := env.validMask()

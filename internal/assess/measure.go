@@ -59,7 +59,7 @@ func (s *Suite) MeasureOn(ctx context.Context, m *Method, adv advisor.Advisor, b
 			return nil, err
 		}
 		mAssessedWorkloads.Inc()
-		u, err := s.UtilityOf(adv, base, ac, w)
+		u, err := s.UtilityOfCtx(ctx, adv, base, ac, w)
 		if err != nil || u <= s.P.Theta {
 			continue
 		}
@@ -81,7 +81,7 @@ func (s *Suite) MeasureOn(ctx context.Context, m *Method, adv advisor.Advisor, b
 				out.Pairs = append(out.Pairs, pair)
 				continue
 			}
-			uPert, err := s.UtilityOf(adv, base, ac, pert)
+			uPert, err := s.UtilityOfCtx(ctx, adv, base, ac, pert)
 			if err != nil {
 				continue
 			}

@@ -6,6 +6,7 @@
 package assess
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -217,6 +218,13 @@ func (s *Suite) ConstraintFor(spec AdvisorSpec) advisor.Constraint {
 
 // BuildAdvisor constructs (and for learned advisors trains) the advisor.
 func (s *Suite) BuildAdvisor(spec AdvisorSpec) (advisor.Advisor, error) {
+	return s.BuildAdvisorCtx(context.Background(), spec)
+}
+
+// BuildAdvisorCtx is BuildAdvisor with cooperative cancellation: when the
+// advisor implements advisor.CtxTrainable, training stops at the next
+// episode boundary once ctx is done.
+func (s *Suite) BuildAdvisorCtx(ctx context.Context, spec AdvisorSpec) (advisor.Advisor, error) {
 	a := spec.Make(s.Seed)
 	switch v := a.(type) {
 	case *advisor.SWIRL:
@@ -228,7 +236,12 @@ func (s *Suite) BuildAdvisor(spec AdvisorSpec) (advisor.Advisor, error) {
 	}
 	if tr, ok := a.(advisor.Trainable); ok {
 		sp := obs.StartSpan(mAdvisorTrainSecs)
-		err := tr.Train(s.E, s.Train, s.ConstraintFor(spec))
+		var err error
+		if ctr, ok := a.(advisor.CtxTrainable); ok {
+			err = ctr.TrainCtx(ctx, s.E, s.Train, s.ConstraintFor(spec))
+		} else {
+			err = tr.Train(s.E, s.Train, s.ConstraintFor(spec))
+		}
 		sp.End()
 		if err != nil {
 			return nil, err
@@ -266,6 +279,12 @@ func (s *Suite) baselineConfig(base advisor.Advisor, c advisor.Constraint, w *wo
 // UtilityOf measures the advisor's index utility on a workload with the
 // runtime stand-in (Definition 3.2).
 func (s *Suite) UtilityOf(a advisor.Advisor, base advisor.Advisor, c advisor.Constraint, w *workload.Workload) (float64, error) {
+	return s.UtilityOfCtx(context.Background(), a, base, c, w)
+}
+
+// UtilityOfCtx is UtilityOf with cooperative cancellation of the
+// runtime-costing loops.
+func (s *Suite) UtilityOfCtx(ctx context.Context, a advisor.Advisor, base advisor.Advisor, c advisor.Constraint, w *workload.Workload) (float64, error) {
 	mRecommendCalls.Inc()
 	sp := obs.StartSpan(mRecommendSecs)
 	cfg, err := a.Recommend(s.E, w, c)
@@ -273,7 +292,7 @@ func (s *Suite) UtilityOf(a advisor.Advisor, base advisor.Advisor, c advisor.Con
 	if err != nil {
 		return 0, err
 	}
-	return workload.Utility(s.E, w, cfg, s.baselineConfig(base, c, w))
+	return workload.UtilityCtx(ctx, s.E, w, cfg, s.baselineConfig(base, c, w))
 }
 
 // rng derives a deterministic sub-rng.

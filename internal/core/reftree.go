@@ -456,6 +456,9 @@ func (s *Session) Choose(id int) error {
 // applyChange mutates the working query at the slot's position.
 func (s *Session) applyChange(sl slot, tok sqlx.Token) {
 	q := s.q
+	// The working query may have been rendered or costed mid-walk; drop
+	// its memoized text/analysis before mutating (see sqlx.Query).
+	defer q.Invalidate()
 	switch {
 	case sl.clause == clSelect && sl.role == roleAgg:
 		q.Select[sl.idx].Agg = tok.Text
@@ -494,6 +497,7 @@ func (s *Session) applyExtension(sl slot, id int, tok sqlx.Token) {
 		return
 	}
 	q := s.q
+	defer q.Invalidate()
 	if sl.clause == clSelect {
 		q.Select = append(q.Select, sqlx.SelectItem{Col: mustColRef(tok.Text)})
 		s.edits += 2

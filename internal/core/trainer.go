@@ -205,7 +205,7 @@ func (f *Framework) Pretrain(ctx context.Context, gen *workload.Generator, pairs
 // with the learned model when available and what-if estimates otherwise.
 func (f *Framework) utilityOf(ctx context.Context, e *engine.Engine, w *workload.Workload, cfg, base schema.Config) float64 {
 	if f.Utility != nil {
-		u, err := f.Utility.Utility(e, w, cfg, base)
+		u, err := f.Utility.UtilityCtx(ctx, e, w, cfg, base)
 		if err != nil {
 			return 0
 		}

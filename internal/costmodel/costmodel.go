@@ -7,6 +7,7 @@
 package costmodel
 
 import (
+	"context"
 	"math/rand"
 
 	"github.com/trap-repro/trap/internal/engine"
@@ -106,8 +107,17 @@ func (u *Model) QueryCost(e *engine.Engine, q *sqlx.Query, cfg schema.Config) (f
 
 // WorkloadCost predicts the weighted runtime cost of a workload.
 func (u *Model) WorkloadCost(e *engine.Engine, w *workload.Workload, cfg schema.Config) (float64, error) {
+	return u.WorkloadCostCtx(context.Background(), e, w, cfg)
+}
+
+// WorkloadCostCtx is WorkloadCost with cooperative cancellation: the
+// prediction loop stops at the next query boundary once ctx is done.
+func (u *Model) WorkloadCostCtx(ctx context.Context, e *engine.Engine, w *workload.Workload, cfg schema.Config) (float64, error) {
 	var sum float64
 	for _, it := range w.Items {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		c, err := u.QueryCost(e, it.Query, cfg)
 		if err != nil {
 			return 0, err
@@ -119,11 +129,16 @@ func (u *Model) WorkloadCost(e *engine.Engine, w *workload.Workload, cfg schema.
 
 // Utility computes the index utility of Definition 3.2 with learned costs.
 func (u *Model) Utility(e *engine.Engine, w *workload.Workload, cfg, base schema.Config) (float64, error) {
-	cb, err := u.WorkloadCost(e, w, base)
+	return u.UtilityCtx(context.Background(), e, w, cfg, base)
+}
+
+// UtilityCtx is Utility with cooperative cancellation.
+func (u *Model) UtilityCtx(ctx context.Context, e *engine.Engine, w *workload.Workload, cfg, base schema.Config) (float64, error) {
+	cb, err := u.WorkloadCostCtx(ctx, e, w, base)
 	if err != nil || cb <= 0 {
 		return 0, err
 	}
-	ci, err := u.WorkloadCost(e, w, cfg)
+	ci, err := u.WorkloadCostCtx(ctx, e, w, cfg)
 	if err != nil {
 		return 0, err
 	}

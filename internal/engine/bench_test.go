@@ -1,0 +1,45 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkCostBatch times the parallel what-if batch-costing path at
+// several fan-out widths. Cold cache per iteration, so the benchmark
+// measures planning throughput; on a multi-core machine workers>1 beats
+// workers=1 (on a single core the deterministic reduce keeps the
+// overhead within noise).
+func BenchmarkCostBatch(b *testing.B) {
+	items, cfg := batchFixture(64)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e := New(testSchema())
+			e.SetBatchWorkers(workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.ClearCache()
+				if _, err := e.CostBatch(context.Background(), items, cfg, ModeEstimated); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCostBatchWarm times the all-hits path: sharded read-locked
+// lookups plus the in-order weighted reduce.
+func BenchmarkCostBatchWarm(b *testing.B) {
+	items, cfg := batchFixture(64)
+	e := New(testSchema())
+	if _, err := e.CostBatch(context.Background(), items, cfg, ModeEstimated); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.CostBatch(context.Background(), items, cfg, ModeEstimated); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

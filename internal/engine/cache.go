@@ -1,0 +1,200 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/trap-repro/trap/internal/obs"
+)
+
+// mSingleflightDedup counts plan builds that were deduplicated: callers
+// that missed on a key another goroutine was already planning and waited
+// for its result instead of planning again.
+var mSingleflightDedup = obs.Default().Counter("engine_plan_singleflight_dedup_total")
+
+// cacheShards is the number of independent plan-cache shards. Keys are
+// spread by FNV-1a hash, so under concurrent CostBatch fan-out the
+// shards' locks are (almost) never contended together. The effective
+// minimum cache limit is one entry per shard.
+const cacheShards = 32
+
+// planCache is a sharded, bounded plan cache with per-shard singleflight:
+// each shard holds its own map, RWMutex, in-flight plan registry and
+// hit/miss/eviction tallies, so concurrent lookups on different keys
+// proceed in parallel and concurrent misses on the same key plan once.
+type planCache struct {
+	// limit bounds the total entry count; each shard enforces
+	// limit/cacheShards (minimum one entry per shard).
+	limit  atomic.Int64
+	shards [cacheShards]cacheShard
+}
+
+type cacheShard struct {
+	hits, misses, evicted, dedup atomic.Uint64
+
+	mu     sync.RWMutex
+	m      map[string]*PlanNode
+	flight map[string]*flightCall
+}
+
+// flightCall is one in-progress plan build; waiters block on wg and read
+// p/err afterwards (the WaitGroup provides the happens-before edge).
+type flightCall struct {
+	wg  sync.WaitGroup
+	p   *PlanNode
+	err error
+}
+
+func (c *planCache) init(limit int) {
+	c.limit.Store(int64(limit))
+	for i := range c.shards {
+		c.shards[i].m = map[string]*PlanNode{}
+		c.shards[i].flight = map[string]*flightCall{}
+	}
+}
+
+// fnv1a is the 64-bit FNV-1a hash of s (inlined to keep the lookup path
+// allocation-free).
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (c *planCache) shardFor(key string) *cacheShard {
+	return &c.shards[fnv1a(key)%cacheShards]
+}
+
+// shardLimit is the per-shard entry bound derived from the total limit.
+func (c *planCache) shardLimit() int {
+	n := int(c.limit.Load()) / cacheShards
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// setLimit stores the new bound and immediately shrinks every shard that
+// exceeds it, so a lowered limit takes effect at once rather than after
+// many inserts.
+func (c *planCache) setLimit(n int) {
+	c.limit.Store(int64(n))
+	lim := c.shardLimit()
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.evictLocked(lim)
+		sh.mu.Unlock()
+	}
+}
+
+// clear drops every cached plan (in-flight builds are kept: they publish
+// into the fresh maps when they finish).
+func (c *planCache) clear() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.m = map[string]*PlanNode{}
+		sh.mu.Unlock()
+	}
+}
+
+// stats aggregates the per-shard tallies.
+func (c *planCache) stats() CacheStats {
+	st := CacheStats{Shards: cacheShards}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		st.Entries += len(sh.m)
+		sh.mu.RUnlock()
+		st.Hits += sh.hits.Load()
+		st.Misses += sh.misses.Load()
+		st.Evicted += sh.evicted.Load()
+		st.SingleflightDedup += sh.dedup.Load()
+	}
+	return st
+}
+
+// lookup is the fast path: a read-locked probe of one shard.
+func (s *cacheShard) lookup(key string) (*PlanNode, bool) {
+	s.mu.RLock()
+	p, ok := s.m[key]
+	s.mu.RUnlock()
+	if ok {
+		s.hits.Add(1)
+		mCacheHits.Inc()
+	}
+	return p, ok
+}
+
+// do resolves a miss: it re-checks the map, joins an in-flight build of
+// the same key if one exists (singleflight), or runs fn itself and
+// publishes the result. Plans that fail are delivered to all waiters but
+// never cached.
+func (s *cacheShard) do(key string, limit int, fn func() (*PlanNode, error)) (*PlanNode, error) {
+	s.mu.Lock()
+	if p, ok := s.m[key]; ok {
+		s.mu.Unlock()
+		s.hits.Add(1)
+		mCacheHits.Inc()
+		return p, nil
+	}
+	if f, ok := s.flight[key]; ok {
+		s.mu.Unlock()
+		s.misses.Add(1)
+		s.dedup.Add(1)
+		mCacheMisses.Inc()
+		mSingleflightDedup.Inc()
+		f.wg.Wait()
+		return f.p, f.err
+	}
+	f := &flightCall{}
+	f.wg.Add(1)
+	s.flight[key] = f
+	s.mu.Unlock()
+
+	s.misses.Add(1)
+	mCacheMisses.Inc()
+	p, err := fn()
+	f.p, f.err = p, err
+
+	s.mu.Lock()
+	delete(s.flight, key)
+	if err == nil {
+		s.evictLocked(limit)
+		s.m[key] = p
+	}
+	s.mu.Unlock()
+	f.wg.Done()
+	return p, err
+}
+
+// evictLocked enforces the shard bound: when the shard is at or over
+// limit it drops enough entries to get (and stay) below it — at least
+// 1/8 of the shard, to amortize eviction over many inserts, and at least
+// len-limit+1, so a lowered limit is honored in one call instead of
+// leaking an oversized cache for thousands of inserts. Victims are
+// sampled via Go's randomized map iteration order, keeping most of the
+// working set warm. Called with s.mu held for writing.
+func (s *cacheShard) evictLocked(limit int) {
+	if len(s.m) < limit {
+		return
+	}
+	drop := len(s.m) / 8
+	if min := len(s.m) - limit + 1; drop < min {
+		drop = min
+	}
+	n := uint64(0)
+	for k := range s.m {
+		if int(n) >= drop {
+			break
+		}
+		delete(s.m, k)
+		n++
+	}
+	s.evicted.Add(n)
+	mCacheEvicted.Add(int64(n))
+}

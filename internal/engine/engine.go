@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -23,6 +24,8 @@ var (
 	mCacheMisses  = obs.Default().Counter("engine_plan_cache_misses_total")
 	mCacheEvicted = obs.Default().Counter("engine_plan_cache_evicted_total")
 	mPlanSeconds  = obs.Default().Histogram("engine_plan_seconds")
+	mBatchSecs    = obs.Default().Histogram("engine_cost_batch_seconds")
+	mBatchQueries = obs.Default().Counter("engine_cost_batch_queries_total")
 )
 
 // defaultCacheLimit bounds the plan cache; beyond it a fraction of the
@@ -35,24 +38,28 @@ const defaultCacheLimit = 400_000
 //
 // An Engine is safe for concurrent use by multiple goroutines with no
 // external locking: the schema and estimation-error profile are immutable
-// after construction, and the only mutable state — the memoized histogram
-// map and the plan cache — is guarded by one RWMutex. Two goroutines that
-// miss on the same histogram may both build it; the builds are
+// after construction; the plan cache is sharded by key hash with one
+// RWMutex per shard and per-shard singleflight (concurrent misses on the
+// same (mode, config, query) key plan once and share the result); the
+// memoized histogram map is guarded by its own RWMutex. Two goroutines
+// that miss on the same histogram may both build it; the builds are
 // deterministic per column so the duplicate write is benign. Cached
 // *PlanNode values are shared across callers and MUST be treated as
 // read-only; every path in this package builds fresh nodes before
-// caching and never mutates a node after it is published.
+// caching and never mutates a node after it is published (see PlanNode's
+// immutability contract).
 type Engine struct {
 	schema *schema.Schema
 	estErr stats.EstimationError
 
-	// Cache statistics (atomic: updated outside the map lock on hits).
-	hits, misses, evicted atomic.Uint64
+	histMu sync.RWMutex
+	hists  map[string]stats.Histogram
 
-	mu         sync.RWMutex
-	hists      map[string]stats.Histogram
-	planCache  map[string]*PlanNode
-	cacheLimit int
+	cache planCache
+
+	// batchWorkers overrides the CostBatch/RuntimeBatch fan-out width;
+	// 0 (the default) resolves to GOMAXPROCS at call time.
+	batchWorkers atomic.Int64
 
 	// inject, when non-nil, fires the engine.cost fault-injection point
 	// on every QueryCost call (test/diagnostic configuration only).
@@ -71,21 +78,27 @@ func New(s *schema.Schema) *Engine {
 // NewWithError builds an engine whose "ANALYZE" statistics carry the
 // given error profile — the knob behind the estimation-error ablation.
 func NewWithError(s *schema.Schema, e stats.EstimationError) *Engine {
-	return &Engine{
-		schema:     s,
-		estErr:     e,
-		hists:      map[string]stats.Histogram{},
-		planCache:  map[string]*PlanNode{},
-		cacheLimit: defaultCacheLimit,
+	eng := &Engine{
+		schema: s,
+		estErr: e,
+		hists:  map[string]stats.Histogram{},
 	}
+	eng.cache.init(defaultCacheLimit)
+	return eng
 }
 
-// CacheStats is a point-in-time view of one engine's plan cache.
+// CacheStats is a point-in-time view of one engine's plan cache,
+// aggregated over its shards.
 type CacheStats struct {
 	Entries int
 	Hits    uint64
 	Misses  uint64
 	Evicted uint64
+	// Shards is the number of cache shards the totals were summed over.
+	Shards int
+	// SingleflightDedup counts misses that joined another goroutine's
+	// in-flight build of the same key instead of planning again.
+	SingleflightDedup uint64
 }
 
 // HitRatio returns hits/(hits+misses), or 0 before any lookup.
@@ -99,26 +112,36 @@ func (s CacheStats) HitRatio() float64 {
 
 // CacheStats returns this engine's plan-cache statistics.
 func (e *Engine) CacheStats() CacheStats {
-	e.mu.RLock()
-	n := len(e.planCache)
-	e.mu.RUnlock()
-	return CacheStats{
-		Entries: n,
-		Hits:    e.hits.Load(),
-		Misses:  e.misses.Load(),
-		Evicted: e.evicted.Load(),
-	}
+	return e.cache.stats()
 }
 
-// SetCacheLimit bounds the plan cache at n entries (minimum 8); crossing
-// the bound evicts a fraction of the entries rather than the whole cache.
+// SetCacheLimit bounds the plan cache at n entries (minimum one per
+// shard, i.e. 32). Lowering the limit below the current size shrinks the
+// cache immediately; at steady state crossing the bound evicts a
+// fraction of each shard rather than the whole cache.
 func (e *Engine) SetCacheLimit(n int) {
-	if n < 8 {
-		n = 8
+	if n < cacheShards {
+		n = cacheShards
 	}
-	e.mu.Lock()
-	e.cacheLimit = n
-	e.mu.Unlock()
+	e.cache.setLimit(n)
+}
+
+// SetBatchWorkers bounds the worker pool CostBatch and RuntimeBatch fan
+// out over. n <= 0 restores the default (GOMAXPROCS at call time); n == 1
+// forces the sequential path. Safe to call concurrently with batches.
+func (e *Engine) SetBatchWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.batchWorkers.Store(int64(n))
+}
+
+// BatchWorkers reports the resolved worker-pool width.
+func (e *Engine) BatchWorkers() int {
+	if n := int(e.batchWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Schema returns the engine's schema.
@@ -126,60 +149,36 @@ func (e *Engine) Schema() *schema.Schema { return e.schema }
 
 // ClearCache drops all cached plans (histograms are kept).
 func (e *Engine) ClearCache() {
-	e.mu.Lock()
-	e.planCache = map[string]*PlanNode{}
-	e.mu.Unlock()
+	e.cache.clear()
+}
+
+// planKeyPrefix is the (mode, config) part of a plan-cache key; batch
+// paths compute it once per batch instead of once per query.
+func planKeyPrefix(cfg schema.Config, mode Mode) string {
+	return mode.String() + "|" + cfg.Key() + "|"
 }
 
 // Plan returns the cheapest plan for q under the index configuration cfg,
 // priced with the given statistics mode. Results are cached; the returned
 // node is shared and must not be mutated.
 func (e *Engine) Plan(q *sqlx.Query, cfg schema.Config, mode Mode) (*PlanNode, error) {
-	key := mode.String() + "|" + cfg.Key() + "|" + q.String()
-	e.mu.RLock()
-	if p, ok := e.planCache[key]; ok {
-		e.mu.RUnlock()
-		e.hits.Add(1)
-		mCacheHits.Inc()
-		return p, nil
-	}
-	e.mu.RUnlock()
-	e.misses.Add(1)
-	mCacheMisses.Inc()
-	sp := obs.StartSpan(mPlanSeconds)
-	p, err := e.plan(q, cfg, mode)
-	sp.End()
-	if err != nil {
-		return nil, err
-	}
-	e.mu.Lock()
-	if len(e.planCache) >= e.cacheLimit {
-		e.evictLocked()
-	}
-	e.planCache[key] = p
-	e.mu.Unlock()
-	return p, nil
+	return e.planCached(planKeyPrefix(cfg, mode), q, cfg, mode)
 }
 
-// evictLocked drops ~1/8 of the cache (at least one entry), sampling
-// entries via Go's randomized map iteration order. Unlike a full reset,
-// sustained load keeps most of the working set warm. Called with e.mu
-// held for writing.
-func (e *Engine) evictLocked() {
-	drop := len(e.planCache) / 8
-	if drop < 1 {
-		drop = 1
+// planCached looks the plan up in the sharded cache and, on a miss,
+// builds it under singleflight: concurrent misses on the same key plan
+// once and share the resulting node.
+func (e *Engine) planCached(prefix string, q *sqlx.Query, cfg schema.Config, mode Mode) (*PlanNode, error) {
+	key := prefix + q.String()
+	sh := e.cache.shardFor(key)
+	if p, ok := sh.lookup(key); ok {
+		return p, nil
 	}
-	n := uint64(0)
-	for k := range e.planCache {
-		delete(e.planCache, k)
-		n++
-		if int(n) >= drop {
-			break
-		}
-	}
-	e.evicted.Add(n)
-	mCacheEvicted.Add(int64(n))
+	return sh.do(key, e.cache.shardLimit(), func() (*PlanNode, error) {
+		sp := obs.StartSpan(mPlanSeconds)
+		defer sp.End()
+		return e.plan(q, cfg, mode)
+	})
 }
 
 // SetInjector installs a fault injector on the engine's what-if costing
@@ -196,6 +195,11 @@ func (e *Engine) SetInjector(in faultinject.Injector) {
 // ModeEstimated this is the engine's what-if interface — the call
 // advisors are billed for.
 func (e *Engine) QueryCost(q *sqlx.Query, cfg schema.Config, mode Mode) (float64, error) {
+	return e.queryCost(planKeyPrefix(cfg, mode), q, cfg, mode)
+}
+
+// queryCost is QueryCost with the batch-hoisted cache-key prefix.
+func (e *Engine) queryCost(prefix string, q *sqlx.Query, cfg schema.Config, mode Mode) (float64, error) {
 	if mode == ModeEstimated {
 		mWhatIfCalls.Inc()
 	} else {
@@ -206,7 +210,7 @@ func (e *Engine) QueryCost(q *sqlx.Query, cfg schema.Config, mode Mode) (float64
 			return 0, err
 		}
 	}
-	p, err := e.Plan(q, cfg, mode)
+	p, err := e.planCached(prefix, q, cfg, mode)
 	if err != nil {
 		return 0, err
 	}
@@ -220,20 +224,25 @@ type CostItem struct {
 }
 
 // CostBatch prices a batch of weighted queries under one configuration
-// and returns the weighted total. Cancellation is honored between
+// and returns the weighted total. The per-query costing fans out over a
+// bounded worker pool (see SetBatchWorkers); the weighted summation is
+// performed in item order afterwards, so the parallel total is
+// bit-identical to the sequential one. Cancellation is honored between
 // queries, so a canceled assessment stops what-if costing at the next
 // query boundary instead of draining the whole batch.
 func (e *Engine) CostBatch(ctx context.Context, items []CostItem, cfg schema.Config, mode Mode) (float64, error) {
+	defer obs.StartSpan(mBatchSecs).End()
+	mBatchQueries.Add(int64(len(items)))
+	prefix := planKeyPrefix(cfg, mode)
+	costs, err := forEachItem(ctx, e.BatchWorkers(), len(items), func(i int) (float64, error) {
+		return e.queryCost(prefix, items[i].Q, cfg, mode)
+	})
+	if err != nil {
+		return 0, err
+	}
 	total := 0.0
-	for _, it := range items {
-		if err := ctx.Err(); err != nil {
-			return 0, err
-		}
-		c, err := e.QueryCost(it.Q, cfg, mode)
-		if err != nil {
-			return 0, err
-		}
-		total += c * it.Weight
+	for i, it := range items {
+		total += costs[i] * it.Weight
 	}
 	return total, nil
 }
@@ -241,11 +250,35 @@ func (e *Engine) CostBatch(ctx context.Context, items []CostItem, cfg schema.Con
 // RuntimeCost is the stand-in for actual query runtime: the true-statistics
 // cost with a small deterministic per-query execution noise.
 func (e *Engine) RuntimeCost(q *sqlx.Query, cfg schema.Config) (float64, error) {
-	c, err := e.QueryCost(q, cfg, ModeTrue)
+	return e.runtimeCost(planKeyPrefix(cfg, ModeTrue), q, cfg)
+}
+
+func (e *Engine) runtimeCost(prefix string, q *sqlx.Query, cfg schema.Config) (float64, error) {
+	c, err := e.queryCost(prefix, q, cfg, ModeTrue)
 	if err != nil {
 		return 0, err
 	}
 	return c * stats.HashFactor("rt:"+q.String(), 0.05), nil
+}
+
+// RuntimeBatch is CostBatch over the runtime stand-in: the weighted
+// runtime cost of the batch, fanned out over the same worker pool with
+// the same deterministic in-order summation and cancellation behavior.
+func (e *Engine) RuntimeBatch(ctx context.Context, items []CostItem, cfg schema.Config) (float64, error) {
+	defer obs.StartSpan(mBatchSecs).End()
+	mBatchQueries.Add(int64(len(items)))
+	prefix := planKeyPrefix(cfg, ModeTrue)
+	costs, err := forEachItem(ctx, e.BatchWorkers(), len(items), func(i int) (float64, error) {
+		return e.runtimeCost(prefix, items[i].Q, cfg)
+	})
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for i, it := range items {
+		total += it.Weight * costs[i]
+	}
+	return total, nil
 }
 
 // accessPath is a candidate scan of one base table.
@@ -256,13 +289,76 @@ type accessPath struct {
 	orderedOn []string
 }
 
-// tableInfo collects the per-table analysis of a query.
-type tableInfo struct {
+// tableStatic is the mode- and configuration-independent per-table
+// analysis of a query: predicate groups, required columns and join
+// columns. It is memoized on the Query (see analysisOf) and shared
+// read-only across plan calls, so it must never be mutated after
+// construction.
+type tableStatic struct {
 	groups   []predGroup // single-table OR-groups on this table
 	reqCols  map[string]bool
-	sel      float64 // combined selectivity of groups
-	predOps  int     // predicate terms evaluated per row
+	predOps  int // predicate terms evaluated per row
 	joinCols map[string]bool
+}
+
+// queryAnalysis is the memoized, engine-independent part of planning a
+// query: everything derivable from the query text alone. Stored on the
+// Query via sqlx.Query.SetPlanInfo so repeated plan calls (across modes
+// and configurations) skip the re-analysis.
+type queryAnalysis struct {
+	tables    []string
+	columns   []sqlx.ColumnRef
+	statics   map[string]*tableStatic
+	topGroups []predGroup // groups spanning several tables
+}
+
+// analysisOf returns the memoized analysis of q, computing and caching
+// it on first use. The result is query-derived only (no schema or mode
+// input), so it is safe to share across engines and goroutines.
+func analysisOf(q *sqlx.Query) *queryAnalysis {
+	if qa, ok := q.PlanInfo().(*queryAnalysis); ok {
+		return qa
+	}
+	qa := &queryAnalysis{tables: q.Tables(), columns: q.Columns()}
+	qa.statics = make(map[string]*tableStatic, len(qa.tables))
+	for _, t := range qa.tables {
+		qa.statics[t] = &tableStatic{reqCols: map[string]bool{}, joinCols: map[string]bool{}}
+	}
+	for _, c := range qa.columns {
+		if st := qa.statics[c.Table]; st != nil {
+			st.reqCols[c.Column] = true
+		}
+	}
+	for _, j := range q.Joins {
+		if st := qa.statics[j.Left.Table]; st != nil {
+			st.joinCols[j.Left.Column] = true
+		}
+		if st := qa.statics[j.Right.Table]; st != nil {
+			st.joinCols[j.Right.Column] = true
+		}
+	}
+	for _, g := range groupFilters(q) {
+		t := g.onlyTable()
+		if t == "" {
+			qa.topGroups = append(qa.topGroups, g)
+			continue
+		}
+		if st := qa.statics[t]; st != nil {
+			st.groups = append(st.groups, g)
+			st.predOps += len(g.preds)
+		}
+	}
+	q.SetPlanInfo(qa)
+	return qa
+}
+
+// tableInfo is the per-plan-call view of a table's analysis: the shared
+// memoized static part plus the mode-dependent combined selectivity
+// scanPaths fills in. Each plan call builds its own tableInfo values, so
+// writing sel never races with other calls.
+type tableInfo struct {
+	*tableStatic
+	sel float64 // combined selectivity of groups
 }
 
 // plan builds the cheapest plan without consulting the cache.
@@ -270,7 +366,8 @@ func (e *Engine) plan(q *sqlx.Query, cfg schema.Config, mode Mode) (*PlanNode, e
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	tables := q.Tables()
+	qa := analysisOf(q)
+	tables := qa.tables
 	if len(tables) > 14 {
 		return nil, fmt.Errorf("engine: too many tables (%d)", len(tables))
 	}
@@ -279,19 +376,17 @@ func (e *Engine) plan(q *sqlx.Query, cfg schema.Config, mode Mode) (*PlanNode, e
 			return nil, fmt.Errorf("engine: unknown table %s", t)
 		}
 	}
-	for _, c := range q.Columns() {
+	for _, c := range qa.columns {
 		if e.schema.Column(c) == nil {
 			return nil, fmt.Errorf("engine: unknown column %s", c)
 		}
 	}
 
-	infos := e.analyze(q)
-	var topGroups []predGroup // groups spanning several tables
-	for _, g := range groupFilters(q) {
-		if g.onlyTable() == "" {
-			topGroups = append(topGroups, g)
-		}
+	infos := make(map[string]*tableInfo, len(tables))
+	for _, t := range tables {
+		infos[t] = &tableInfo{tableStatic: qa.statics[t], sel: 1}
 	}
+	topGroups := qa.topGroups
 
 	// Desired output order for sort-avoidance: ORDER BY, or GROUP BY when
 	// there is no ORDER BY (a sorted input enables GroupAggregate).
@@ -327,39 +422,6 @@ func (e *Engine) plan(q *sqlx.Query, cfg schema.Config, mode Mode) (*PlanNode, e
 		}
 	}
 	return e.finishPlan(q, joined, joinedOrder, topGroups, mode), nil
-}
-
-// analyze gathers per-table predicate groups, required columns and join
-// columns for the query.
-func (e *Engine) analyze(q *sqlx.Query) map[string]*tableInfo {
-	infos := map[string]*tableInfo{}
-	for _, t := range q.Tables() {
-		infos[t] = &tableInfo{reqCols: map[string]bool{}, joinCols: map[string]bool{}, sel: 1}
-	}
-	for _, c := range q.Columns() {
-		if info := infos[c.Table]; info != nil {
-			info.reqCols[c.Column] = true
-		}
-	}
-	for _, j := range q.Joins {
-		if info := infos[j.Left.Table]; info != nil {
-			info.joinCols[j.Left.Column] = true
-		}
-		if info := infos[j.Right.Table]; info != nil {
-			info.joinCols[j.Right.Column] = true
-		}
-	}
-	for _, g := range groupFilters(q) {
-		t := g.onlyTable()
-		if t == "" {
-			continue
-		}
-		if info := infos[t]; info != nil {
-			info.groups = append(info.groups, g)
-			info.predOps += len(g.preds)
-		}
-	}
-	return infos
 }
 
 // scanPaths returns the cheapest access path for a table and, when desired

@@ -70,6 +70,15 @@ func (t NodeType) String() string {
 // cost of the subtree (like PostgreSQL's total_cost), Rows the estimated
 // output cardinality, Height the node's height above the deepest leaf
 // (leaves have height 1).
+//
+// # Immutability
+//
+// Plan trees returned by Engine.Plan come from a cache shared by every
+// goroutine planning the same (mode, config, query) key, so a PlanNode
+// and everything reachable from it (Index, Children) MUST be treated as
+// read-only once published. Callers that need a modified tree must build
+// their own copy. Inside the engine, nodes are only written while being
+// constructed, before the root is inserted into the cache.
 type PlanNode struct {
 	Type     NodeType
 	Table    string        // base relation for scan nodes

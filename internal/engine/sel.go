@@ -158,9 +158,9 @@ func (e *Engine) columnNDV(ref sqlx.ColumnRef, mode Mode) float64 {
 
 func (e *Engine) hist(ref sqlx.ColumnRef) stats.Histogram {
 	key := ref.String()
-	e.mu.RLock()
+	e.histMu.RLock()
 	h, ok := e.hists[key]
-	e.mu.RUnlock()
+	e.histMu.RUnlock()
 	if ok {
 		return h
 	}
@@ -169,9 +169,9 @@ func (e *Engine) hist(ref sqlx.ColumnRef) stats.Histogram {
 		return stats.Histogram{}
 	}
 	h = stats.BuildHistogramErr(key, col.Dist, stats.DefaultBuckets, e.estErr)
-	e.mu.Lock()
+	e.histMu.Lock()
 	e.hists[key] = h
-	e.mu.Unlock()
+	e.histMu.Unlock()
 	return h
 }
 

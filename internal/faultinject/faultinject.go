@@ -154,8 +154,14 @@ func NewSeeded(seed int64, rules ...Rule) *Seeded {
 	}
 }
 
-// Fire implements Injector.
+// Fire implements Injector. A nil *Seeded (what Parse returns for an
+// empty spec) is a disarmed no-op even when it reaches an Injector
+// interface, where the nil check in the package-level Fire cannot see
+// it.
 func (s *Seeded) Fire(point string) error {
+	if s == nil {
+		return nil
+	}
 	s.mu.Lock()
 	s.hits[point]++
 	hit := s.hits[point]

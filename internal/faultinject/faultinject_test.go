@@ -12,6 +12,16 @@ func TestNilInjectorIsNoop(t *testing.T) {
 	if err := Fire(nil, PointEngineCost); err != nil {
 		t.Fatalf("nil injector fired: %v", err)
 	}
+	// A typed-nil *Seeded inside the interface (what Parse returns for
+	// an empty spec) bypasses the interface nil check; it must still be
+	// a disarmed no-op, not a nil dereference.
+	disarmed, err := Parse("", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Fire(disarmed, PointEngineCost); err != nil {
+		t.Fatalf("disarmed injector fired: %v", err)
+	}
 }
 
 func TestEveryAfterCount(t *testing.T) {

@@ -69,6 +69,9 @@ type Config struct {
 	Seed int64
 	// Workers sizes the assessment worker pool (default runtime.NumCPU()).
 	Workers int
+	// CostWorkers sizes each suite engine's CostBatch fan-out pool
+	// (default 0: GOMAXPROCS at call time; 1 forces sequential costing).
+	CostWorkers int
 	// QueueDepth bounds the pending-job queue (default 4×Workers).
 	QueueDepth int
 	// RequestTimeout bounds synchronous endpoints (default 30s).
@@ -227,6 +230,7 @@ func NewServer(cfg Config) (*Server, error) {
 		}
 		suite.Inject = cfg.Injector
 		suite.E.SetInjector(cfg.Injector)
+		suite.E.SetBatchWorkers(cfg.CostWorkers)
 		s.suites[name] = suite
 		cfg.Logf("trapd: built %s suite in %v (%d train / %d test workloads)",
 			name, time.Since(t0).Round(time.Millisecond), len(suite.Train), len(suite.Test))
@@ -237,6 +241,8 @@ func NewServer(cfg Config) (*Server, error) {
 			func() float64 { return float64(e.CacheStats().Entries) })
 		s.reg.GaugeFunc(fmt.Sprintf("engine_plan_cache_hit_ratio{dataset=%q}", name),
 			func() float64 { return e.CacheStats().HitRatio() })
+		s.reg.GaugeFunc(fmt.Sprintf("engine_plan_singleflight_dedup{dataset=%q}", name),
+			func() float64 { return float64(e.CacheStats().SingleflightDedup) })
 	}
 	s.reg.GaugeFunc("trapd_jobs_pending", func() float64 {
 		return float64(s.jobs.countByStatus()[JobPending])
@@ -478,11 +484,12 @@ func (s *Server) runJob(id string) {
 
 // runAssessment trains the method against the advisor and measures IUDR
 // over the suite's test workloads under the job's context. The training
-// and measurement loops are context-aware and stop at the next epoch or
-// pair boundary on cancellation; runBounded additionally bounds the few
-// non-context-aware stretches (advisor training), whose discarded
-// goroutine then exits at the next context check it reaches. A panic
-// anywhere in the assessment is captured as a *panicError return.
+// and measurement loops are context-aware and stop at the next epoch,
+// episode or pair boundary on cancellation (RL advisor training included,
+// via BuildAdvisorCtx); runBounded additionally bounds the remaining
+// non-context-aware stretches (heuristic advisor training), whose
+// discarded goroutine then exits at the next context check it reaches. A
+// panic anywhere in the assessment is captured as a *panicError return.
 func (s *Server) runAssessment(ctx context.Context, j Job) (*JobResult, error) {
 	suite := s.suites[j.Dataset]
 	if suite == nil {
@@ -502,7 +509,7 @@ func (s *Server) runAssessment(ctx context.Context, j Job) (*JobResult, error) {
 				res, err = nil, &panicError{val: r, stack: debug.Stack()}
 			}
 		}()
-		adv, err := suite.BuildAdvisor(spec)
+		adv, err := suite.BuildAdvisorCtx(ctx, spec)
 		if err != nil {
 			return nil, fmt.Errorf("building advisor: %w", err)
 		}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"github.com/trap-repro/trap/internal/assess"
+	"github.com/trap-repro/trap/internal/faultinject"
 )
 
 // tinyParams shrinks QuickParams so the shared test server builds in a
@@ -329,39 +330,38 @@ func metricValue(body []byte, name string) (float64, bool) {
 	return 0, false
 }
 
-// TestQueueFullAndDrain must run after the other job tests: it saturates
-// the single worker, checks queue overflow handling, then shuts the pool
-// down and verifies the running job drains while queued jobs cancel.
+// TestQueueFullAndDrain saturates a single worker, checks queue
+// overflow handling, then shuts the pool down and verifies the running
+// job drains while queued jobs cancel. It uses a dedicated server with
+// an injected per-workload delay so the first job stays observably
+// running: on a warm cache the batch-costing path finishes a
+// Drop/Random assessment faster than the poll interval.
 func TestQueueFullAndDrain(t *testing.T) {
-	s := testServer(t)
-	h := s.Handler()
-	submit := func() (int, Job) {
-		code, body := postJSON(t, h, "/v1/assess", assessRequest{
-			Dataset: "tpch", Advisor: "Drop", Method: "Random",
+	s := newFaultServer(t, func(c *Config) {
+		c.Workers = 1
+		c.QueueDepth = 2
+		c.Injector = faultinject.NewSeeded(1, faultinject.Rule{
+			Point: faultinject.PointRLWorkload, Action: faultinject.ActDelay,
+			Every: 1, Delay: 200 * time.Millisecond,
 		})
-		var j Job
-		_ = json.Unmarshal(body, &j)
-		return code, j
-	}
+	})
+	h := s.Handler()
 
-	code, running := submit()
-	if code != http.StatusAccepted {
-		t.Fatalf("first submit: %d", code)
-	}
-	// Wait for the worker to pick it up so the queue slots are free for
-	// the jobs below.
+	// Only the GRU job RL-trains, so only it hits the delay point; wait
+	// for the worker to pick it up so the queue slots are free for the
+	// jobs below.
+	running := submitJob(t, h, "Drop", "GRU")
 	waitForJob(t, h, running.ID, JobRunning, 30*time.Second)
 
 	var queued []Job
 	for i := 0; i < 2; i++ {
-		code, j := submit()
-		if code != http.StatusAccepted {
-			t.Fatalf("queued submit %d: %d", i, code)
-		}
-		queued = append(queued, j)
+		queued = append(queued, submitJob(t, h, "Drop", "Random"))
 	}
 	// Queue (depth 2) is now full: the next submission is rejected.
-	if code, _ := submit(); code != http.StatusServiceUnavailable {
+	code, _ := postJSON(t, h, "/v1/assess", assessRequest{
+		Dataset: "tpch", Advisor: "Drop", Method: "Random",
+	})
+	if code != http.StatusServiceUnavailable {
 		t.Fatalf("expected 503 on full queue, got %d", code)
 	}
 

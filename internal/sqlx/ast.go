@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 )
 
 // Datum is a literal value appearing in a predicate. Numeric datums carry
@@ -148,6 +149,17 @@ func (h HavingPred) String() string {
 
 // Query is a SPAJ query. Filters[i] and Filters[i+1] are joined by Conjs[i];
 // join predicates are always AND-ed and precede the filters when printed.
+//
+// # Memoization
+//
+// Queries on the costing hot path are rendered (String) and analyzed
+// (PlanInfo) thousands of times, so both are memoized on the Query value
+// with a single atomic pointer. The memo is concurrency-safe for readers;
+// code that mutates a Query's exported fields after the query has been
+// rendered or costed must hold the only reference to it and call
+// Invalidate afterwards (Clone always returns a query with an empty
+// memo, so the usual clone-then-mutate pattern needs no invalidation
+// until the clone itself has been used).
 type Query struct {
 	Select  []SelectItem
 	From    []TableRef
@@ -157,6 +169,51 @@ type Query struct {
 	GroupBy []ColumnRef
 	Having  *HavingPred
 	OrderBy []ColumnRef
+
+	memo atomic.Pointer[queryMemo]
+}
+
+// queryMemo caches values derived from the query's exported fields. It is
+// replaced wholesale by Invalidate, dropping every derived value at once.
+type queryMemo struct {
+	str  string
+	plan atomic.Pointer[any]
+}
+
+// loadMemo returns the current memo, creating (and publishing) it on
+// first use. A racing duplicate creation is benign: both goroutines
+// render the same fields, and the last published memo wins.
+func (q *Query) loadMemo() *queryMemo {
+	if m := q.memo.Load(); m != nil {
+		return m
+	}
+	m := &queryMemo{str: q.render()}
+	q.memo.Store(m)
+	return m
+}
+
+// Invalidate drops the query's memoized derived values (canonical text,
+// plan analysis). Callers must invoke it after mutating any exported
+// field of a query that may already have been rendered or costed.
+func (q *Query) Invalidate() { q.memo.Store(nil) }
+
+// PlanInfo returns the opaque analysis value attached by SetPlanInfo, or
+// nil if none is attached (or the query was invalidated since).
+func (q *Query) PlanInfo() any {
+	if m := q.memo.Load(); m != nil {
+		if v := m.plan.Load(); v != nil {
+			return *v
+		}
+	}
+	return nil
+}
+
+// SetPlanInfo attaches an opaque, query-derived analysis value to the
+// memo (the engine caches its per-table predicate analysis here). The
+// value must depend only on the query's exported fields: it is dropped
+// on Invalidate together with the canonical text.
+func (q *Query) SetPlanInfo(v any) {
+	q.loadMemo().plan.Store(&v)
 }
 
 // Clone returns a deep copy of the query.
@@ -310,8 +367,15 @@ func (q *Query) Validate() error {
 	return nil
 }
 
-// String renders the query as canonical SQL text.
+// String renders the query as canonical SQL text. The rendering is
+// memoized (see the type's Memoization section): repeated calls on the
+// hot costing path cost one atomic load.
 func (q *Query) String() string {
+	return q.loadMemo().str
+}
+
+// render builds the canonical SQL text from the exported fields.
+func (q *Query) render() string {
 	var b strings.Builder
 	b.WriteString("SELECT ")
 	for i, s := range q.Select {

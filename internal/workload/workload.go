@@ -115,25 +115,33 @@ func CostCtx(ctx context.Context, e *engine.Engine, w *Workload, cfg schema.Conf
 
 // RuntimeCost evaluates the workload with the actual-runtime stand-in.
 func RuntimeCost(e *engine.Engine, w *Workload, cfg schema.Config) (float64, error) {
-	var sum float64
-	for _, it := range w.Items {
-		c, err := e.RuntimeCost(it.Query, cfg)
-		if err != nil {
-			return 0, err
-		}
-		sum += it.Weight * c
+	return RuntimeCostCtx(context.Background(), e, w, cfg)
+}
+
+// RuntimeCostCtx is RuntimeCost with cooperative cancellation: costing
+// stops at the next query boundary once ctx is done, so a canceled
+// assessment does not drain the whole runtime-costing loop.
+func RuntimeCostCtx(ctx context.Context, e *engine.Engine, w *Workload, cfg schema.Config) (float64, error) {
+	items := make([]engine.CostItem, len(w.Items))
+	for i, it := range w.Items {
+		items[i] = engine.CostItem{Q: it.Query, Weight: it.Weight}
 	}
-	return sum, nil
+	return e.RuntimeBatch(ctx, items, cfg)
 }
 
 // Utility computes the index utility of Definition 3.2:
 // u = 1 - c(W, d, I) / c(W, d, Ib), evaluated with the runtime stand-in.
 func Utility(e *engine.Engine, w *Workload, cfg, base schema.Config) (float64, error) {
-	cb, err := RuntimeCost(e, w, base)
+	return UtilityCtx(context.Background(), e, w, cfg, base)
+}
+
+// UtilityCtx is Utility with cooperative cancellation.
+func UtilityCtx(ctx context.Context, e *engine.Engine, w *Workload, cfg, base schema.Config) (float64, error) {
+	cb, err := RuntimeCostCtx(ctx, e, w, base)
 	if err != nil {
 		return 0, err
 	}
-	ci, err := RuntimeCost(e, w, cfg)
+	ci, err := RuntimeCostCtx(ctx, e, w, cfg)
 	if err != nil {
 		return 0, err
 	}

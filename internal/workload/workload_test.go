@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -149,6 +151,36 @@ func TestCostAndUtility(t *testing.T) {
 	uBase, _ := Utility(e, w, nil, nil)
 	if uBase != 0 {
 		t.Errorf("utility of baseline against itself = %v, want 0", uBase)
+	}
+}
+
+// TestRuntimeCostCtxCancellation covers the runtime-costing bugfix: a
+// canceled context aborts RuntimeCostCtx and UtilityCtx with the
+// context's error instead of draining the full costing loop, and the
+// ctx-free wrappers keep returning the same totals as before.
+func TestRuntimeCostCtxCancellation(t *testing.T) {
+	g, e := tpchGen(t, 13)
+	w := g.Workload(10)
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RuntimeCostCtx(canceled, e, w, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RuntimeCostCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := UtilityCtx(canceled, e, w, nil, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("UtilityCtx err = %v, want context.Canceled", err)
+	}
+
+	want, err := RuntimeCost(e, w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RuntimeCostCtx(context.Background(), e, w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("RuntimeCostCtx = %v, RuntimeCost = %v", got, want)
 	}
 }
 
