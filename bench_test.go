@@ -14,6 +14,7 @@ import (
 	"sync"
 	"testing"
 
+	"github.com/trap-repro/trap/internal/advisor"
 	"github.com/trap-repro/trap/internal/assess"
 	"github.com/trap-repro/trap/internal/bench"
 	"github.com/trap-repro/trap/internal/core"
@@ -82,6 +83,33 @@ func BenchmarkCostBatchWorkload(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				s.E.ClearCache()
 				if _, err := s.E.CostBatch(context.Background(), items, cfg, engine.ModeEstimated); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMeasureWorkload times a full Random-method assessment over
+// the suite's test workloads at several measurement pool sizes. The
+// result is bit-identical across worker counts (the per-workload cells
+// draw from seeded RNG streams and reduce in order), so the subbenches
+// differ only in wall-clock.
+func BenchmarkMeasureWorkload(b *testing.B) {
+	s := suite(b)
+	ctx := context.Background()
+	adv := &advisor.Extend{Opt: advisor.DefaultOptions()}
+	m, err := s.BuildMethod(ctx, "Random", core.ValueOnly, adv, nil, s.Storage, assess.MethodConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s.MeasureWorkers = workers
+			defer func() { s.MeasureWorkers = 0 }()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Measure(ctx, m, adv, nil, s.Storage); err != nil {
 					b.Fatal(err)
 				}
 			}

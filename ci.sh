@@ -31,6 +31,10 @@ echo "== benchmark smoke =="
 # One iteration of every CostBatch benchmark: catches bit-rot in the
 # benchmark harness and any pathological slowdown of the costing path.
 go test -run='^$' -bench=CostBatch -benchtime=1x -timeout 120s ./internal/engine
+# Allocation-regression smoke: BenchmarkRollout asserts a hard
+# allocs-per-decode budget (the tensor arena's dividend) and fails the
+# build if a change regresses past it.
+go test -run='^$' -bench=Rollout -benchtime=1x -timeout 120s ./internal/core
 
 echo "== fault-injection smoke =="
 # Drive the deterministic fault harness end to end: panic isolation,

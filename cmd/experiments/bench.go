@@ -1,0 +1,229 @@
+package main
+
+// The -bench mode: a machine-readable performance harness over the
+// repo's hot paths. Each entry is timed with testing.Benchmark and the
+// results are written as a JSON array (default BENCH_train.json), one
+// object per (op, workers) cell, so regressions can be diffed by
+// machines rather than eyeballs:
+//
+//	experiments -bench -bench-out BENCH_train.json
+//
+// The worker-swept ops (RLTrain, Measure, CostBatch) are bit-identical
+// across worker counts — the sweep measures wall-clock scaling only.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"github.com/trap-repro/trap/internal/advisor"
+	"github.com/trap-repro/trap/internal/assess"
+	"github.com/trap-repro/trap/internal/bench"
+	"github.com/trap-repro/trap/internal/core"
+	"github.com/trap-repro/trap/internal/engine"
+	"github.com/trap-repro/trap/internal/nn"
+	"github.com/trap-repro/trap/internal/schema"
+	"github.com/trap-repro/trap/internal/workload"
+)
+
+// benchRecord is one measured cell of the harness output.
+type benchRecord struct {
+	Op          string `json:"op"`
+	Workers     int    `json:"workers"` // 0: not worker-swept
+	N           int    `json:"n"`       // iterations the timing averaged over
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+}
+
+// benchParams mirrors the reduced scale of the root benchmark suite.
+func benchParams() assess.Params {
+	p := assess.QuickParams()
+	p.Templates = 8
+	p.TrainWorkloads = 4
+	p.TestWorkloads = 4
+	p.WorkloadSize = 5
+	p.UtilitySamples = 250
+	p.PretrainPairs = 4
+	p.PretrainEpochs = 1
+	p.RLEpochs = 2
+	p.AdvisorEpisodes = 10
+	return p
+}
+
+func runBench(out string, seed int64) error {
+	ctx := context.Background()
+
+	// Core-layer fixture: schema, generator, vocabulary, engine — the
+	// same reduced TPC-H scale the internal/core benchmarks use.
+	sc := bench.TPCH(100)
+	gen := workload.NewGenerator(sc, 21, 10)
+	var vocabWs []*workload.Workload
+	for i := 0; i < 4; i++ {
+		vocabWs = append(vocabWs, gen.Workload(5))
+	}
+	v := core.BuildVocab(sc, vocabWs)
+	var train []*workload.Workload
+	for i := 0; i < 3; i++ {
+		train = append(train, gen.Workload(3))
+	}
+	e := engine.New(sc)
+	adv := &advisor.Extend{Opt: advisor.DefaultOptions()}
+	cons := advisor.Constraint{StorageBytes: e.Schema().TotalSizeBytes() / 2}
+
+	newFW := func(model string, s int64) *core.Framework {
+		rng := rand.New(rand.NewSource(s))
+		var m core.Scorer
+		switch model {
+		case "TRAP":
+			m = core.NewTRAPModel(v, core.Sizes{Embed: 16, Hidden: 16}, rng)
+		default:
+			m = core.NewGRUModel(v, core.Sizes{Embed: 16, Hidden: 16}, rng)
+		}
+		fw := core.NewFramework(m, v, core.SharedTable, s+100)
+		fw.Theta = 0.02
+		return fw
+	}
+
+	// Warm-up: the first training pass registers unseen tokens in the
+	// shared vocabulary and fills the advisor caches, so every timed
+	// build afterwards starts from the same state.
+	{
+		fw := newFW("GRU", seed)
+		fw.Batch = 4
+		if _, err := fw.RLTrain(ctx, e, adv, nil, cons, train, 1); err != nil {
+			return fmt.Errorf("bench warm-up: %w", err)
+		}
+	}
+
+	var results []benchRecord
+	var benchErr error
+	record := func(op string, workers int, f func(b *testing.B)) {
+		if benchErr != nil {
+			return
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			f(b)
+		})
+		if r.N == 0 {
+			benchErr = fmt.Errorf("bench %s (workers=%d) failed", op, workers)
+			return
+		}
+		results = append(results, benchRecord{
+			Op: op, Workers: workers, N: r.N,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "bench: %-24s workers=%d  %12d ns/op  %8d allocs/op\n",
+			op, workers, r.NsPerOp(), r.AllocsPerOp())
+	}
+
+	// Rollout: one trajectory's greedy forward decode on a warm arena —
+	// the unit of work the RL rollout pool schedules.
+	rolloutFW := newFW("GRU", seed+1)
+	record("Rollout", 0, func(b *testing.B) {
+		g := nn.NewGraph(false)
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < b.N; i++ {
+			for _, it := range train[0].Items {
+				if _, err := core.Decode(g, rolloutFW.Model, rolloutFW.Vocab, it.Query,
+					rolloutFW.Constraint, rolloutFW.Eps, false, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+			g.Reset()
+		}
+	})
+
+	// Pretrain: data synthesis + teacher forcing on one reused graph.
+	record("Pretrain", 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fw := newFW("TRAP", seed+2)
+			if _, err := fw.Pretrain(ctx, gen, 4, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// RLTrain: one REINFORCE epoch per iteration, swept over rollout
+	// pool sizes.
+	for _, workers := range []int{1, 2, 4} {
+		record("RLTrain", workers, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fw := newFW("GRU", seed+3)
+				fw.Batch = 4
+				fw.RolloutWorkers = workers
+				if _, err := fw.RLTrain(ctx, e, adv, nil, cons, train, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	// Assessment-layer fixture for Measure and CostBatch.
+	p := benchParams()
+	st, err := assess.NewSuite("tpch", bench.TPCH(p.ScaleDown), p, seed)
+	if err != nil {
+		return err
+	}
+	sadv := &advisor.Extend{Opt: advisor.DefaultOptions()}
+	method, err := st.BuildMethod(ctx, "Random", core.ValueOnly, sadv, nil, st.Storage, assess.MethodConfig{})
+	if err != nil {
+		return err
+	}
+	for _, workers := range []int{1, 2, 4} {
+		record("Measure", workers, func(b *testing.B) {
+			st.MeasureWorkers = workers
+			defer func() { st.MeasureWorkers = 0 }()
+			for i := 0; i < b.N; i++ {
+				if _, err := st.Measure(ctx, method, sadv, nil, st.Storage); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	var items []engine.CostItem
+	for _, w := range append(append([]*workload.Workload(nil), st.Train...), st.Test...) {
+		for _, it := range w.Items {
+			items = append(items, engine.CostItem{Q: it.Query, Weight: it.Weight})
+		}
+	}
+	var cfg schema.Config
+	for i, col := range st.Test[0].Columns() {
+		if i >= 4 {
+			break
+		}
+		cfg = cfg.Add(schema.Index{Table: col.Table, Columns: []string{col.Column}})
+	}
+	for _, workers := range []int{1, 2, 4} {
+		record("CostBatch", workers, func(b *testing.B) {
+			st.E.SetBatchWorkers(workers)
+			defer st.E.SetBatchWorkers(0)
+			for i := 0; i < b.N; i++ {
+				st.E.ClearCache()
+				if _, err := st.E.CostBatch(ctx, items, cfg, engine.ModeEstimated); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	if benchErr != nil {
+		return benchErr
+	}
+	js, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(js, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %d results to %s\n", len(results), out)
+	return nil
+}

@@ -6,10 +6,11 @@
 // Usage:
 //
 //	trapd [-addr :8080] [-datasets tpch,tpcds,transaction] [-scale quick|full]
-//	      [-workers N] [-cost-workers N] [-queue N] [-seed 42]
+//	      [-workers N] [-cost-workers N] [-train-workers N] [-assess-workers N]
+//	      [-queue N] [-seed 42]
 //	      [-request-timeout 30s] [-job-timeout 15m] [-max-body 1048576]
 //	      [-max-retries 2] [-retry-backoff 100ms] [-job-ttl 1h] [-gc-interval 1m]
-//	      [-spool DIR] [-checkpoint-every 1] [-inject SPEC]
+//	      [-spool DIR] [-checkpoint-every 1] [-inject SPEC] [-pprof]
 //
 // trapd shuts down gracefully on SIGINT/SIGTERM: the listener closes,
 // in-flight requests and running assessment jobs drain, and queued jobs
@@ -19,6 +20,14 @@
 // harness (see internal/faultinject), e.g.
 //
 //	trapd -spool /tmp/trapd -inject 'core.rl.epoch:error:count=1'
+//
+// -train-workers and -assess-workers bound the RL rollout pool and the
+// per-workload measurement pool inside each job; results are
+// bit-identical for every value, so the knobs trade only wall-clock time
+// against CPU. -pprof mounts net/http/pprof under /debug/pprof/ for
+// profiling a running assessment:
+//
+//	go tool pprof 'http://localhost:8080/debug/pprof/profile?seconds=30'
 package main
 
 import (
@@ -42,6 +51,8 @@ func main() {
 	scale := flag.String("scale", "quick", "suite parameters: quick or full")
 	workers := flag.Int("workers", 0, "assessment worker pool size (default: NumCPU)")
 	costWorkers := flag.Int("cost-workers", 0, "what-if CostBatch fan-out per engine (default: GOMAXPROCS; 1 = sequential)")
+	trainWorkers := flag.Int("train-workers", 0, "RL trajectory rollout pool per framework (default: GOMAXPROCS; 1 = sequential)")
+	assessWorkers := flag.Int("assess-workers", 0, "per-workload measurement pool per suite (default: GOMAXPROCS; 1 = sequential)")
 	queue := flag.Int("queue", 0, "pending-job queue depth (default: 4x workers)")
 	seed := flag.Int64("seed", 42, "random seed for suite construction")
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "synchronous request deadline")
@@ -54,6 +65,7 @@ func main() {
 	spool := flag.String("spool", "", "checkpoint spool directory (empty disables checkpoint/resume)")
 	ckptEvery := flag.Int("checkpoint-every", 1, "RL epochs between training checkpoints")
 	injectSpec := flag.String("inject", "", "fault-injection rules, e.g. 'core.rl.epoch:error:count=1;engine.cost:delay:every=100,delay=5ms'")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof endpoints under /debug/pprof/")
 	flag.Parse()
 
 	parsed, err := faultinject.Parse(*injectSpec, *seed)
@@ -92,6 +104,8 @@ func main() {
 		Seed:            *seed,
 		Workers:         *workers,
 		CostWorkers:     *costWorkers,
+		TrainWorkers:    *trainWorkers,
+		AssessWorkers:   *assessWorkers,
 		QueueDepth:      *queue,
 		RequestTimeout:  *reqTimeout,
 		JobTimeout:      *jobTimeout,
@@ -103,6 +117,7 @@ func main() {
 		SpoolDir:        *spool,
 		CheckpointEvery: *ckptEvery,
 		Injector:        injector,
+		EnablePprof:     *enablePprof,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "trapd:", err)

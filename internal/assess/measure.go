@@ -6,6 +6,7 @@ import (
 	"github.com/trap-repro/trap/internal/advisor"
 	"github.com/trap-repro/trap/internal/engine"
 	"github.com/trap-repro/trap/internal/obs"
+	"github.com/trap-repro/trap/internal/par"
 	"github.com/trap-repro/trap/internal/schema"
 	"github.com/trap-repro/trap/internal/workload"
 )
@@ -50,35 +51,43 @@ func (s *Suite) Measure(ctx context.Context, m *Method, adv advisor.Advisor, bas
 
 // MeasureOn is Measure over an explicit workload set. Cancellation is
 // honored between workloads and between pairs.
+//
+// The per-workload cells are independent — each generates its variants
+// from a seed derived from its own index (VariantsAt) — so they fan out
+// across the suite's measurement pool, with the first cell run
+// sequentially to warm any lazily initialized advisor state. The reduce
+// that assembles Pairs and MeanIUDR walks the cells strictly in workload
+// order, so the assessment is bit-identical for every worker count.
 func (s *Suite) MeasureOn(ctx context.Context, m *Method, adv advisor.Advisor, base advisor.Advisor, ac advisor.Constraint, tests []*workload.Workload) (*Assessment, error) {
 	defer obs.StartSpan(mMeasureSecs).End()
-	out := &Assessment{}
-	var sum float64
-	for _, w := range tests {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
+	type cell struct {
+		pairs []Pair
+		sum   float64
+		n     int
+	}
+	cells := make([]cell, len(tests))
+	measure := func(i int) error {
+		w := tests[i]
 		mAssessedWorkloads.Inc()
 		u, err := s.UtilityOfCtx(ctx, adv, base, ac, w)
 		if err != nil || u <= s.P.Theta {
-			continue
+			return nil
 		}
-		variants, err := m.Variants(ctx, w)
+		variants, err := m.VariantsAt(ctx, w, int64(i))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		var wSum float64
-		var wN int
+		c := &cells[i]
 		for _, pert := range variants {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return err
 			}
 			mPairsMeasured.Inc()
 			pair := Pair{Orig: w, Pert: pert, U: u}
 			if !s.Sargable(pert) {
 				mPairsNonSargable.Inc()
 				pair.NonSargable = true
-				out.Pairs = append(out.Pairs, pair)
+				c.pairs = append(c.pairs, pair)
 				continue
 			}
 			uPert, err := s.UtilityOfCtx(ctx, adv, base, ac, pert)
@@ -87,12 +96,32 @@ func (s *Suite) MeasureOn(ctx context.Context, m *Method, adv advisor.Advisor, b
 			}
 			pair.UPert = uPert
 			pair.IUDR = workload.IUDR(u, uPert)
-			out.Pairs = append(out.Pairs, pair)
-			wSum += pair.IUDR
-			wN++
+			c.pairs = append(c.pairs, pair)
+			c.sum += pair.IUDR
+			c.n++
 		}
-		if wN > 0 {
-			sum += wSum / float64(wN)
+		return nil
+	}
+	if len(tests) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := measure(0); err != nil {
+			return nil, err
+		}
+		if err := par.ForEach(ctx, s.measureWorkers(), len(tests)-1, func(i int) error {
+			return measure(i + 1)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	out := &Assessment{}
+	var sum float64
+	for i := range cells {
+		c := &cells[i]
+		out.Pairs = append(out.Pairs, c.pairs...)
+		if c.n > 0 {
+			sum += c.sum / float64(c.n)
 			out.N++
 		}
 	}

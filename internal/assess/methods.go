@@ -81,6 +81,7 @@ func (s *Suite) BuildMethod(ctx context.Context, name string, pc core.PerturbCon
 			fw.Utility = s.Utility
 		}
 		fw.Inject = s.Inject
+		fw.RolloutWorkers = s.TrainWorkers
 		if mc.EpochHook != nil {
 			hook := mc.EpochHook
 			fw.EpochHook = func(epoch int) error { return hook(fw, epoch) }
@@ -182,6 +183,29 @@ func (m *Method) Variants(ctx context.Context, w *workload.Workload) ([]*workloa
 	var out []*workload.Workload
 	for i := 0; i < m.Attempts; i++ {
 		p, err := m.FW.GenerateSampled(ctx, w)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// VariantsAt is Variants with a deterministic salt: sampled attempts
+// draw from private RNG streams derived from (framework seed, salt,
+// attempt) instead of the shared training RNG, so parallel assessment
+// cells produce the same variants regardless of execution order.
+func (m *Method) VariantsAt(ctx context.Context, w *workload.Workload, salt int64) ([]*workload.Workload, error) {
+	if m.Attempts <= 1 {
+		p, err := m.FW.Generate(ctx, w)
+		if err != nil {
+			return nil, err
+		}
+		return []*workload.Workload{p}, nil
+	}
+	var out []*workload.Workload
+	for i := 0; i < m.Attempts; i++ {
+		p, err := m.FW.GenerateSeeded(ctx, w, salt*1_000_003+int64(i))
 		if err != nil {
 			return nil, err
 		}

@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 
 	"github.com/trap-repro/trap/internal/advisor"
@@ -106,6 +107,12 @@ func FullParams() Params {
 // own advisor/method instances (advisors and frameworks are stateful).
 // The shared pretraining cache and the workload generator's RNG are
 // serialized internally by mu.
+//
+// MeasureOn additionally fans its own test-workload cells across a
+// bounded pool (MeasureWorkers). Its first cell runs sequentially so a
+// learned advisor's lazily initialized state is warm before concurrent
+// cells issue read-only Recommend calls — the same warm-then-fan
+// contract the RL rollout pool uses (see internal/core).
 type Suite struct {
 	Name    string
 	P       Params
@@ -127,6 +134,15 @@ type Suite struct {
 	// SetInjector by the owner). Set before any BuildMethod call; nil
 	// disables injection.
 	Inject faultinject.Injector
+
+	// MeasureWorkers bounds MeasureOn's per-workload cell pool
+	// (0: GOMAXPROCS; 1: sequential). Assessments are bit-identical for
+	// every value — the pool only changes wall-clock time.
+	MeasureWorkers int
+	// TrainWorkers is installed as RolloutWorkers on every framework the
+	// suite builds, bounding the RL trajectory pool of method training
+	// (0: GOMAXPROCS; 1: sequential). Also bit-identical for every value.
+	TrainWorkers int
 
 	// mu serializes the mutable shared state below (and Gen's RNG, which
 	// the pretraining phase draws from).
@@ -298,4 +314,12 @@ func (s *Suite) UtilityOfCtx(ctx context.Context, a advisor.Advisor, base adviso
 // rng derives a deterministic sub-rng.
 func (s *Suite) rng(salt int64) *rand.Rand {
 	return rand.New(rand.NewSource(s.Seed*1_000_003 + salt))
+}
+
+// measureWorkers resolves the measurement pool size.
+func (s *Suite) measureWorkers() int {
+	if s.MeasureWorkers > 0 {
+		return s.MeasureWorkers
+	}
+	return runtime.GOMAXPROCS(0)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"github.com/trap-repro/trap/internal/nn"
 	"github.com/trap-repro/trap/internal/sqlx"
@@ -128,21 +129,31 @@ func PerturbWorkload(ctx context.Context, m Scorer, v *Vocab, w *workload.Worklo
 			return nil, err
 		}
 		out.Items = append(out.Items, workload.Item{Query: r.Query, Weight: it.Weight})
+		g.Reset() // recycle the decode's tensors into the arena
 	}
 	return out, nil
 }
 
+// probScratch pools the sampling distribution so hot decode loops don't
+// allocate a fresh probability slice per actionable step.
+var probScratch = sync.Pool{New: func() any { return new([]float64) }}
+
 func samplePos(logits *nn.Tensor, rng *rand.Rand) int {
-	p := nn.Softmax(logits)
+	bp := probScratch.Get().(*[]float64)
+	p := nn.SoftmaxInto(*bp, logits)
 	u := rng.Float64()
+	pos := len(p) - 1
 	acc := 0.0
 	for i, pi := range p {
 		acc += pi
 		if u <= acc {
-			return i
+			pos = i
+			break
 		}
 	}
-	return len(p) - 1
+	*bp = p
+	probScratch.Put(bp)
+	return pos
 }
 
 func argmaxPos(logits *nn.Tensor) int {

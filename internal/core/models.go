@@ -280,7 +280,7 @@ func (RandomModel) Begin(*nn.Graph, []int) DecState { return nil }
 
 // Score implements Scorer with all-zero logits (uniform).
 func (RandomModel) Score(g *nn.Graph, _ DecState, cands []int) *nn.Tensor {
-	return nn.NewTensor(len(cands), 1)
+	return g.Alloc(len(cands), 1)
 }
 
 // Advance implements Scorer.

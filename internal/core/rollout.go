@@ -1,0 +1,77 @@
+package core
+
+import (
+	"runtime"
+
+	"github.com/trap-repro/trap/internal/nn"
+	"github.com/trap-repro/trap/internal/obs"
+)
+
+// Rollout-phase metrics: one histogram observation per trajectory
+// (decode + reward), a completed-rollout counter, and the nn arena's
+// reuse counters surfaced as gauges.
+var (
+	mRolloutSecs = obs.Default().Histogram("trap_rl_rollout_seconds")
+	mRollouts    = obs.Default().Counter("trap_rl_rollouts_total")
+)
+
+func init() {
+	obs.Default().GaugeFunc("trap_nn_arena_hits_total", func() float64 {
+		h, _ := nn.ArenaStats()
+		return float64(h)
+	})
+	obs.Default().GaugeFunc("trap_nn_arena_misses_total", func() float64 {
+		_, m := nn.ArenaStats()
+		return float64(m)
+	})
+}
+
+// rollout is one sampled trajectory's contribution, produced by a worker
+// and consumed by the in-order reduce.
+type rollout struct {
+	g     *nn.Graph // the trajectory's private tape (nil: worker never ran)
+	steps []DecStep
+	r     float64
+	ok    bool // decode and reward both succeeded
+}
+
+// trajSeed derives the deterministic RNG seed of one sampled trajectory
+// from (epoch seed, workload index, trajectory index) with a
+// splitmix64-style mix, so every trajectory owns an independent random
+// stream regardless of which worker runs it or in what order.
+func trajSeed(epochSeed, workload, b int64) int64 {
+	z := uint64(epochSeed) ^ uint64(workload)*0x9E3779B97F4A7C15 ^ uint64(b)*0xD1B54A32D192ED03
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// rolloutWorkers resolves the rollout pool size: RolloutWorkers when
+// positive, GOMAXPROCS otherwise.
+func (f *Framework) rolloutWorkers() int {
+	if f.RolloutWorkers > 0 {
+		return f.RolloutWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// getGraph takes a graph from the framework's pool (or builds one), so
+// tensor arenas stay warm across workloads and epochs.
+func (f *Framework) getGraph(needsGrad bool) *nn.Graph {
+	g, _ := f.graphs.Get().(*nn.Graph)
+	if g == nil {
+		return nn.NewGraph(needsGrad)
+	}
+	g.NeedsGrad = needsGrad
+	return g
+}
+
+// putGraph resets a graph (recycling its arena tensors and dropping any
+// un-run tape) and returns it to the pool. nil is ignored.
+func (f *Framework) putGraph(g *nn.Graph) {
+	if g == nil {
+		return
+	}
+	g.Reset()
+	f.graphs.Put(g)
+}

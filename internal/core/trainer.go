@@ -12,6 +12,7 @@ import (
 	"github.com/trap-repro/trap/internal/faultinject"
 	"github.com/trap-repro/trap/internal/nn"
 	"github.com/trap-repro/trap/internal/obs"
+	"github.com/trap-repro/trap/internal/par"
 	"github.com/trap-repro/trap/internal/schema"
 	"github.com/trap-repro/trap/internal/sqlx"
 	"github.com/trap-repro/trap/internal/workload"
@@ -42,16 +43,27 @@ var (
 // training holding it per workload so concurrent Generate calls
 // interleave at workload boundaries. Note that GenerateSampled draws
 // from the shared RNG and therefore perturbs training determinism when
-// run concurrently with RLTrain; greedy Generate does not.
+// run concurrently with RLTrain; greedy Generate and the seeded
+// GenerateSeeded do not.
+//
+// Within one training step, the B sampled trajectories of Equation 6
+// fan out across a bounded rollout pool (RolloutWorkers goroutines,
+// GOMAXPROCS by default): each trajectory decodes forward on its own
+// graph with its own RNG stream and computes its reward through the
+// advisor and utility model, which are read-only at that point. The
+// gradient reduce that follows is strictly sequential in trajectory
+// order, so trained parameters are bit-identical for every worker count.
 //
 // # Determinism and checkpoints
 //
 // The RNG is re-seeded deterministically at every RL epoch boundary (a
-// mix of the construction seed and the epoch index), which makes an
-// epoch's randomness independent of everything that ran before it. That
-// is what makes checkpoint/resume exact: a run restored from
-// SaveCheckpoint and continued produces bit-identical parameters to an
-// uninterrupted run with the same seed.
+// mix of the construction seed and the epoch index), and every sampled
+// trajectory derives its private RNG stream from (epoch seed, workload
+// index, trajectory index), which makes an epoch's randomness
+// independent of everything that ran before it. That is what makes
+// checkpoint/resume exact: a run restored from SaveCheckpoint and
+// continued produces bit-identical parameters to an uninterrupted run
+// with the same seed.
 type Framework struct {
 	Model      Scorer
 	Vocab      *Vocab
@@ -68,6 +80,10 @@ type Framework struct {
 	// Batch is the number of sampled trajectories per workload in the
 	// policy-gradient loss (the batch B of Equation 6).
 	Batch int
+	// RolloutWorkers bounds the trajectory rollout pool (0: GOMAXPROCS;
+	// 1: sequential). The trained parameters are bit-identical for every
+	// value — the pool only changes wall-clock time.
+	RolloutWorkers int
 
 	// StartEpoch is the first RL epoch RLTrain runs (set by
 	// LoadCheckpoint so resumed jobs skip completed epochs).
@@ -90,6 +106,10 @@ type Framework struct {
 	// mu serializes model parameters, the RNG and uCache between
 	// training steps and concurrent Generate calls.
 	mu sync.Mutex
+
+	// graphs pools rollout graphs so their tensor arenas stay warm
+	// across workloads and epochs (see internal/nn's Graph arena).
+	graphs sync.Pool
 
 	// uCache memoizes the advisor's utility on original workloads during
 	// RL training (deterministic, so safe to reuse across trajectories).
@@ -145,6 +165,7 @@ func (f *Framework) Pretrain(ctx context.Context, gen *workload.Generator, pairs
 			return nil, err
 		}
 		data = append(data, pair{q: q, choices: r.Choices})
+		g.Reset() // recycle the decode's tensors into the arena
 	}
 	params := f.Model.Params()
 	f.mu.Unlock()
@@ -153,6 +174,7 @@ func (f *Framework) Pretrain(ctx context.Context, gen *workload.Generator, pairs
 	}
 	opt := nn.NewAdam(f.LR)
 	var trace []float64
+	gt := nn.NewGraph(true)
 	epoch := func() (float64, int, error) {
 		f.mu.Lock()
 		defer f.mu.Unlock()
@@ -161,7 +183,7 @@ func (f *Framework) Pretrain(ctx context.Context, gen *workload.Generator, pairs
 			if err := ctx.Err(); err != nil {
 				return 0, 0, err
 			}
-			gt := nn.NewGraph(true)
+			gt.Reset() // one graph per epoch loop: the arena stays warm
 			r, err := Replay(gt, f.Model, f.Vocab, d.q, f.Constraint, f.Eps, d.choices)
 			if err != nil {
 				return 0, 0, err
@@ -233,16 +255,32 @@ func (f *Framework) RewardOf(ctx context.Context, e *engine.Engine, adv advisor.
 // rewardOf is RewardOf with f.mu already held (the RL loop calls it from
 // inside a locked training step).
 func (f *Framework) rewardOf(ctx context.Context, e *engine.Engine, adv advisor.Advisor, baseAdv advisor.Advisor, c advisor.Constraint, w, pert *workload.Workload) (float64, error) {
-	baseline := func(target *workload.Workload) schema.Config {
-		if baseAdv == nil {
-			return nil
-		}
-		cfg, err := baseAdv.Recommend(e, target, c)
-		if err != nil {
-			return nil
-		}
-		return cfg
+	u, err := f.originalUtility(ctx, e, adv, baseAdv, c, w)
+	if err != nil {
+		return 0, err
 	}
+	return f.perturbedReward(ctx, e, adv, baseAdv, c, u, pert)
+}
+
+// baselineFor computes the Ib baseline configuration for a target
+// workload (nil baseline advisor: the null configuration).
+func (f *Framework) baselineFor(e *engine.Engine, baseAdv advisor.Advisor, c advisor.Constraint, target *workload.Workload) schema.Config {
+	if baseAdv == nil {
+		return nil
+	}
+	cfg, err := baseAdv.Recommend(e, target, c)
+	if err != nil {
+		return nil
+	}
+	return cfg
+}
+
+// originalUtility returns the advisor's memoized utility on the original
+// workload, erroring when it does not exceed θ (Definition 3.3 — such
+// workloads are skipped). It reads and writes uCache, so callers must
+// hold f.mu; the RL loop calls it once per workload before rollouts fan
+// out, which is also what warms any lazily initialized advisor state.
+func (f *Framework) originalUtility(ctx context.Context, e *engine.Engine, adv advisor.Advisor, baseAdv advisor.Advisor, c advisor.Constraint, w *workload.Workload) (float64, error) {
 	if f.uCache == nil {
 		f.uCache = map[string]float64{}
 	}
@@ -253,17 +291,26 @@ func (f *Framework) rewardOf(ctx context.Context, e *engine.Engine, adv advisor.
 		if err != nil {
 			return 0, err
 		}
-		u = f.utilityOf(ctx, e, w, cfgW, baseline(w))
+		u = f.utilityOf(ctx, e, w, cfgW, f.baselineFor(e, baseAdv, c, w))
 		f.uCache[key] = u
 	}
 	if u <= f.Theta {
 		return 0, fmt.Errorf("core: advisor utility %.3f below theta", u)
 	}
+	return u, nil
+}
+
+// perturbedReward computes the clamped IUDR reward of one perturbed
+// workload given the original's utility u. It touches no mutable
+// framework state — only the engine, advisors and utility model, which
+// are safe for concurrent use once training has begun — so rollout
+// workers call it concurrently without holding f.mu.
+func (f *Framework) perturbedReward(ctx context.Context, e *engine.Engine, adv advisor.Advisor, baseAdv advisor.Advisor, c advisor.Constraint, u float64, pert *workload.Workload) (float64, error) {
 	cfgP, err := adv.Recommend(e, pert, c)
 	if err != nil {
 		return 0, err
 	}
-	uPert := f.utilityOf(ctx, e, pert, cfgP, baseline(pert))
+	uPert := f.utilityOf(ctx, e, pert, cfgP, f.baselineFor(e, baseAdv, c, pert))
 	r := workload.IUDR(u, uPert)
 	if r > 2 {
 		r = 2
@@ -298,67 +345,110 @@ func (f *Framework) RLTrain(ctx context.Context, e *engine.Engine, adv advisor.A
 	if batch < 1 {
 		batch = 1
 	}
+	workers := f.rolloutWorkers()
 	// step trains on one workload under the framework lock and returns
-	// its contribution to the epoch's sampled-reward mean.
-	step := func(w *workload.Workload) (float64, int) {
+	// its contribution to the epoch's sampled-reward mean. A non-nil
+	// error means training was canceled mid-rollout; no partial gradient
+	// is ever applied in that case.
+	step := func(epoch, wi int, w *workload.Workload) (float64, int, error) {
 		f.mu.Lock()
 		defer f.mu.Unlock()
-		// Greedy self-critic baseline (no gradients).
-		gb := nn.NewGraph(false)
+		// Sequential prologue: the greedy self-critic baseline (no
+		// gradients, consumes no randomness). Decoding it first also
+		// registers any unseen vocabulary tokens, triggers lazy advisor
+		// initialization and fills the utility cache deterministically,
+		// so the fanned-out rollouts below only read that shared state.
+		gb := f.getGraph(false)
 		greedy := &workload.Workload{}
 		for _, it := range w.Items {
 			r, err := Decode(gb, f.Model, f.Vocab, it.Query, f.Constraint, f.Eps, false, f.rng)
 			if err != nil {
-				return 0, 0
+				f.putGraph(gb)
+				return 0, 0, nil
 			}
 			greedy.Items = append(greedy.Items, workload.Item{Query: r.Query, Weight: it.Weight})
 		}
-		rb, rbErr := f.rewardOf(ctx, e, adv, baseAdv, c, w, greedy)
-		if rbErr != nil {
+		f.putGraph(gb)
+		u, uErr := f.originalUtility(ctx, e, adv, baseAdv, c, w)
+		if uErr != nil {
 			// Below-θ workloads are skipped entirely (Definition 3.3).
-			return 0, 0
+			return 0, 0, nil
 		}
-		// Batch of sampled trajectories (Equation 6), sharing one tape.
-		g := nn.NewGraph(true)
-		updated := false
-		var sum float64
-		var n int
-		for b := 0; b < batch; b++ {
+		rb, rbErr := f.perturbedReward(ctx, e, adv, baseAdv, c, u, greedy)
+		if rbErr != nil {
+			return 0, 0, nil
+		}
+		// Fan the B sampled trajectories of Equation 6 across the
+		// rollout pool. Each trajectory decodes forward on its own graph
+		// with its own deterministic RNG stream and scores its reward;
+		// a failed decode or reward skips that trajectory (ok stays
+		// false), mirroring the sequential behavior.
+		rolls := make([]rollout, batch)
+		es := f.epochSeed(epoch)
+		rerr := par.ForEach(ctx, workers, batch, func(b int) error {
+			sp := obs.StartSpan(mRolloutSecs)
+			defer sp.End()
+			if err := faultinject.Fire(f.Inject, faultinject.PointRollout); err != nil {
+				return err
+			}
+			g := f.getGraph(true)
+			rolls[b].g = g
+			rng := rand.New(rand.NewSource(trajSeed(es, int64(wi), int64(b))))
 			pert := &workload.Workload{}
 			var steps []DecStep
-			ok := true
 			for _, it := range w.Items {
-				r, err := Decode(g, f.Model, f.Vocab, it.Query, f.Constraint, f.Eps, true, f.rng)
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				r, err := Decode(g, f.Model, f.Vocab, it.Query, f.Constraint, f.Eps, true, rng)
 				if err != nil {
-					ok = false
-					break
+					return nil
 				}
 				pert.Items = append(pert.Items, workload.Item{Query: r.Query, Weight: it.Weight})
 				steps = append(steps, r.Steps...)
 			}
-			if !ok {
-				continue
-			}
-			r, err := f.rewardOf(ctx, e, adv, baseAdv, c, w, pert)
+			r, err := f.perturbedReward(ctx, e, adv, baseAdv, c, u, pert)
 			if err != nil {
-				continue
+				return nil
 			}
-			advantage := (r - rb) / float64(batch)
-			if advantage != 0 {
-				for _, st := range steps {
-					nn.CrossEntropy(st.Logits, st.Chosen, advantage)
+			mRollouts.Inc()
+			rolls[b].steps, rolls[b].r, rolls[b].ok = steps, r, true
+			return nil
+		})
+		// In-order reduce: losses are seeded and backpropagated strictly
+		// in trajectory order b = 0..B-1, so the floating-point
+		// accumulation into the shared gradients — and therefore the
+		// trained parameters — is bit-identical for every worker count.
+		updated := false
+		var sum float64
+		var n int
+		for b := range rolls {
+			ro := &rolls[b]
+			if rerr == nil && ro.ok {
+				advantage := (ro.r - rb) / float64(batch)
+				if advantage != 0 {
+					for _, st := range ro.steps {
+						nn.CrossEntropy(st.Logits, st.Chosen, advantage)
+					}
+					ro.g.Backward()
+					updated = true
 				}
-				updated = true
+				sum += ro.r
+				n++
 			}
-			sum += r
-			n++
+			f.putGraph(ro.g) // Reset drops any half-built tape
+		}
+		if rerr != nil {
+			// Canceled mid-rollout: the graphs above were reset without
+			// Backward, so parameters and gradients are untouched and
+			// the framework stays fully usable.
+			return 0, 0, rerr
 		}
 		if updated {
-			g.Backward()
 			params.ClipGrads(5)
 			opt.Step(params)
 		}
-		return sum, n
+		return sum, n, nil
 	}
 	var trace []float64
 	for ep := f.StartEpoch; ep < epochs; ep++ {
@@ -374,14 +464,17 @@ func (f *Framework) RLTrain(ctx context.Context, e *engine.Engine, adv advisor.A
 		f.mu.Unlock()
 		var sum float64
 		var n int
-		for _, w := range train {
+		for wi, w := range train {
 			if err := ctx.Err(); err != nil {
 				return trace, err
 			}
 			if err := faultinject.Fire(f.Inject, faultinject.PointRLWorkload); err != nil {
 				return trace, err
 			}
-			ws, wn := step(w)
+			ws, wn, err := step(ep, wi, w)
+			if err != nil {
+				return trace, err
+			}
 			sum += ws
 			n += wn
 		}
@@ -450,4 +543,20 @@ func (f *Framework) GenerateSampled(ctx context.Context, w *workload.Workload) (
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return PerturbWorkload(ctx, f.Model, f.Vocab, w, f.Constraint, f.Eps, true, f.rng)
+}
+
+// GenerateSeeded is GenerateSampled with a private RNG stream derived
+// from the framework seed and the caller's salt, so repeated attempts
+// are reproducible and independent of the shared training RNG —
+// parallel assessment cells use it so measurement stays deterministic
+// regardless of cell execution order.
+func (f *Framework) GenerateSeeded(ctx context.Context, w *workload.Workload, salt int64) (*workload.Workload, error) {
+	mGeneratedWorkloads.Inc()
+	if err := faultinject.Fire(f.Inject, faultinject.PointGenerate); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(trajSeed(f.seed, salt, 0)))
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return PerturbWorkload(ctx, f.Model, f.Vocab, w, f.Constraint, f.Eps, true, rng)
 }

@@ -11,6 +11,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/trap-repro/trap/internal/schema"
 	"github.com/trap-repro/trap/internal/sqlx"
@@ -20,7 +21,14 @@ import (
 // Vocab is the global token vocabulary, segmented into regions by node
 // type as in Figure 5: reserved keywords, tables, columns (per table),
 // sampled values (per column), operators, aggregators and conjunctions.
+//
+// A Vocab is safe for concurrent use: lookups take a read lock, and the
+// get-or-add registration of unseen tokens (ID, Encode) takes the write
+// lock. Parallel rollout workers rely on this — though in practice the
+// trainer's sequential greedy decode registers any unseen tokens before
+// rollouts fan out, so the workers' lookups are read-only.
 type Vocab struct {
+	mu     sync.RWMutex
 	tokens []sqlx.Token
 	ids    map[sqlx.Token]int
 
@@ -93,52 +101,87 @@ func BuildVocab(s *schema.Schema, ws []*workload.Workload) *Vocab {
 }
 
 // Size returns the number of distinct tokens.
-func (v *Vocab) Size() int { return len(v.tokens) }
+func (v *Vocab) Size() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.tokens)
+}
 
 // Token returns the token with the given id.
-func (v *Vocab) Token(id int) sqlx.Token { return v.tokens[id] }
+func (v *Vocab) Token(id int) sqlx.Token {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.tokens[id]
+}
 
 // ID returns the id of a token, registering it if unseen (out-of-schema
 // literals from arbitrary input queries still need an embedding row, so
 // the vocabulary keeps a small growth margin; see EmbeddingRows).
 func (v *Vocab) ID(t sqlx.Token) int {
-	if id, ok := v.ids[t]; ok {
+	v.mu.RLock()
+	id, ok := v.ids[t]
+	v.mu.RUnlock()
+	if ok {
 		return id
 	}
-	id := len(v.tokens)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if id, ok := v.ids[t]; ok {
+		// Lost the registration race to another goroutine.
+		return id
+	}
+	id = len(v.tokens)
 	v.tokens = append(v.tokens, t)
 	v.ids[t] = id
 	return id
 }
 
 // Region returns the token ids of a region (nil when empty).
-func (v *Vocab) Region(key string) []int { return v.regions[key] }
+func (v *Vocab) Region(key string) []int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.regions[key]
+}
 
 // ColumnsRegion returns the column-token ids for a table.
-func (v *Vocab) ColumnsRegion(table string) []int { return v.regions["columns:"+table] }
+func (v *Vocab) ColumnsRegion(table string) []int { return v.Region("columns:" + table) }
 
 // ValuesRegion returns the value-token ids for a column.
-func (v *Vocab) ValuesRegion(col sqlx.ColumnRef) []int { return v.regions["values:"+col.String()] }
+func (v *Vocab) ValuesRegion(col sqlx.ColumnRef) []int { return v.Region("values:" + col.String()) }
 
 // SetValuesRegion replaces the legitimate value tokens of a column. This
 // is the paper's periodic-template adaptation: given the variants
 // expected in the next period, the legitimate tokens of the perturbation
 // constraint are narrowed so TRAP explores exactly those.
 func (v *Vocab) SetValuesRegion(col sqlx.ColumnRef, values []sqlx.Datum) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	key := "values:" + col.String()
 	v.regions[key] = nil
 	for _, d := range values {
-		id := v.ID(sqlx.Token{Type: sqlx.TokValue, Text: d.String()})
+		t := sqlx.Token{Type: sqlx.TokValue, Text: d.String()}
+		id, ok := v.ids[t]
+		if !ok {
+			id = len(v.tokens)
+			v.tokens = append(v.tokens, t)
+			v.ids[t] = id
+		}
 		v.regions[key] = append(v.regions[key], id)
 	}
 }
 
 // EmbeddingRows returns the row count generation models should allocate:
 // the current size plus headroom for literals seen later in input queries.
-func (v *Vocab) EmbeddingRows() int { return len(v.tokens) + len(v.tokens)/2 + 64 }
+func (v *Vocab) EmbeddingRows() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.tokens) + len(v.tokens)/2 + 64
+}
 
 // RegionKeys lists the region names, sorted (useful for debugging).
 func (v *Vocab) RegionKeys() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	keys := make([]string, 0, len(v.regions))
 	for k := range v.regions {
 		keys = append(keys, k)
@@ -159,5 +202,7 @@ func (v *Vocab) Encode(q *sqlx.Query) []int {
 
 // String summarizes the vocabulary.
 func (v *Vocab) String() string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	return fmt.Sprintf("Vocab{%d tokens, %d regions}", len(v.tokens), len(v.regions))
 }

@@ -2,88 +2,28 @@ package engine
 
 import (
 	"context"
-	"sync"
-	"sync/atomic"
+
+	"github.com/trap-repro/trap/internal/par"
 )
 
-// panicBox carries a recovered panic value from a worker goroutine back
-// to the calling goroutine.
-type panicBox struct{ v any }
-
 // forEachItem runs fn(i) for every i in [0, n) and returns the results
-// in index order. With workers <= 1 it is a plain sequential loop; with
-// more it fans out over a bounded pool pulling indices from a shared
-// counter. Either way cancellation is honored at item granularity, and
-// when several items fail the error of the lowest index is returned, so
-// the error choice is deterministic regardless of scheduling. A panic in
-// fn is captured and re-raised on the calling goroutine after the pool
-// drains, so fault-injected panics keep their synchronous crash
-// semantics instead of killing the process from an anonymous worker.
+// in index order, fanning out over par.ForEach's bounded worker pool.
+// The caller reduces the returned slice sequentially, which keeps
+// parallel cost totals bit-identical to sequential execution (see
+// internal/par for the cancellation, error-selection and panic
+// re-raise semantics).
 func forEachItem(ctx context.Context, workers, n int, fn func(i int) (float64, error)) ([]float64, error) {
 	out := make([]float64, n)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			c, err := fn(i)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = c
-		}
-		return out, nil
-	}
-
-	var (
-		next atomic.Int64
-		stop atomic.Bool
-		pan  atomic.Pointer[panicBox]
-		wg   sync.WaitGroup
-	)
-	errs := make([]error, n)
-	worker := func() {
-		defer wg.Done()
-		defer func() {
-			if r := recover(); r != nil {
-				pan.CompareAndSwap(nil, &panicBox{v: r})
-				stop.Store(true)
-			}
-		}()
-		for !stop.Load() {
-			i := int(next.Add(1)) - 1
-			if i >= n {
-				return
-			}
-			if err := ctx.Err(); err != nil {
-				errs[i] = err
-				stop.Store(true)
-				return
-			}
-			c, err := fn(i)
-			if err != nil {
-				errs[i] = err
-				stop.Store(true)
-				return
-			}
-			out[i] = c
-		}
-	}
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go worker()
-	}
-	wg.Wait()
-	if p := pan.Load(); p != nil {
-		panic(p.v)
-	}
-	for _, err := range errs {
+	err := par.ForEach(ctx, workers, n, func(i int) error {
+		c, err := fn(i)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		out[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

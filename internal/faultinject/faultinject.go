@@ -31,6 +31,9 @@ const (
 	PointRLEpoch = "core.rl.epoch"
 	// PointRLWorkload fires before each workload inside an RL epoch.
 	PointRLWorkload = "core.rl.workload"
+	// PointRollout fires inside every sampled-trajectory rollout worker,
+	// before it decodes (so injected faults land mid-fan-out).
+	PointRollout = "core.rl.rollout"
 	// PointGenerate fires on every Framework.Generate/GenerateSampled.
 	PointGenerate = "core.generate"
 )

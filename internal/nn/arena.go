@@ -1,0 +1,88 @@
+package nn
+
+import "sync/atomic"
+
+// Arena reuse counters, aggregated across every graph (exposed as
+// gauges by internal/core so /metrics shows steady-state reuse).
+var (
+	arenaHits   atomic.Int64
+	arenaMisses atomic.Int64
+)
+
+// ArenaStats reports how many graph-op allocations were served from a
+// recycled tensor (hits) versus fresh heap allocations (misses), summed
+// over all graphs since process start.
+func ArenaStats() (hits, misses int64) {
+	return arenaHits.Load(), arenaMisses.Load()
+}
+
+func zeroFloats(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Alloc returns a zeroed r×c tensor from the graph's arena, recycling a
+// same-sized tensor released by an earlier Reset when one is available.
+// The tensor is valid until the graph's next Reset; callers that need a
+// result to outlive the graph must Clone it (or use NewTensor).
+func (g *Graph) Alloc(r, c int) *Tensor {
+	n := r * c
+	if lst := g.free[n]; len(lst) > 0 {
+		t := lst[len(lst)-1]
+		g.free[n] = lst[:len(lst)-1]
+		t.R, t.C = r, c
+		zeroFloats(t.W)
+		zeroFloats(t.G)
+		g.live = append(g.live, t)
+		arenaHits.Add(1)
+		return t
+	}
+	arenaMisses.Add(1)
+	t := NewTensor(r, c)
+	g.live = append(g.live, t)
+	return t
+}
+
+// floats returns a zeroed scratch slice of length n from the arena,
+// valid until the next Reset.
+func (g *Graph) floats(n int) []float64 {
+	if lst := g.freeF[n]; len(lst) > 0 {
+		f := lst[len(lst)-1]
+		g.freeF[n] = lst[:len(lst)-1]
+		zeroFloats(f)
+		g.liveF = append(g.liveF, f)
+		return f
+	}
+	f := make([]float64, n)
+	g.liveF = append(g.liveF, f)
+	return f
+}
+
+// Reset clears the tape (dropping any un-run backward closures) and
+// releases every tensor and scratch slice handed out since the last
+// Reset back to the free lists. After Reset, previously returned
+// tensors are recycled by later Alloc calls — callers must not retain
+// them across a Reset.
+func (g *Graph) Reset() {
+	g.tape = g.tape[:0]
+	if len(g.live) > 0 {
+		if g.free == nil {
+			g.free = make(map[int][]*Tensor)
+		}
+		for _, t := range g.live {
+			n := len(t.W)
+			g.free[n] = append(g.free[n], t)
+		}
+		g.live = g.live[:0]
+	}
+	if len(g.liveF) > 0 {
+		if g.freeF == nil {
+			g.freeF = make(map[int][][]float64)
+		}
+		for _, f := range g.liveF {
+			g.freeF[len(f)] = append(g.freeF[len(f)], f)
+		}
+		g.liveF = g.liveF[:0]
+	}
+}

@@ -74,6 +74,10 @@ func (p *Params) ClipGrads(maxNorm float64) float64 {
 			sq += g * g
 		}
 	}
+	if sq == 0 {
+		// All-zero gradients (e.g. a skipped workload): nothing to scale.
+		return 0
+	}
 	norm := math.Sqrt(sq)
 	if norm > maxNorm && norm > 0 {
 		scale := maxNorm / norm

@@ -1,13 +1,16 @@
 package nn
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // Mul returns the matrix product a·b.
 func (g *Graph) Mul(a, b *Tensor) *Tensor {
 	if a.C != b.R {
 		panic("nn: Mul shape mismatch")
 	}
-	out := NewTensor(a.R, b.C)
+	out := g.Alloc(a.R, b.C)
 	for i := 0; i < a.R; i++ {
 		for k := 0; k < a.C; k++ {
 			av := a.W[i*a.C+k]
@@ -41,7 +44,7 @@ func (g *Graph) Add(a, b *Tensor) *Tensor {
 	if a.R != b.R || a.C != b.C {
 		panic("nn: Add shape mismatch")
 	}
-	out := NewTensor(a.R, a.C)
+	out := g.Alloc(a.R, a.C)
 	for i := range out.W {
 		out.W[i] = a.W[i] + b.W[i]
 	}
@@ -59,7 +62,7 @@ func (g *Graph) Hadamard(a, b *Tensor) *Tensor {
 	if a.R != b.R || a.C != b.C {
 		panic("nn: Hadamard shape mismatch")
 	}
-	out := NewTensor(a.R, a.C)
+	out := g.Alloc(a.R, a.C)
 	for i := range out.W {
 		out.W[i] = a.W[i] * b.W[i]
 	}
@@ -74,7 +77,7 @@ func (g *Graph) Hadamard(a, b *Tensor) *Tensor {
 
 // Scale returns s·a for a constant s.
 func (g *Graph) Scale(a *Tensor, s float64) *Tensor {
-	out := NewTensor(a.R, a.C)
+	out := g.Alloc(a.R, a.C)
 	for i := range out.W {
 		out.W[i] = a.W[i] * s
 	}
@@ -88,7 +91,7 @@ func (g *Graph) Scale(a *Tensor, s float64) *Tensor {
 
 // AddConst returns a + c elementwise for a constant c.
 func (g *Graph) AddConst(a *Tensor, c float64) *Tensor {
-	out := NewTensor(a.R, a.C)
+	out := g.Alloc(a.R, a.C)
 	for i := range out.W {
 		out.W[i] = a.W[i] + c
 	}
@@ -102,7 +105,7 @@ func (g *Graph) AddConst(a *Tensor, c float64) *Tensor {
 
 // OneMinus returns 1 - a elementwise.
 func (g *Graph) OneMinus(a *Tensor) *Tensor {
-	out := NewTensor(a.R, a.C)
+	out := g.Alloc(a.R, a.C)
 	for i := range out.W {
 		out.W[i] = 1 - a.W[i]
 	}
@@ -116,7 +119,7 @@ func (g *Graph) OneMinus(a *Tensor) *Tensor {
 
 // Tanh applies tanh elementwise.
 func (g *Graph) Tanh(a *Tensor) *Tensor {
-	out := NewTensor(a.R, a.C)
+	out := g.Alloc(a.R, a.C)
 	for i := range out.W {
 		out.W[i] = math.Tanh(a.W[i])
 	}
@@ -130,7 +133,7 @@ func (g *Graph) Tanh(a *Tensor) *Tensor {
 
 // Sigmoid applies the logistic function elementwise.
 func (g *Graph) Sigmoid(a *Tensor) *Tensor {
-	out := NewTensor(a.R, a.C)
+	out := g.Alloc(a.R, a.C)
 	for i := range out.W {
 		out.W[i] = 1 / (1 + math.Exp(-a.W[i]))
 	}
@@ -144,7 +147,7 @@ func (g *Graph) Sigmoid(a *Tensor) *Tensor {
 
 // Relu applies max(0, x) elementwise.
 func (g *Graph) Relu(a *Tensor) *Tensor {
-	out := NewTensor(a.R, a.C)
+	out := g.Alloc(a.R, a.C)
 	for i := range out.W {
 		if a.W[i] > 0 {
 			out.W[i] = a.W[i]
@@ -169,7 +172,7 @@ func (g *Graph) Concat(parts ...*Tensor) *Tensor {
 		}
 		total += p.R
 	}
-	out := NewTensor(total, 1)
+	out := g.Alloc(total, 1)
 	off := 0
 	for _, p := range parts {
 		copy(out.W[off:off+p.R], p.W)
@@ -189,7 +192,7 @@ func (g *Graph) Concat(parts ...*Tensor) *Tensor {
 
 // Lookup returns row `row` of the embedding matrix m as a column vector.
 func (g *Graph) Lookup(m *Tensor, row int) *Tensor {
-	out := NewTensor(m.C, 1)
+	out := g.Alloc(m.C, 1)
 	copy(out.W, m.W[row*m.C:(row+1)*m.C])
 	g.addBack(func() {
 		for j := 0; j < m.C; j++ {
@@ -206,7 +209,7 @@ func (g *Graph) SelectedAffine(w, b, x *Tensor, rows []int) *Tensor {
 	if w.C != x.R || x.C != 1 {
 		panic("nn: SelectedAffine shape mismatch")
 	}
-	out := NewTensor(len(rows), 1)
+	out := g.Alloc(len(rows), 1)
 	for k, r := range rows {
 		s := b.W[r]
 		for j := 0; j < w.C; j++ {
@@ -232,13 +235,14 @@ func (g *Graph) SelectedAffine(w, b, x *Tensor, rows []int) *Tensor {
 
 // Attend computes softmax attention: weights a = softmax(scores), output
 // ctx = Σ a_i values[i]. scores are 1×1 tensors, values equal-shaped
-// column vectors. It returns the context vector and the (constant) weights.
+// column vectors. It returns the context vector and the (constant)
+// weights; both are arena-backed and valid until the graph's Reset.
 func (g *Graph) Attend(scores []*Tensor, values []*Tensor) (*Tensor, []float64) {
 	n := len(scores)
 	if n == 0 || n != len(values) {
 		panic("nn: Attend needs matching non-empty scores/values")
 	}
-	a := make([]float64, n)
+	a := g.floats(n)
 	maxs := math.Inf(-1)
 	for i, s := range scores {
 		if s.W[0] > maxs {
@@ -255,15 +259,16 @@ func (g *Graph) Attend(scores []*Tensor, values []*Tensor) (*Tensor, []float64) 
 		a[i] /= sum
 	}
 	d := values[0].R
-	ctx := NewTensor(d, 1)
+	ctx := g.Alloc(d, 1)
 	for i, v := range values {
 		for j := 0; j < d; j++ {
 			ctx.W[j] += a[i] * v.W[j]
 		}
 	}
+	dots := g.floats(n) // backward scratch, preallocated on the forward pass
 	g.addBack(func() {
 		// dot[i] = dctx · values[i]
-		dots := make([]float64, n)
+		zeroFloats(dots)
 		var avg float64
 		for i, v := range values {
 			for j := 0; j < d; j++ {
@@ -284,7 +289,18 @@ func (g *Graph) Attend(scores []*Tensor, values []*Tensor) (*Tensor, []float64) 
 // Softmax returns the probabilities of a logits column vector (no grad;
 // use the cross-entropy helpers for training).
 func Softmax(logits *Tensor) []float64 {
-	p := make([]float64, logits.R)
+	return SoftmaxInto(nil, logits)
+}
+
+// SoftmaxInto computes Softmax into dst, reusing its capacity when it is
+// large enough (allocating otherwise), and returns the probability
+// slice. Hot decode loops keep a scratch slice and pass it back in to
+// avoid a per-step allocation.
+func SoftmaxInto(dst []float64, logits *Tensor) []float64 {
+	if cap(dst) < logits.R {
+		dst = make([]float64, logits.R)
+	}
+	p := dst[:logits.R]
 	maxv := math.Inf(-1)
 	for i := 0; i < logits.R; i++ {
 		if logits.W[i] > maxv {
@@ -302,12 +318,17 @@ func Softmax(logits *Tensor) []float64 {
 	return p
 }
 
+// probPool recycles the probability scratch of CrossEntropy so the
+// training loss costs no allocation per step at steady state.
+var probPool = sync.Pool{New: func() any { return new([]float64) }}
+
 // CrossEntropy seeds gradients for -weight·log softmax(logits)[target] and
 // returns the loss value. Call Graph.Backward afterwards (gradients from
 // several losses accumulate). A negative weight implements
 // policy-gradient ascent on log-probability.
 func CrossEntropy(logits *Tensor, target int, weight float64) float64 {
-	p := Softmax(logits)
+	buf := probPool.Get().(*[]float64)
+	p := SoftmaxInto(*buf, logits)
 	loss := -weight * math.Log(math.Max(p[target], 1e-12))
 	for i := range p {
 		grad := p[i]
@@ -316,6 +337,8 @@ func CrossEntropy(logits *Tensor, target int, weight float64) float64 {
 		}
 		logits.G[i] += weight * grad
 	}
+	*buf = p
+	probPool.Put(buf)
 	return loss
 }
 

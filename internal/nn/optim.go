@@ -24,6 +24,13 @@ func NewAdam(lr float64) *Adam {
 
 // Step applies one update to every parameter from its accumulated
 // gradients and clears the gradients.
+//
+// Parameters the optimizer has never touched whose gradients are all
+// zero are skipped without allocating moment buffers: with zero moments
+// and zero gradient the update is exactly zero, so the skip is
+// bit-identical to the full computation (a decoder-only model leaves
+// its encoder-shaped registry slots grad-free every step, and paying
+// two moment vectors per such tensor was pure waste).
 func (a *Adam) Step(p *Params) {
 	a.t++
 	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
@@ -31,6 +38,9 @@ func (a *Adam) Step(p *Params) {
 	for _, t := range p.Tensors() {
 		m := a.m[t]
 		if m == nil {
+			if allZero(t.G) {
+				continue
+			}
 			m = make([]float64, t.Size())
 			a.m[t] = m
 			a.v[t] = make([]float64, t.Size())
@@ -92,6 +102,16 @@ func (a *Adam) SetState(p *Params, t int, m, v [][]float64) error {
 		a.v[tensor] = vi
 	}
 	return nil
+}
+
+// allZero reports whether every value of x is zero.
+func allZero(x []float64) bool {
+	for _, v := range x {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // SGD is plain stochastic gradient descent (used by the small RL advisors).

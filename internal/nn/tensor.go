@@ -69,10 +69,28 @@ func (t *Tensor) CopyFrom(o *Tensor) {
 
 // Graph is a reverse-mode autodiff tape. Build the forward computation
 // through Graph ops, seed gradients (e.g. via a loss), then call Backward.
+//
+// Every graph owns a tensor arena: op outputs come from a size-keyed
+// free list that Reset recycles, so a graph reused across tape runs
+// reaches a steady state with near-zero heap allocation. The lifetime
+// rule is: tensors (and scratch slices) returned by graph ops are valid
+// until the next Reset of the graph that produced them. A graph that is
+// never Reset behaves exactly like the pre-arena implementation, except
+// that its tensors are retained until the graph itself is unreachable.
+// Graphs are not safe for concurrent use; use one per goroutine.
 type Graph struct {
 	// NeedsGrad disables tape recording when false (pure inference).
 	NeedsGrad bool
 	tape      []func()
+
+	// Tensor arena: free holds recycled tensors keyed by element count,
+	// live tracks every arena tensor handed out since the last Reset.
+	free map[int][]*Tensor
+	live []*Tensor
+	// Scratch float64 arena with the same recycling discipline (used by
+	// Attend weights, LayerNorm normalization buffers, ...).
+	freeF map[int][][]float64
+	liveF [][]float64
 }
 
 // NewGraph returns a graph; pass needsGrad=false for inference-only runs.

@@ -10,7 +10,7 @@ func (g *Graph) Dot(a, b *Tensor) *Tensor {
 	if a.R != b.R || a.C != 1 || b.C != 1 {
 		panic("nn: Dot expects equal-length column vectors")
 	}
-	out := NewTensor(1, 1)
+	out := g.Alloc(1, 1)
 	for i := 0; i < a.R; i++ {
 		out.W[0] += a.W[i] * b.W[i]
 	}
@@ -55,15 +55,16 @@ func (ln *LayerNorm) Apply(g *Graph, x *Tensor) *Tensor {
 	}
 	variance /= n
 	std := math.Sqrt(variance + 1e-5)
-	xhat := make([]float64, x.R)
-	out := NewTensor(x.R, 1)
+	xhat := g.floats(x.R)
+	out := g.Alloc(x.R, 1)
 	for i, v := range x.W {
 		xhat[i] = (v - mu) / std
 		out.W[i] = ln.Gamma.W[i]*xhat[i] + ln.Beta.W[i]
 	}
+	dxhat := g.floats(x.R) // backward scratch, preallocated forward
 	g.addBack(func() {
 		var meanDx, meanDxX float64
-		dxhat := make([]float64, x.R)
+		zeroFloats(dxhat)
 		for i := range x.W {
 			ln.Gamma.G[i] += out.G[i] * xhat[i]
 			ln.Beta.G[i] += out.G[i]

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"time"
 
@@ -25,6 +26,16 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/assess", s.handleAssess)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	if s.cfg.EnablePprof {
+		// Profiling a live assessment: with -pprof on, e.g.
+		//   go tool pprof 'http://localhost:8080/debug/pprof/profile?seconds=30'
+		// while a job runs captures the rollout and measurement pools.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 }
 
 // errorBody is the uniform error envelope.

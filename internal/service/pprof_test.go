@@ -1,0 +1,38 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestPprofGatedOff: the default server must not expose profiling
+// endpoints — /debug/pprof/ is an unknown route without EnablePprof.
+func TestPprofGatedOff(t *testing.T) {
+	h := testServer(t).Handler()
+	code, _ := getPath(t, h, "/debug/pprof/")
+	if code != http.StatusNotFound {
+		t.Fatalf("GET /debug/pprof/ without EnablePprof = %d, want 404", code)
+	}
+}
+
+// TestPprofEnabled: with EnablePprof the endpoints are mounted. Routing
+// depends only on the config, so the test wires a bare mux instead of
+// paying for a second suite build.
+func TestPprofEnabled(t *testing.T) {
+	s := &Server{cfg: Config{EnablePprof: true}, mux: http.NewServeMux()}
+	s.routes()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		rec := httptest.NewRecorder()
+		s.mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("GET %s with EnablePprof = %d, want 200", path, rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	s.mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if !strings.Contains(rec.Body.String(), "profile") {
+		t.Error("pprof index does not list profiles")
+	}
+}

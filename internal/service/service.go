@@ -12,6 +12,7 @@
 //	GET  /v1/jobs/{id} — poll job status and result
 //	GET  /metrics     — text metric exposition
 //	GET  /healthz     — liveness and suite inventory
+//	GET  /debug/pprof/* — profiling endpoints (only with Config.EnablePprof)
 //
 // The suites (engine, workloads, vocabulary, learned utility model) are
 // built once at startup and shared by every request; the engine and
@@ -72,6 +73,19 @@ type Config struct {
 	// CostWorkers sizes each suite engine's CostBatch fan-out pool
 	// (default 0: GOMAXPROCS at call time; 1 forces sequential costing).
 	CostWorkers int
+	// TrainWorkers sizes the RL trajectory rollout pool of every
+	// framework the suites build (default 0: GOMAXPROCS at call time;
+	// 1 forces sequential rollouts). Trained parameters are bit-identical
+	// for every value.
+	TrainWorkers int
+	// AssessWorkers sizes each suite's per-workload measurement pool
+	// (default 0: GOMAXPROCS at call time; 1 forces sequential
+	// measurement). Assessments are bit-identical for every value.
+	AssessWorkers int
+	// EnablePprof mounts net/http/pprof profiling endpoints under
+	// /debug/pprof/ (off by default: profiles expose internals, so the
+	// flag is an explicit opt-in).
+	EnablePprof bool
 	// QueueDepth bounds the pending-job queue (default 4×Workers).
 	QueueDepth int
 	// RequestTimeout bounds synchronous endpoints (default 30s).
@@ -231,6 +245,8 @@ func NewServer(cfg Config) (*Server, error) {
 		suite.Inject = cfg.Injector
 		suite.E.SetInjector(cfg.Injector)
 		suite.E.SetBatchWorkers(cfg.CostWorkers)
+		suite.TrainWorkers = cfg.TrainWorkers
+		suite.MeasureWorkers = cfg.AssessWorkers
 		s.suites[name] = suite
 		cfg.Logf("trapd: built %s suite in %v (%d train / %d test workloads)",
 			name, time.Since(t0).Round(time.Millisecond), len(suite.Train), len(suite.Test))
