@@ -25,6 +25,10 @@ echo "== race detector =="
 # singleflight and CostBatch worker pool are the repo's hottest
 # concurrent code and must fail fast and loud on a data race.
 go test -race -timeout 300s -count=1 ./internal/engine
+# The tracer is written to from every pipeline goroutine (rollout pools,
+# measurement cells, cost batches) while /v1/traces reads it: its own
+# explicit race pass keeps that contract loud.
+go test -race -timeout 300s -count=1 ./internal/trace
 go test -race -timeout 300s ./...
 
 echo "== benchmark smoke =="
@@ -45,5 +49,13 @@ go test -timeout 120s -count=1 \
 go test -timeout 120s -count=1 \
     -run 'TestCheckpointResumeEquivalence|TestRLTrainInjectedTransientError' \
     ./internal/core
+
+echo "== trace endpoint smoke =="
+# End-to-end observability check: a real job must yield a retrievable
+# trace with a >=4-level span tree, and /metrics must serve all three
+# exposition formats.
+go test -timeout 300s -count=1 \
+    -run 'TestJobTraceEndToEnd|TestMetricsFormats' \
+    ./internal/service
 
 echo "ci: all green"

@@ -11,6 +11,8 @@
 //	      [-request-timeout 30s] [-job-timeout 15m] [-max-body 1048576]
 //	      [-max-retries 2] [-retry-backoff 100ms] [-job-ttl 1h] [-gc-interval 1m]
 //	      [-spool DIR] [-checkpoint-every 1] [-inject SPEC] [-pprof]
+//	      [-log-level info] [-log-format text|json]
+//	      [-trace-recent 64] [-trace-slow 8] [-trace-every 1]
 //
 // trapd shuts down gracefully on SIGINT/SIGTERM: the listener closes,
 // in-flight requests and running assessment jobs drain, and queued jobs
@@ -42,7 +44,9 @@ import (
 
 	"github.com/trap-repro/trap/internal/assess"
 	"github.com/trap-repro/trap/internal/faultinject"
+	olog "github.com/trap-repro/trap/internal/obs/log"
 	"github.com/trap-repro/trap/internal/service"
+	"github.com/trap-repro/trap/internal/trace"
 )
 
 func main() {
@@ -66,7 +70,23 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 1, "RL epochs between training checkpoints")
 	injectSpec := flag.String("inject", "", "fault-injection rules, e.g. 'core.rl.epoch:error:count=1;engine.cost:delay:every=100,delay=5ms'")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof endpoints under /debug/pprof/")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
+	logFormat := flag.String("log-format", olog.FormatText, "log format: text or json")
+	traceRecent := flag.Int("trace-recent", 0, "recency ring size of the trace store (default 64)")
+	traceSlow := flag.Int("trace-slow", 0, "slowest traces kept per operation (default 8)")
+	traceEvery := flag.Int("trace-every", 1, "head-sampling stride: trace every Nth job (1 = all)")
 	flag.Parse()
+
+	level, err := olog.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trapd:", err)
+		os.Exit(1)
+	}
+	if *logFormat != olog.FormatText && *logFormat != olog.FormatJSON {
+		fmt.Fprintf(os.Stderr, "trapd: unknown log format %q (want text or json)\n", *logFormat)
+		os.Exit(1)
+	}
+	logger := olog.New(os.Stderr, level, *logFormat)
 
 	parsed, err := faultinject.Parse(*injectSpec, *seed)
 	if err != nil {
@@ -118,6 +138,10 @@ func main() {
 		CheckpointEvery: *ckptEvery,
 		Injector:        injector,
 		EnablePprof:     *enablePprof,
+		Logger:          logger,
+		Tracer: trace.New(trace.Options{
+			Recent: *traceRecent, SlowPerOp: *traceSlow, Every: *traceEvery,
+		}),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "trapd:", err)

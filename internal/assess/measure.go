@@ -8,6 +8,7 @@ import (
 	"github.com/trap-repro/trap/internal/obs"
 	"github.com/trap-repro/trap/internal/par"
 	"github.com/trap-repro/trap/internal/schema"
+	"github.com/trap-repro/trap/internal/trace"
 	"github.com/trap-repro/trap/internal/workload"
 )
 
@@ -58,19 +59,28 @@ func (s *Suite) Measure(ctx context.Context, m *Method, adv advisor.Advisor, bas
 // sequentially to warm any lazily initialized advisor state. The reduce
 // that assembles Pairs and MeanIUDR walks the cells strictly in workload
 // order, so the assessment is bit-identical for every worker count.
-func (s *Suite) MeasureOn(ctx context.Context, m *Method, adv advisor.Advisor, base advisor.Advisor, ac advisor.Constraint, tests []*workload.Workload) (*Assessment, error) {
-	defer obs.StartSpan(mMeasureSecs).End()
+func (s *Suite) MeasureOn(ctx context.Context, m *Method, adv advisor.Advisor, base advisor.Advisor, ac advisor.Constraint, tests []*workload.Workload) (asmt *Assessment, err error) {
+	ctx, tsp := trace.Start(ctx, "assess.measure")
+	tsp.Str("method", m.Name)
+	tsp.Str("advisor", adv.Name())
+	tsp.Int("workloads", int64(len(tests)))
+	defer func() { tsp.Fail(err); tsp.End() }()
+	defer obs.StartSpan(mMeasureSecs).EndExemplar(tsp.TraceID())
 	type cell struct {
 		pairs []Pair
 		sum   float64
 		n     int
 	}
 	cells := make([]cell, len(tests))
-	measure := func(i int) error {
+	measure := func(i int) (err error) {
+		ctx, csp := trace.Start(ctx, "assess.cell")
+		csp.Int("workload", int64(i))
+		defer func() { csp.Fail(err); csp.End() }()
 		w := tests[i]
 		mAssessedWorkloads.Inc()
 		u, err := s.UtilityOfCtx(ctx, adv, base, ac, w)
 		if err != nil || u <= s.P.Theta {
+			csp.Bool("skipped", true)
 			return nil
 		}
 		variants, err := m.VariantsAt(ctx, w, int64(i))
@@ -100,6 +110,7 @@ func (s *Suite) MeasureOn(ctx context.Context, m *Method, adv advisor.Advisor, b
 			c.sum += pair.IUDR
 			c.n++
 		}
+		csp.Int("pairs", int64(len(c.pairs)))
 		return nil
 	}
 	if len(tests) > 0 {

@@ -8,6 +8,7 @@ import (
 	"github.com/trap-repro/trap/internal/advisor"
 	"github.com/trap-repro/trap/internal/core"
 	"github.com/trap-repro/trap/internal/obs"
+	"github.com/trap-repro/trap/internal/trace"
 	"github.com/trap-repro/trap/internal/workload"
 )
 
@@ -61,8 +62,12 @@ type MethodConfig struct {
 // GRU and Seq2Seq are RL-trained with the same reward but without
 // attention/pretraining; Random needs no training. Cancellation via ctx
 // interrupts pretraining and RL training at epoch/workload boundaries.
-func (s *Suite) BuildMethod(ctx context.Context, name string, pc core.PerturbConstraint, adv advisor.Advisor, base advisor.Advisor, ac advisor.Constraint, mc MethodConfig) (*Method, error) {
-	defer obs.StartSpan(mMethodBuildSecs).End()
+func (s *Suite) BuildMethod(ctx context.Context, name string, pc core.PerturbConstraint, adv advisor.Advisor, base advisor.Advisor, ac advisor.Constraint, mc MethodConfig) (mth *Method, err error) {
+	ctx, tsp := trace.Start(ctx, "assess.build_method")
+	tsp.Str("method", name)
+	tsp.Str("advisor", adv.Name())
+	defer func() { tsp.Fail(err); tsp.End() }()
+	defer obs.StartSpan(mMethodBuildSecs).EndExemplar(tsp.TraceID())
 	epochs := s.P.RLEpochs
 	if mc.RLEpochs > 0 {
 		epochs = mc.RLEpochs
@@ -107,19 +112,19 @@ func (s *Suite) BuildMethod(ctx context.Context, name string, pc core.PerturbCon
 	case "GRU":
 		fw := newFW(core.NewGRUModel(s.Vocab, s.P.Sizes, rng))
 		resumed := resume(fw)
-		trace, err := fw.RLTrain(ctx, s.E, adv, base, ac, s.Train, epochs)
+		rewards, err := fw.RLTrain(ctx, s.E, adv, base, ac, s.Train, epochs)
 		if err != nil {
 			return nil, err
 		}
-		return &Method{Name: name, FW: fw, Attempts: 1, Trace: trace, Resumed: resumed}, nil
+		return &Method{Name: name, FW: fw, Attempts: 1, Trace: rewards, Resumed: resumed}, nil
 	case "Seq2Seq":
 		fw := newFW(core.NewSeq2Seq(s.Vocab, s.P.Sizes, rng))
 		resumed := resume(fw)
-		trace, err := fw.RLTrain(ctx, s.E, adv, base, ac, s.Train, epochs)
+		rewards, err := fw.RLTrain(ctx, s.E, adv, base, ac, s.Train, epochs)
 		if err != nil {
 			return nil, err
 		}
-		return &Method{Name: name, FW: fw, Attempts: 1, Trace: trace, Resumed: resumed}, nil
+		return &Method{Name: name, FW: fw, Attempts: 1, Trace: rewards, Resumed: resumed}, nil
 	case "TRAP":
 		model := core.NewTRAPModel(s.Vocab, s.P.Sizes, rng)
 		fw := newFW(model)
@@ -131,22 +136,22 @@ func (s *Suite) BuildMethod(ctx context.Context, name string, pc core.PerturbCon
 				return nil, err
 			}
 		}
-		trace, err := fw.RLTrain(ctx, s.E, adv, base, ac, s.Train, epochs)
+		rewards, err := fw.RLTrain(ctx, s.E, adv, base, ac, s.Train, epochs)
 		if err != nil {
 			return nil, err
 		}
-		return &Method{Name: name, FW: fw, Attempts: 1, Trace: trace, Resumed: resumed}, nil
+		return &Method{Name: name, FW: fw, Attempts: 1, Trace: rewards, Resumed: resumed}, nil
 	default:
 		if mc.Model == nil {
 			return nil, fmt.Errorf("assess: unknown method %q", name)
 		}
 		fw := newFW(mc.Model)
 		resumed := resume(fw)
-		trace, err := fw.RLTrain(ctx, s.E, adv, base, ac, s.Train, epochs)
+		rewards, err := fw.RLTrain(ctx, s.E, adv, base, ac, s.Train, epochs)
 		if err != nil {
 			return nil, err
 		}
-		return &Method{Name: name, FW: fw, Attempts: 1, Trace: trace, Resumed: resumed}, nil
+		return &Method{Name: name, FW: fw, Attempts: 1, Trace: rewards, Resumed: resumed}, nil
 	}
 }
 

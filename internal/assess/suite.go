@@ -18,6 +18,7 @@ import (
 	"github.com/trap-repro/trap/internal/faultinject"
 	"github.com/trap-repro/trap/internal/obs"
 	"github.com/trap-repro/trap/internal/schema"
+	"github.com/trap-repro/trap/internal/trace"
 	"github.com/trap-repro/trap/internal/workload"
 )
 
@@ -240,7 +241,10 @@ func (s *Suite) BuildAdvisor(spec AdvisorSpec) (advisor.Advisor, error) {
 // BuildAdvisorCtx is BuildAdvisor with cooperative cancellation: when the
 // advisor implements advisor.CtxTrainable, training stops at the next
 // episode boundary once ctx is done.
-func (s *Suite) BuildAdvisorCtx(ctx context.Context, spec AdvisorSpec) (advisor.Advisor, error) {
+func (s *Suite) BuildAdvisorCtx(ctx context.Context, spec AdvisorSpec) (adv advisor.Advisor, err error) {
+	ctx, tsp := trace.Start(ctx, "assess.build_advisor")
+	tsp.Str("advisor", spec.Name)
+	defer func() { tsp.Fail(err); tsp.End() }()
 	a := spec.Make(s.Seed)
 	switch v := a.(type) {
 	case *advisor.SWIRL:

@@ -8,6 +8,7 @@ import (
 
 	"github.com/trap-repro/trap/internal/nn"
 	"github.com/trap-repro/trap/internal/sqlx"
+	"github.com/trap-repro/trap/internal/trace"
 	"github.com/trap-repro/trap/internal/workload"
 )
 
@@ -117,9 +118,13 @@ func Replay(g *nn.Graph, m Scorer, v *Vocab, q *sqlx.Query, c PerturbConstraint,
 
 // PerturbWorkload decodes every query of w, preserving weights.
 // Cancellation is honored between queries.
-func PerturbWorkload(ctx context.Context, m Scorer, v *Vocab, w *workload.Workload, c PerturbConstraint, eps int, sample bool, rng *rand.Rand) (*workload.Workload, error) {
+func PerturbWorkload(ctx context.Context, m Scorer, v *Vocab, w *workload.Workload, c PerturbConstraint, eps int, sample bool, rng *rand.Rand) (out *workload.Workload, err error) {
+	ctx, tsp := trace.Start(ctx, "core.perturb_workload")
+	tsp.Int("queries", int64(len(w.Items)))
+	tsp.Bool("sampled", sample)
+	defer func() { tsp.Fail(err); tsp.End() }()
 	g := nn.NewGraph(false)
-	out := &workload.Workload{}
+	out = &workload.Workload{}
 	for _, it := range w.Items {
 		if err := ctx.Err(); err != nil {
 			return nil, err

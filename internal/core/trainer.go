@@ -15,6 +15,7 @@ import (
 	"github.com/trap-repro/trap/internal/par"
 	"github.com/trap-repro/trap/internal/schema"
 	"github.com/trap-repro/trap/internal/sqlx"
+	"github.com/trap-repro/trap/internal/trace"
 	"github.com/trap-repro/trap/internal/workload"
 )
 
@@ -144,7 +145,11 @@ func (f *Framework) epochSeed(epoch int) int64 {
 // SQL understanding transfers to the RL phase. Returns the per-epoch
 // mean loss trace. Cancellation is honored between epochs and between
 // pairs.
-func (f *Framework) Pretrain(ctx context.Context, gen *workload.Generator, pairs, epochs int) ([]float64, error) {
+func (f *Framework) Pretrain(ctx context.Context, gen *workload.Generator, pairs, epochs int) (losses []float64, err error) {
+	ctx, tsp := trace.Start(ctx, "core.pretrain")
+	tsp.Int("pairs", int64(pairs))
+	tsp.Int("epochs", int64(epochs))
+	defer func() { tsp.Fail(err); tsp.End() }()
 	rnd := RandomModel{}
 	type pair struct {
 		q       *sqlx.Query
@@ -173,7 +178,6 @@ func (f *Framework) Pretrain(ctx context.Context, gen *workload.Generator, pairs
 		return nil, fmt.Errorf("core: model %s has no parameters to pretrain", f.Model.Name())
 	}
 	opt := nn.NewAdam(f.LR)
-	var trace []float64
 	gt := nn.NewGraph(true)
 	epoch := func() (float64, int, error) {
 		f.mu.Lock()
@@ -200,27 +204,35 @@ func (f *Framework) Pretrain(ctx context.Context, gen *workload.Generator, pairs
 	}
 	for ep := 0; ep < epochs; ep++ {
 		if err := ctx.Err(); err != nil {
-			return trace, err
+			return losses, err
 		}
 		if err := faultinject.Fire(f.Inject, faultinject.PointPretrainEpoch); err != nil {
-			return trace, err
+			return losses, err
 		}
+		_, esp := trace.Start(ctx, "pretrain.epoch")
+		esp.Int("epoch", int64(ep))
 		sp := obs.StartSpan(mPretrainEpochSecs)
 		total, steps, err := epoch()
 		if err != nil {
-			return trace, err
+			esp.Fail(err)
+			esp.End()
+			return losses, err
 		}
 		if steps > 0 {
-			trace = append(trace, total/float64(steps))
+			mean := total / float64(steps)
+			losses = append(losses, mean)
+			esp.Float("mean_loss", mean)
+			esp.Int("steps", int64(steps))
 		}
 		sp.End()
+		esp.End()
 		mPretrainEpochs.Inc()
 	}
 	// Encoder-only transfer: refresh the decoder for RL exploration.
 	f.mu.Lock()
 	f.Model.ResetDecoder(f.rng)
 	f.mu.Unlock()
-	return trace, nil
+	return losses, nil
 }
 
 // utilityOf evaluates u(W, d, ·) for a configuration against a baseline,
@@ -330,7 +342,12 @@ func (f *Framework) perturbedReward(ctx context.Context, e *engine.Engine, adv a
 // and re-seeds the RNG at every epoch boundary, so a resumed run is
 // bit-identical to an uninterrupted one. Cancellation is honored between
 // epochs and between workloads; EpochHook runs after each epoch.
-func (f *Framework) RLTrain(ctx context.Context, e *engine.Engine, adv advisor.Advisor, baseAdv advisor.Advisor, c advisor.Constraint, train []*workload.Workload, epochs int) ([]float64, error) {
+func (f *Framework) RLTrain(ctx context.Context, e *engine.Engine, adv advisor.Advisor, baseAdv advisor.Advisor, c advisor.Constraint, train []*workload.Workload, epochs int) (rewards []float64, err error) {
+	ctx, tsp := trace.Start(ctx, "core.rl_train")
+	tsp.Str("advisor", adv.Name())
+	tsp.Int("workloads", int64(len(train)))
+	tsp.Int("epochs", int64(epochs))
+	defer func() { tsp.Fail(err); tsp.End() }()
 	params := f.Model.Params()
 	if params == nil {
 		return nil, fmt.Errorf("core: model %s is not trainable", f.Model.Name())
@@ -350,7 +367,7 @@ func (f *Framework) RLTrain(ctx context.Context, e *engine.Engine, adv advisor.A
 	// its contribution to the epoch's sampled-reward mean. A non-nil
 	// error means training was canceled mid-rollout; no partial gradient
 	// is ever applied in that case.
-	step := func(epoch, wi int, w *workload.Workload) (float64, int, error) {
+	step := func(ctx context.Context, epoch, wi int, w *workload.Workload) (float64, int, error) {
 		f.mu.Lock()
 		defer f.mu.Unlock()
 		// Sequential prologue: the greedy self-critic baseline (no
@@ -385,6 +402,9 @@ func (f *Framework) RLTrain(ctx context.Context, e *engine.Engine, adv advisor.A
 		// false), mirroring the sequential behavior.
 		rolls := make([]rollout, batch)
 		es := f.epochSeed(epoch)
+		ctx, bsp := trace.Start(ctx, "rl.rollout_batch")
+		bsp.Int("workload", int64(wi))
+		bsp.Int("batch", int64(batch))
 		rerr := par.ForEach(ctx, workers, batch, func(b int) error {
 			sp := obs.StartSpan(mRolloutSecs)
 			defer sp.End()
@@ -438,6 +458,9 @@ func (f *Framework) RLTrain(ctx context.Context, e *engine.Engine, adv advisor.A
 			}
 			f.putGraph(ro.g) // Reset drops any half-built tape
 		}
+		bsp.Int("ok", int64(n))
+		bsp.Fail(rerr)
+		bsp.End()
 		if rerr != nil {
 			// Canceled mid-rollout: the graphs above were reset without
 			// Backward, so parameters and gradients are untouched and
@@ -450,14 +473,15 @@ func (f *Framework) RLTrain(ctx context.Context, e *engine.Engine, adv advisor.A
 		}
 		return sum, n, nil
 	}
-	var trace []float64
 	for ep := f.StartEpoch; ep < epochs; ep++ {
 		if err := ctx.Err(); err != nil {
-			return trace, err
+			return rewards, err
 		}
 		if err := faultinject.Fire(f.Inject, faultinject.PointRLEpoch); err != nil {
-			return trace, err
+			return rewards, err
 		}
+		ectx, esp := trace.Start(ctx, "rl.epoch")
+		esp.Int("epoch", int64(ep))
 		sp := obs.StartSpan(mRLEpochSecs)
 		f.mu.Lock()
 		f.rng = rand.New(rand.NewSource(f.epochSeed(ep)))
@@ -465,34 +489,42 @@ func (f *Framework) RLTrain(ctx context.Context, e *engine.Engine, adv advisor.A
 		var sum float64
 		var n int
 		for wi, w := range train {
-			if err := ctx.Err(); err != nil {
-				return trace, err
+			if err := ectx.Err(); err != nil {
+				esp.Fail(err)
+				esp.End()
+				return rewards, err
 			}
 			if err := faultinject.Fire(f.Inject, faultinject.PointRLWorkload); err != nil {
-				return trace, err
+				esp.Fail(err)
+				esp.End()
+				return rewards, err
 			}
-			ws, wn, err := step(ep, wi, w)
+			ws, wn, err := step(ectx, ep, wi, w)
 			if err != nil {
-				return trace, err
+				esp.Fail(err)
+				esp.End()
+				return rewards, err
 			}
 			sum += ws
 			n += wn
 		}
 		if n > 0 {
-			trace = append(trace, sum/float64(n))
+			rewards = append(rewards, sum/float64(n))
 		} else {
-			trace = append(trace, 0)
+			rewards = append(rewards, 0)
 		}
-		mRLLastReward.Set(trace[len(trace)-1])
+		mRLLastReward.Set(rewards[len(rewards)-1])
+		esp.Float("mean_reward", rewards[len(rewards)-1])
 		sp.End()
+		esp.End()
 		mRLEpochs.Inc()
 		if f.EpochHook != nil {
 			if err := f.EpochHook(ep); err != nil {
-				return trace, err
+				return rewards, err
 			}
 		}
 	}
-	return trace, nil
+	return rewards, nil
 }
 
 // SaveModel persists the trained generation model's parameters to w; a

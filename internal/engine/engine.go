@@ -13,6 +13,7 @@ import (
 	"github.com/trap-repro/trap/internal/schema"
 	"github.com/trap-repro/trap/internal/sqlx"
 	"github.com/trap-repro/trap/internal/stats"
+	"github.com/trap-repro/trap/internal/trace"
 )
 
 // Process-wide engine metrics, aggregated across all Engine instances
@@ -231,12 +232,15 @@ type CostItem struct {
 // queries, so a canceled assessment stops what-if costing at the next
 // query boundary instead of draining the whole batch.
 func (e *Engine) CostBatch(ctx context.Context, items []CostItem, cfg schema.Config, mode Mode) (float64, error) {
-	defer obs.StartSpan(mBatchSecs).End()
+	ctx, tsp, finish := e.batchSpan(ctx, "engine.cost_batch", len(items))
+	sp := obs.StartSpan(mBatchSecs)
 	mBatchQueries.Add(int64(len(items)))
 	prefix := planKeyPrefix(cfg, mode)
 	costs, err := forEachItem(ctx, e.BatchWorkers(), len(items), func(i int) (float64, error) {
 		return e.queryCost(prefix, items[i].Q, cfg, mode)
 	})
+	sp.EndExemplar(tsp.TraceID())
+	finish(err)
 	if err != nil {
 		return 0, err
 	}
@@ -245,6 +249,30 @@ func (e *Engine) CostBatch(ctx context.Context, items []CostItem, cfg schema.Con
 		total += costs[i] * it.Weight
 	}
 	return total, nil
+}
+
+// batchSpan opens the per-batch trace span of CostBatch/RuntimeBatch
+// with the batch size attribute, and returns a finish function that
+// stamps the span with the shard-cache and singleflight deltas the
+// batch caused before ending it. On an un-traced context everything is
+// a no-op (tsp is nil and finish does nothing), so the hot path pays no
+// stats snapshots and no allocations.
+func (e *Engine) batchSpan(ctx context.Context, name string, items int) (context.Context, *trace.Span, func(error)) {
+	ctx, tsp := trace.Start(ctx, name)
+	if tsp == nil {
+		return ctx, nil, func(error) {}
+	}
+	tsp.Int("items", int64(items))
+	tsp.Int("workers", int64(e.BatchWorkers()))
+	before := e.cache.stats()
+	return ctx, tsp, func(err error) {
+		after := e.cache.stats()
+		tsp.Int("cache_hits", int64(after.Hits-before.Hits))
+		tsp.Int("cache_misses", int64(after.Misses-before.Misses))
+		tsp.Int("singleflight_dedup", int64(after.SingleflightDedup-before.SingleflightDedup))
+		tsp.Fail(err)
+		tsp.End()
+	}
 }
 
 // RuntimeCost is the stand-in for actual query runtime: the true-statistics
@@ -265,12 +293,15 @@ func (e *Engine) runtimeCost(prefix string, q *sqlx.Query, cfg schema.Config) (f
 // runtime cost of the batch, fanned out over the same worker pool with
 // the same deterministic in-order summation and cancellation behavior.
 func (e *Engine) RuntimeBatch(ctx context.Context, items []CostItem, cfg schema.Config) (float64, error) {
-	defer obs.StartSpan(mBatchSecs).End()
+	ctx, tsp, finish := e.batchSpan(ctx, "engine.runtime_batch", len(items))
+	sp := obs.StartSpan(mBatchSecs)
 	mBatchQueries.Add(int64(len(items)))
 	prefix := planKeyPrefix(cfg, ModeTrue)
 	costs, err := forEachItem(ctx, e.BatchWorkers(), len(items), func(i int) (float64, error) {
 		return e.runtimeCost(prefix, items[i].Q, cfg)
 	})
+	sp.EndExemplar(tsp.TraceID())
+	finish(err)
 	if err != nil {
 		return 0, err
 	}

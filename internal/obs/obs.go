@@ -83,13 +83,25 @@ const (
 // quantile estimation. Zero and negative observations land in a dedicated
 // underflow bucket; values beyond the top bucket are clamped into it. The
 // exact min, max, sum and count are tracked alongside the buckets.
+//
+// Observations recorded with ObserveExemplar additionally pin an
+// exemplar — typically a trace ID — on the bucket they land in, so the
+// exposition can link a slow bucket back to the request that filled it.
 type Histogram struct {
-	mu       sync.Mutex
-	count    int64
-	sum      float64
-	min, max float64
-	under    int64 // v <= 0 or below the smallest bucket
-	buckets  [histBuckets]int64
+	mu        sync.Mutex
+	count     int64
+	sum       float64
+	min, max  float64
+	under     int64 // v <= 0 or below the smallest bucket
+	buckets   [histBuckets]int64
+	exemplars map[int]Exemplar // lazily allocated, keyed by bucket index
+}
+
+// Exemplar ties one observation to the trace that produced it.
+type Exemplar struct {
+	Value   float64
+	TraceID string
+	Time    time.Time
 }
 
 // bucketIndex maps a positive value to its bucket, or -1 for underflow.
@@ -137,6 +149,38 @@ func (h *Histogram) Observe(v float64) {
 
 // ObserveDuration records a duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveExemplar records a value and, when traceID is non-empty, pins
+// it as the exemplar of the bucket it lands in (the last exemplar per
+// bucket wins). An empty traceID is a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" || v <= 0 {
+		return
+	}
+	i := bucketIndex(v)
+	if i < 0 {
+		return
+	}
+	h.mu.Lock()
+	if h.exemplars == nil {
+		h.exemplars = map[int]Exemplar{}
+	}
+	h.exemplars[i] = Exemplar{Value: v, TraceID: traceID, Time: time.Now()}
+	h.mu.Unlock()
+}
+
+// Exemplars snapshots the histogram's per-bucket exemplars, keyed by
+// bucket index.
+func (h *Histogram) Exemplars() map[int]Exemplar {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[int]Exemplar, len(h.exemplars))
+	for i, e := range h.exemplars {
+		out[i] = e
+	}
+	return out
+}
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 {
@@ -238,6 +282,16 @@ func (s Span) End() time.Duration {
 	return d
 }
 
+// EndExemplar is End with an exemplar: when traceID is non-empty the
+// observation's bucket is linked back to that trace in the exposition.
+func (s Span) EndExemplar(traceID string) time.Duration {
+	d := time.Since(s.start)
+	if s.h != nil {
+		s.h.ObserveExemplar(d.Seconds(), traceID)
+	}
+	return d
+}
+
 // Registry is a named collection of metrics. Metrics are created on
 // first use and live for the life of the registry.
 type Registry struct {
@@ -246,6 +300,7 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	gaugeFuncs map[string]func() float64
 	hists      map[string]*Histogram
+	help       map[string]string
 }
 
 // NewRegistry builds an empty registry.
@@ -255,7 +310,16 @@ func NewRegistry() *Registry {
 		gauges:     map[string]*Gauge{},
 		gaugeFuncs: map[string]func() float64{},
 		hists:      map[string]*Histogram{},
+		help:       map[string]string{},
 	}
+}
+
+// Describe attaches a # HELP string to a metric family for the
+// Prometheus exposition. The name is the family (label-free) name.
+func (r *Registry) Describe(name, help string) {
+	r.mu.Lock()
+	r.help[name] = help
+	r.mu.Unlock()
 }
 
 var defaultRegistry = NewRegistry()

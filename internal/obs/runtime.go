@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+)
+
+// Runtime health gauges: process-level signals (goroutine count, heap
+// in use, GC pause tail) registered as callback gauges so every
+// /metrics scrape reflects live scheduler and memory state, not just
+// pipeline counters. Values are read through runtime/metrics at
+// exposition time.
+
+// runtime/metrics sample names read by RegisterRuntimeGauges.
+const (
+	rmHeapObjects = "/memory/classes/heap/objects:bytes"
+	rmHeapUnused  = "/memory/classes/heap/unused:bytes"
+	rmGCPauses    = "/sched/pauses/total/gc:seconds"
+)
+
+// RegisterRuntimeGauges installs the process-health callback gauges on
+// a registry:
+//
+//	go_goroutines            — live goroutine count
+//	go_heap_inuse_bytes      — heap memory in use (live objects + spans'
+//	                           unused tails)
+//	go_gc_pause_p99_seconds  — p99 of all GC stop-the-world pauses since
+//	                           process start
+func RegisterRuntimeGauges(r *Registry) {
+	r.Describe("go_goroutines", "Number of live goroutines.")
+	r.GaugeFunc("go_goroutines", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.Describe("go_heap_inuse_bytes", "Heap bytes in use (object bytes plus unused span tails).")
+	r.GaugeFunc("go_heap_inuse_bytes", func() float64 {
+		s := []metrics.Sample{{Name: rmHeapObjects}, {Name: rmHeapUnused}}
+		metrics.Read(s)
+		return sampleFloat(s[0]) + sampleFloat(s[1])
+	})
+	r.Describe("go_gc_pause_p99_seconds", "99th percentile of GC stop-the-world pause time since start.")
+	r.GaugeFunc("go_gc_pause_p99_seconds", func() float64 {
+		s := []metrics.Sample{{Name: rmGCPauses}}
+		metrics.Read(s)
+		if s[0].Value.Kind() != metrics.KindFloat64Histogram {
+			return 0
+		}
+		return histQuantile(s[0].Value.Float64Histogram(), 0.99)
+	})
+}
+
+// sampleFloat converts a runtime/metrics sample to float64 (0 for
+// unsupported kinds, which keeps the gauges robust across Go versions).
+func sampleFloat(s metrics.Sample) float64 {
+	switch s.Value.Kind() {
+	case metrics.KindUint64:
+		return float64(s.Value.Uint64())
+	case metrics.KindFloat64:
+		return s.Value.Float64()
+	}
+	return 0
+}
+
+// histQuantile estimates quantile q from a runtime/metrics histogram,
+// returning the upper bound of the bucket the rank lands in.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i, c := range h.Counts {
+		seen += c
+		if seen > rank {
+			// Buckets[i+1] is bucket i's upper bound; the last bucket's
+			// can be +Inf, in which case fall back to its lower bound.
+			ub := h.Buckets[i+1]
+			if math.IsInf(ub, 1) {
+				return h.Buckets[i]
+			}
+			return ub
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

@@ -7,13 +7,16 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 	"time"
 
 	"github.com/trap-repro/trap/internal/assess"
 	"github.com/trap-repro/trap/internal/engine"
+	"github.com/trap-repro/trap/internal/obs"
 	"github.com/trap-repro/trap/internal/schema"
 	"github.com/trap-repro/trap/internal/sqlx"
+	"github.com/trap-repro/trap/internal/trace"
 	"github.com/trap-repro/trap/internal/workload"
 )
 
@@ -26,6 +29,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/assess", s.handleAssess)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
 	if s.cfg.EnablePprof {
 		// Profiling a live assessment: with -pprof on, e.g.
 		//   go tool pprof 'http://localhost:8080/debug/pprof/profile?seconds=30'
@@ -104,10 +109,84 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // GET /metrics
-
+//
+// The default exposition is the Prometheus text format (0.0.4):
+// counters/gauges as families with # TYPE headers, histograms as
+// cumulative _bucket/_sum/_count series. ?format=openmetrics upgrades
+// to OpenMetrics with exemplars linking slow histogram buckets to trace
+// IDs; ?format=plain keeps the legacy name/value dump.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	_ = s.reg.WriteText(w)
+	switch r.URL.Query().Get("format") {
+	case "plain":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = s.reg.WriteText(w)
+	case "openmetrics":
+		w.Header().Set("Content-Type", obs.ContentTypeOpenMetrics)
+		_ = s.reg.WriteProm(w, true)
+	default:
+		w.Header().Set("Content-Type", obs.ContentTypeProm)
+		_ = s.reg.WriteProm(w, false)
+	}
+}
+
+// GET /v1/traces
+
+// traceListResponse is the /v1/traces envelope.
+type traceListResponse struct {
+	Traces []trace.TraceJSON `json:"traces"`
+}
+
+// handleTraces lists retained traces, filterable by root operation
+// (?op=trapd.job), minimum duration (?min_ms=250), outcome
+// (?status=ok|error) and result size (?limit=20).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	f := trace.Filter{Op: q.Get("op"), Status: q.Get("status")}
+	if v := q.Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			writeError(w, http.StatusBadRequest, "bad min_ms %q", v)
+			return
+		}
+		f.MinDur = time.Duration(ms * float64(time.Millisecond))
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		f.Limit = n
+	}
+	switch f.Status {
+	case "", "ok", "error":
+	default:
+		writeError(w, http.StatusBadRequest, "bad status %q (want ok or error)", f.Status)
+		return
+	}
+	resp := traceListResponse{Traces: []trace.TraceJSON{}}
+	for _, tr := range s.tr.List(f) {
+		resp.Traces = append(resp.Traces, tr.Summary())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// GET /v1/traces/{id}
+
+// handleTrace returns one trace's full span tree; ?format=chrome
+// exports trace_event JSON loadable in chrome://tracing / Perfetto.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, ok := s.tr.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown trace %q (evicted or never sampled)", id)
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		writeJSON(w, http.StatusOK, tr.Chrome())
+		return
+	}
+	writeJSON(w, http.StatusOK, tr.Tree())
 }
 
 // POST /v1/parse

@@ -51,7 +51,10 @@ type Job struct {
 	// Attempts counts execution attempts (>1 after transient-error retries).
 	Attempts int `json:"attempts,omitempty"`
 	// Resumed reports whether training continued from a spooled checkpoint.
-	Resumed  bool       `json:"resumed,omitempty"`
+	Resumed bool `json:"resumed,omitempty"`
+	// TraceID links the job to its pipeline trace (GET /v1/traces/{id});
+	// empty when the tracer's head sampling skipped this job.
+	TraceID  string     `json:"traceId,omitempty"`
 	Result   *JobResult `json:"result,omitempty"`
 	Created  time.Time  `json:"created"`
 	Started  *time.Time `json:"started,omitempty"`

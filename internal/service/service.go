@@ -25,10 +25,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand"
 	"net"
 	"net/http"
+	"os"
 	"runtime"
 	"runtime/debug"
 	"strings"
@@ -39,7 +40,9 @@ import (
 	"github.com/trap-repro/trap/internal/core"
 	"github.com/trap-repro/trap/internal/faultinject"
 	"github.com/trap-repro/trap/internal/obs"
+	olog "github.com/trap-repro/trap/internal/obs/log"
 	"github.com/trap-repro/trap/internal/schema"
+	"github.com/trap-repro/trap/internal/trace"
 )
 
 // DatasetNames lists the datasets trapd can serve.
@@ -96,7 +99,14 @@ type Config struct {
 	MaxBodyBytes int64
 	// Registry receives the service metrics (default obs.Default()).
 	Registry *obs.Registry
-	// Logf sinks server logs (default log.Printf).
+	// Tracer records pipeline traces for /v1/traces (default: a tracer
+	// with trace.Options defaults — 64 recent + 8 slowest per op).
+	Tracer *trace.Tracer
+	// Logger is the structured server logger. Defaults to a Logf adapter
+	// when Logf is set, else a text logger on stderr at info level.
+	Logger *olog.Logger
+	// Logf is the legacy printf-style log sink. When set (and Logger is
+	// not), server logs render through it as "msg k=v ..." lines.
 	Logf func(format string, args ...any)
 
 	// MaxRetries bounds re-executions of a job that failed on a
@@ -150,8 +160,15 @@ func (c *Config) fill() {
 	if c.Registry == nil {
 		c.Registry = obs.Default()
 	}
-	if c.Logf == nil {
-		c.Logf = log.Printf
+	if c.Tracer == nil {
+		c.Tracer = trace.New(trace.Options{})
+	}
+	if c.Logger == nil {
+		if c.Logf != nil {
+			c.Logger = olog.NewLogf(c.Logf)
+		} else {
+			c.Logger = olog.New(os.Stderr, slog.LevelInfo, olog.FormatText)
+		}
 	}
 	if c.MaxRetries == 0 {
 		c.MaxRetries = 2
@@ -176,6 +193,8 @@ func (c *Config) fill() {
 type Server struct {
 	cfg    Config
 	reg    *obs.Registry
+	tr     *trace.Tracer
+	log    *olog.Logger
 	suites map[string]*assess.Suite
 	jobs   *jobStore
 	pool   *workerPool
@@ -207,6 +226,8 @@ func NewServer(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:    cfg,
 		reg:    cfg.Registry,
+		tr:     cfg.Tracer,
+		log:    cfg.Logger,
 		suites: map[string]*assess.Suite{},
 		jobs:   newJobStore(),
 		start:  time.Now(),
@@ -248,8 +269,9 @@ func NewServer(cfg Config) (*Server, error) {
 		suite.TrainWorkers = cfg.TrainWorkers
 		suite.MeasureWorkers = cfg.AssessWorkers
 		s.suites[name] = suite
-		cfg.Logf("trapd: built %s suite in %v (%d train / %d test workloads)",
-			name, time.Since(t0).Round(time.Millisecond), len(suite.Train), len(suite.Test))
+		s.log.Info(context.Background(), "trapd: suite built",
+			"dataset", name, "elapsed", time.Since(t0).Round(time.Millisecond),
+			"train", len(suite.Train), "test", len(suite.Test))
 
 		// Per-dataset plan-cache gauges, evaluated at scrape time.
 		e := suite.E
@@ -266,6 +288,21 @@ func NewServer(cfg Config) (*Server, error) {
 	s.reg.GaugeFunc("trapd_jobs_live", func() float64 {
 		return float64(s.jobs.size())
 	})
+	obs.RegisterRuntimeGauges(s.reg)
+	for name, help := range map[string]string{
+		"trapd_jobs_submitted_total":  "Assessment jobs accepted by POST /v1/assess.",
+		"trapd_jobs_done_total":       "Assessment jobs that finished successfully.",
+		"trapd_jobs_failed_total":     "Assessment jobs that terminated with an error.",
+		"trapd_job_seconds":           "Wall time of one assessment job, submission to terminal state.",
+		"trapd_http_requests_total":   "HTTP requests served, all routes.",
+		"trapd_http_request_seconds":  "HTTP request latency.",
+		"engine_cost_batch_seconds":   "Wall time of one what-if cost batch.",
+		"assess_measure_seconds":      "Wall time of one full measurement (all cells).",
+		"trap_rl_epoch_seconds":       "Wall time of one RL training epoch.",
+		"trap_pretrain_epoch_seconds": "Wall time of one pretraining epoch.",
+	} {
+		s.reg.Describe(name, help)
+	}
 	s.pool = newWorkerPool(cfg.Workers, cfg.QueueDepth, s.runJob)
 	s.mux = http.NewServeMux()
 	s.routes()
@@ -290,6 +327,9 @@ func routeCounterName(r *http.Request) string {
 	path := r.URL.Path
 	if strings.HasPrefix(path, "/v1/jobs/") {
 		path = "/v1/jobs"
+	}
+	if strings.HasPrefix(path, "/v1/traces/") {
+		path = "/v1/traces"
 	}
 	return fmt.Sprintf("trapd_http_requests_total{path=%q}", path)
 }
@@ -328,15 +368,15 @@ func (s *Server) serve(ctx context.Context, ln net.Listener) error {
 	gctx, stopGC := context.WithCancel(ctx)
 	defer stopGC()
 	go s.gcLoop(gctx)
-	s.cfg.Logf("trapd: serving on %s (datasets: %s, %d workers)",
-		ln.Addr(), strings.Join(s.Datasets(), ","), s.cfg.Workers)
+	s.log.Info(ctx, "trapd: serving",
+		"addr", ln.Addr().String(), "datasets", strings.Join(s.Datasets(), ","), "workers", s.cfg.Workers)
 
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
 	}
-	s.cfg.Logf("trapd: shutting down, draining in-flight jobs")
+	s.log.Info(context.Background(), "trapd: shutting down, draining in-flight jobs")
 	sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
 	defer cancel()
 	err := hs.Shutdown(sctx)
@@ -359,7 +399,7 @@ func (s *Server) gcLoop(ctx context.Context) {
 		case now := <-t.C:
 			if n := s.jobs.gc(s.cfg.JobTTL, now); n > 0 {
 				s.mJobsGCed.Add(int64(n))
-				s.cfg.Logf("trapd: gc dropped %d finished jobs older than %v", n, s.cfg.JobTTL)
+				s.log.Info(ctx, "trapd: gc dropped finished jobs", "count", n, "ttl", s.cfg.JobTTL)
 			}
 		}
 	}
@@ -416,6 +456,20 @@ func (s *Server) runJob(id string) {
 		// Canceled (or otherwise finalized) while queued: nothing to run.
 		return
 	}
+	// Root span of the job's trace: every span the assessment pipeline
+	// opens below (advisor/method builds, training epochs, measurement
+	// cells, cost batches) nests under it, and every log line carries the
+	// job and trace IDs.
+	ctx = olog.WithJob(ctx, id)
+	ctx, tsp := s.tr.Start(ctx, "trapd.job")
+	tsp.Str("job", id)
+	tsp.Str("dataset", j.Dataset)
+	tsp.Str("advisor", j.Advisor)
+	tsp.Str("method", j.Method)
+	tsp.Str("constraint", j.Constraint)
+	if tid := tsp.TraceID(); tid != "" {
+		s.jobs.update(id, func(j *Job) { j.TraceID = tid })
+	}
 	s.mJobsRun.Add(1)
 	sp := obs.StartSpan(s.mJobSecs)
 	var res *JobResult
@@ -438,8 +492,9 @@ func (s *Server) runJob(id string) {
 		backoff := s.cfg.RetryBackoff << (attempt - 1)
 		backoff += time.Duration(rand.Int63n(int64(backoff)/2 + 1))
 		s.mJobRetries.Inc()
-		s.cfg.Logf("trapd: %s attempt %d failed on transient error, retrying in %v: %v",
-			id, attempt, backoff.Round(time.Millisecond), err)
+		tsp.Event("retry")
+		s.log.Warn(ctx, "trapd: job attempt failed on transient error, retrying",
+			"attempt", attempt, "backoff", backoff.Round(time.Millisecond), "err", err)
 		select {
 		case <-time.After(backoff):
 		case <-ctx.Done():
@@ -449,8 +504,10 @@ func (s *Server) runJob(id string) {
 			break
 		}
 	}
-	elapsed := sp.End()
+	elapsed := sp.EndExemplar(tsp.TraceID())
 	s.mJobsRun.Add(-1)
+	tsp.Fail(err)
+	tsp.End()
 
 	var pe *panicError
 	isPanic := errors.As(err, &pe)
@@ -483,18 +540,18 @@ func (s *Server) runJob(id string) {
 			s.ckpt.remove(j)
 		}
 		s.mJobsDone.Inc()
-		s.cfg.Logf("trapd: %s done in %v (meanIUDR=%.4f over %d workloads)",
-			id, elapsed.Round(time.Millisecond), res.MeanIUDR, res.Workloads)
+		s.log.Info(ctx, "trapd: job done", "elapsed", elapsed.Round(time.Millisecond),
+			"meanIUDR", res.MeanIUDR, "workloads", res.Workloads)
 	case errors.Is(err, context.Canceled):
 		s.mJobsCanceled.Inc()
-		s.cfg.Logf("trapd: %s canceled after %v", id, elapsed.Round(time.Millisecond))
+		s.log.Info(ctx, "trapd: job canceled", "elapsed", elapsed.Round(time.Millisecond))
 	case isPanic:
 		s.mJobPanics.Inc()
 		s.mJobsFailed.Inc()
-		s.cfg.Logf("trapd: %s panicked after %v: %v", id, elapsed.Round(time.Millisecond), err)
+		s.log.Error(ctx, "trapd: job panicked", "elapsed", elapsed.Round(time.Millisecond), "err", err)
 	default:
 		s.mJobsFailed.Inc()
-		s.cfg.Logf("trapd: %s failed after %v: %v", id, elapsed.Round(time.Millisecond), err)
+		s.log.Error(ctx, "trapd: job failed", "elapsed", elapsed.Round(time.Millisecond), "err", err)
 	}
 }
 
@@ -544,7 +601,7 @@ func (s *Server) runAssessment(ctx context.Context, j Job) (*JobResult, error) {
 				if serr := s.ckpt.save(j, fw, epoch+1); serr != nil {
 					// Best-effort: a failed checkpoint write must not
 					// fail the job, it only loses resumability.
-					s.cfg.Logf("trapd: %s: checkpoint save failed: %v", j.ID, serr)
+					s.log.Warn(ctx, "trapd: checkpoint save failed", "err", serr)
 					return nil
 				}
 				s.mCkptSaved.Inc()
@@ -558,7 +615,7 @@ func (s *Server) runAssessment(ctx context.Context, j Job) (*JobResult, error) {
 		if m.Resumed {
 			s.mCkptResumed.Inc()
 			s.jobs.update(j.ID, func(jj *Job) { jj.Resumed = true })
-			s.cfg.Logf("trapd: %s resumed from checkpoint", j.ID)
+			s.log.Info(ctx, "trapd: resumed from checkpoint")
 		}
 		rep, err := suite.Measure(ctx, m, adv, base, ac)
 		if err != nil {
