@@ -29,6 +29,10 @@ go test -race -timeout 300s -count=1 ./internal/engine
 # measurement cells, cost batches) while /v1/traces reads it: its own
 # explicit race pass keeps that contract loud.
 go test -race -timeout 300s -count=1 ./internal/trace
+# The job log is appended from every worker while replay/compaction
+# rewrites segments, and the admission controller is hit by every
+# submit: both are lock-heavy by design and must prove it under -race.
+go test -race -timeout 300s -count=1 ./internal/joblog ./internal/admission
 go test -race -timeout 300s ./...
 
 echo "== benchmark smoke =="
@@ -56,6 +60,24 @@ echo "== trace endpoint smoke =="
 # exposition formats.
 go test -timeout 300s -count=1 \
     -run 'TestJobTraceEndToEnd|TestMetricsFormats' \
+    ./internal/service
+
+echo "== crash-replay smoke =="
+# Durability proof end to end: submit a job with -joblog/-spool armed,
+# SIGKILL the process mid-epoch, restart on the same directories, and
+# assert the job resumes and finishes bit-identical to an uninterrupted
+# run. Plus the cancel/GC interplay: a canceled-then-GC'd job must not
+# be resurrected by replay and must leak no goroutines (under -race).
+go test -race -timeout 600s -count=1 \
+    -run 'TestCrashReplayResume|TestJobLogReplayRestores|TestCancelGCNoResurrectionNoLeak' \
+    ./internal/service
+
+echo "== SSE smoke =="
+# Streaming progress: a live job's SSE stream must deliver state/epoch/
+# cell/result events in order, survive a mid-stream disconnect, and
+# resume from Last-Event-ID without gaps or duplicates.
+go test -race -timeout 300s -count=1 \
+    -run 'TestSSEStreamAndResume' \
     ./internal/service
 
 echo "ci: all green"

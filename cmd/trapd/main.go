@@ -11,6 +11,7 @@
 //	      [-request-timeout 30s] [-job-timeout 15m] [-max-body 1048576]
 //	      [-max-retries 2] [-retry-backoff 100ms] [-job-ttl 1h] [-gc-interval 1m]
 //	      [-spool DIR] [-checkpoint-every 1] [-inject SPEC] [-pprof]
+//	      [-joblog DIR] [-tenant-qps N] [-tenant-burst N] [-priority-queue]
 //	      [-log-level info] [-log-format text|json]
 //	      [-trace-recent 64] [-trace-slow 8] [-trace-every 1]
 //
@@ -22,6 +23,17 @@
 // harness (see internal/faultinject), e.g.
 //
 //	trapd -spool /tmp/trapd -inject 'core.rl.epoch:error:count=1'
+//
+// -joblog makes jobs durable: every transition is appended (fsync'd) to
+// a CRC-framed log that is replayed on startup, so jobs interrupted by
+// a process death are re-enqueued and — combined with -spool — resume
+// mid-training. -tenant-qps arms per-tenant admission quotas (the
+// X-Trap-Tenant request header identifies the tenant; over-quota
+// submissions get 429 + Retry-After), and -priority-queue honors the
+// X-Trap-Priority header (interactive jobs are dequeued before batch):
+//
+//	trapd -joblog /var/lib/trapd/joblog -spool /var/lib/trapd/spool \
+//	      -tenant-qps 5 -tenant-burst 10 -priority-queue
 //
 // -train-workers and -assess-workers bound the RL rollout pool and the
 // per-workload measurement pool inside each job; results are
@@ -68,6 +80,10 @@ func main() {
 	gcInterval := flag.Duration("gc-interval", time.Minute, "job garbage-collection interval")
 	spool := flag.String("spool", "", "checkpoint spool directory (empty disables checkpoint/resume)")
 	ckptEvery := flag.Int("checkpoint-every", 1, "RL epochs between training checkpoints")
+	joblogDir := flag.String("joblog", "", "durable job-log directory (empty disables job durability)")
+	tenantQPS := flag.Float64("tenant-qps", 0, "per-tenant job submission rate (0 disables quotas)")
+	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant submission burst (default: ceil of -tenant-qps)")
+	priorityQueue := flag.Bool("priority-queue", false, "honor the X-Trap-Priority header (interactive before batch)")
 	injectSpec := flag.String("inject", "", "fault-injection rules, e.g. 'core.rl.epoch:error:count=1;engine.cost:delay:every=100,delay=5ms'")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof endpoints under /debug/pprof/")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
@@ -136,6 +152,10 @@ func main() {
 		GCInterval:      *gcInterval,
 		SpoolDir:        *spool,
 		CheckpointEvery: *ckptEvery,
+		JobLogDir:       *joblogDir,
+		TenantQPS:       *tenantQPS,
+		TenantBurst:     *tenantBurst,
+		PriorityQueue:   *priorityQueue,
 		Injector:        injector,
 		EnablePprof:     *enablePprof,
 		Logger:          logger,

@@ -1,0 +1,197 @@
+package admission
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// t0 is an arbitrary fixed wall-clock origin for deterministic tests.
+var t0 = time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+
+func TestParsePriority(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Priority
+		err  bool
+	}{
+		{"", Batch, false},
+		{"batch", Batch, false},
+		{"interactive", Interactive, false},
+		{"urgent", 0, true},
+	} {
+		got, err := ParsePriority(tc.in)
+		if (err != nil) != tc.err || got != tc.want {
+			t.Errorf("ParsePriority(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if Batch.String() != "batch" || Interactive.String() != "interactive" {
+		t.Error("priority names changed")
+	}
+}
+
+func TestQuotaDisabledAlwaysAdmits(t *testing.T) {
+	c := New(Options{})
+	if c.QuotaEnabled() {
+		t.Fatal("zero options should disable quotas")
+	}
+	for i := 0; i < 100; i++ {
+		if d := c.Admit("anyone", t0); !d.Admit {
+			t.Fatalf("admit %d shed: %+v", i, d)
+		}
+	}
+	if st := c.Stats(); st.Admitted != 100 || st.ShedQuota != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestTokenBucketQuota(t *testing.T) {
+	c := New(Options{TenantQPS: 2, TenantBurst: 2})
+	// Burst of 2 admits, third is shed.
+	for i := 0; i < 2; i++ {
+		if d := c.Admit("acme", t0); !d.Admit {
+			t.Fatalf("burst admit %d shed: %+v", i, d)
+		}
+	}
+	d := c.Admit("acme", t0)
+	if d.Admit || d.Reason != "tenant-quota" {
+		t.Fatalf("over-quota decision: %+v", d)
+	}
+	// Next token arrives in 1/QPS = 500ms; Retry-After clamps up to MinRetry.
+	if d.RetryAfter != time.Second {
+		t.Fatalf("RetryAfter = %v, want 1s (clamped)", d.RetryAfter)
+	}
+	// After one second two tokens refilled: two more admits.
+	later := t0.Add(time.Second)
+	for i := 0; i < 2; i++ {
+		if d := c.Admit("acme", later); !d.Admit {
+			t.Fatalf("post-refill admit %d shed: %+v", i, d)
+		}
+	}
+	if d := c.Admit("acme", later); d.Admit {
+		t.Fatal("third post-refill admit should shed")
+	}
+	// Refill never exceeds burst.
+	muchLater := t0.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		if d := c.Admit("acme", muchLater); !d.Admit {
+			t.Fatalf("capped-refill admit %d shed: %+v", i, d)
+		}
+	}
+	if d := c.Admit("acme", muchLater); d.Admit {
+		t.Fatal("bucket refilled past its burst cap")
+	}
+}
+
+func TestTenantIsolation(t *testing.T) {
+	c := New(Options{TenantQPS: 1, TenantBurst: 1})
+	if d := c.Admit("noisy", t0); !d.Admit {
+		t.Fatalf("noisy first admit shed: %+v", d)
+	}
+	for i := 0; i < 10; i++ {
+		if d := c.Admit("noisy", t0); d.Admit {
+			t.Fatal("noisy tenant admitted past its quota")
+		}
+	}
+	// A different tenant still has its full bucket.
+	if d := c.Admit("quiet", t0); !d.Admit {
+		t.Fatalf("quiet tenant starved by noisy one: %+v", d)
+	}
+	st := c.Stats()
+	if st.Tenants != 2 || st.Admitted != 2 || st.ShedQuota != 10 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestMaxTenantsEviction(t *testing.T) {
+	c := New(Options{TenantQPS: 1, TenantBurst: 1, MaxTenants: 2})
+	c.Admit("a", t0)
+	c.Admit("b", t0.Add(time.Second))
+	c.Admit("c", t0.Add(2*time.Second)) // evicts "a" (stalest)
+	if st := c.Stats(); st.Tenants != 2 {
+		t.Fatalf("tenants after eviction = %d, want 2", st.Tenants)
+	}
+	// "a" restarts with a full bucket — eviction is generous, not starving.
+	if d := c.Admit("a", t0.Add(2*time.Second)); !d.Admit {
+		t.Fatalf("evicted tenant not re-admitted: %+v", d)
+	}
+}
+
+func TestCapacityRetryAfterFallback(t *testing.T) {
+	c := New(Options{FallbackRetry: 5 * time.Second})
+	if got := c.CapacityRetryAfter(10, t0); got != 5*time.Second {
+		t.Fatalf("fallback Retry-After = %v, want 5s", got)
+	}
+}
+
+func TestCapacityRetryAfterFromDrainRate(t *testing.T) {
+	c := New(Options{DrainWindow: 8 * time.Second})
+	// 4 completions per second for 4 seconds.
+	for s := 0; s < 4; s++ {
+		for i := 0; i < 4; i++ {
+			c.JobDone(t0.Add(time.Duration(s) * time.Second))
+		}
+	}
+	now := t0.Add(3 * time.Second)
+	// 16 completions over 4 observed seconds = 4/s; 20 queued -> 5s.
+	if got := c.CapacityRetryAfter(20, now); got != 5*time.Second {
+		t.Fatalf("Retry-After = %v, want 5s", got)
+	}
+	// Small backlogs clamp up to MinRetry.
+	if got := c.CapacityRetryAfter(1, now); got != time.Second {
+		t.Fatalf("Retry-After = %v, want 1s (clamped)", got)
+	}
+	// Huge backlogs clamp at MaxRetry.
+	if got := c.CapacityRetryAfter(1<<20, now); got != 5*time.Minute {
+		t.Fatalf("Retry-After = %v, want 5m (clamped)", got)
+	}
+	// Idle time dilutes the observed rate: 4 seconds later the same 16
+	// completions spread over the full 8s window = 2/s; 20 queued -> 10s.
+	if got := c.CapacityRetryAfter(20, t0.Add(7*time.Second)); got != 10*time.Second {
+		t.Fatalf("diluted Retry-After = %v, want 10s", got)
+	}
+	// Once the window has fully rolled past the burst, the rate decays
+	// to zero and the fallback applies again.
+	if got := c.CapacityRetryAfter(20, t0.Add(time.Hour)); got != 5*time.Second {
+		t.Fatalf("stale-window Retry-After = %v, want 5s fallback", got)
+	}
+}
+
+func TestDrainRingRollover(t *testing.T) {
+	c := New(Options{DrainWindow: 4 * time.Second})
+	// One completion per second for 10 seconds: steady 1/s.
+	for s := 0; s < 10; s++ {
+		c.JobDone(t0.Add(time.Duration(s) * time.Second))
+	}
+	if rate := c.drainPerSec(t0.Add(9 * time.Second)); rate != 1 {
+		t.Fatalf("steady rate = %g, want 1", rate)
+	}
+	// A long idle gap zeroes the whole ring rather than reading stale slots.
+	c.JobDone(t0.Add(100 * time.Second))
+	if rate := c.drainPerSec(t0.Add(100 * time.Second)); rate != 0.25 {
+		t.Fatalf("post-gap rate = %g, want 0.25 (1 completion / 4s window)", rate)
+	}
+}
+
+// TestConcurrentAdmit exercises the controller under -race.
+func TestConcurrentAdmit(t *testing.T) {
+	c := New(Options{TenantQPS: 1000, TenantBurst: 1000})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tenant := string(rune('a' + w%4))
+			for i := 0; i < 200; i++ {
+				c.Admit(tenant, time.Now())
+				c.JobDone(time.Now())
+				c.CapacityRetryAfter(i, time.Now())
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Admitted+st.ShedQuota != 8*200 {
+		t.Fatalf("decisions = %d, want 1600", st.Admitted+st.ShedQuota)
+	}
+}

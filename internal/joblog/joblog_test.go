@@ -1,0 +1,286 @@
+package joblog
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// collect reopens dir and returns every replayed record.
+func collect(t *testing.T, dir string) ([]Record, *Log) {
+	t.Helper()
+	var recs []Record
+	l, err := Open(dir, Options{Replay: func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs, l
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type payload struct {
+		Status string `json:"status"`
+		N      int    `json:"n"`
+	}
+	var want []Record
+	for i := 0; i < 20; i++ {
+		rec, err := l.Append("state", fmt.Sprintf("job-%d", i%5), payload{Status: "running", N: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Seq != uint64(i+1) {
+			t.Fatalf("append %d got seq %d", i, rec.Seq)
+		}
+		want = append(want, rec)
+	}
+	if st := l.Stats(); st.Appends != 20 || st.NextSeq != 21 {
+		t.Fatalf("stats after appends: %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append("state", "job-0", nil); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+
+	got, l2 := collect(t, dir)
+	defer l2.Close()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Seq != want[i].Seq || got[i].Type != want[i].Type || got[i].JobID != want[i].JobID {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], want[i])
+		}
+		var p payload
+		if err := json.Unmarshal(got[i].Data, &p); err != nil || p.N != i {
+			t.Fatalf("record %d payload %s: %v", i, got[i].Data, err)
+		}
+	}
+	// The sequence continues where the first process left off.
+	rec, err := l2.Append("state", "job-0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq != 21 {
+		t.Fatalf("post-replay append got seq %d, want 21", rec.Seq)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 256, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := l.Append("submit", fmt.Sprintf("job-%d", i), map[string]string{"advisor": "Drop"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Segments < 2 {
+		t.Fatalf("expected multiple segments, got %d", st.Segments)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, l2 := collect(t, dir)
+	defer l2.Close()
+	if len(got) != 50 {
+		t.Fatalf("replayed %d records across segments, want 50", len(got))
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d out of order: seq %d", i, r.Seq)
+		}
+	}
+}
+
+// TestTornTailRecovery simulates a crash mid-append: extra garbage
+// bytes on the tail must be truncated away and the log stay appendable.
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append("state", "job-1", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Append a torn frame: a header that promises more bytes than exist.
+	seg := filepath.Join(dir, "00000001.seg")
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xFF, 0x00, 0x00, 0x00, 1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, l2 := collect(t, dir)
+	if len(got) != 5 {
+		t.Fatalf("replayed %d records after torn tail, want 5", len(got))
+	}
+	st := l2.Stats()
+	if st.CorruptFrames != 1 || st.TruncatedBytes == 0 {
+		t.Fatalf("stats after torn-tail recovery: %+v", st)
+	}
+	after, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Fatalf("tail not truncated: %d -> %d bytes", before.Size(), after.Size())
+	}
+	// The recovered log accepts new appends and a further replay sees
+	// exactly the good records plus the new one.
+	if _, err := l2.Append("state", "job-2", nil); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	got, l3 := collect(t, dir)
+	defer l3.Close()
+	if len(got) != 6 || got[5].JobID != "job-2" {
+		t.Fatalf("post-recovery replay: %d records, last %+v", len(got), got[len(got)-1])
+	}
+}
+
+// TestCRCMismatch flips a payload byte mid-log: replay must stop at the
+// corruption instead of delivering a damaged record.
+func TestCRCMismatch(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append("state", "job-1", map[string]int{"i": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	seg := filepath.Join(dir, "00000001.seg")
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-2] ^= 0xFF // corrupt the last record's payload
+	if err := os.WriteFile(seg, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, l2 := collect(t, dir)
+	defer l2.Close()
+	if len(got) != 2 {
+		t.Fatalf("replayed %d records past a CRC mismatch, want 2", len(got))
+	}
+	if st := l2.Stats(); st.CorruptFrames != 1 {
+		t.Fatalf("corrupt frames = %d, want 1", st.CorruptFrames)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 256, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := l.Append("state", fmt.Sprintf("job-%d", i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Keep a 3-record snapshot; everything else is garbage.
+	snap := []Record{
+		{Type: "submit", JobID: "job-7"},
+		{Type: "state", JobID: "job-7"},
+		{Type: "result", JobID: "job-7"},
+	}
+	if err := l.Compact(snap); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Segments != 1 {
+		t.Fatalf("segments after compact = %d, want 1", st.Segments)
+	}
+	// Appends continue after compaction.
+	if _, err := l.Append("state", "job-99", nil); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	got, l2 := collect(t, dir)
+	defer l2.Close()
+	if len(got) != 4 {
+		t.Fatalf("replayed %d records after compact, want 4", len(got))
+	}
+	if got[0].JobID != "job-7" || got[3].JobID != "job-99" {
+		t.Fatalf("compacted replay order: %+v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq <= got[i-1].Seq {
+			t.Fatalf("non-monotonic seq after compact: %d then %d", got[i-1].Seq, got[i].Seq)
+		}
+	}
+}
+
+// TestConcurrentAppends hammers Append from many goroutines (run under
+// -race in CI) and verifies every record is recovered exactly once.
+func TestConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 1 << 10, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := l.Append("state", fmt.Sprintf("job-%d", w), map[string]int{"i": i}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if _, err := l.Stats(), l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, l2 := collect(t, dir)
+	defer l2.Close()
+	if len(got) != workers*per {
+		t.Fatalf("replayed %d records, want %d", len(got), workers*per)
+	}
+	seen := map[uint64]bool{}
+	for _, r := range got {
+		if seen[r.Seq] {
+			t.Fatalf("duplicate seq %d", r.Seq)
+		}
+		seen[r.Seq] = true
+	}
+}

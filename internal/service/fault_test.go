@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/trap-repro/trap/internal/admission"
 	"github.com/trap-repro/trap/internal/faultinject"
 	"github.com/trap-repro/trap/internal/obs"
 )
@@ -296,14 +297,14 @@ func TestWorkerPoolTypedErrors(t *testing.T) {
 	p := newWorkerPool(1, 1, func(id string) { started <- id; <-block })
 	defer close(block)
 
-	if err := p.submit("a"); err != nil {
+	if err := p.submit("a", admission.Batch); err != nil {
 		t.Fatalf("submit a: %v", err)
 	}
 	<-started // worker is now busy with "a", queue is empty
-	if err := p.submit("b"); err != nil {
+	if err := p.submit("b", admission.Batch); err != nil {
 		t.Fatalf("submit b: %v", err)
 	}
-	if err := p.submit("c"); err != ErrQueueFull {
+	if err := p.submit("c", admission.Interactive); err != ErrQueueFull {
 		t.Fatalf("submit c: %v, want ErrQueueFull", err)
 	}
 
@@ -313,7 +314,7 @@ func TestWorkerPoolTypedErrors(t *testing.T) {
 	if len(drained) != 1 || drained[0] != "b" {
 		t.Fatalf("shutdown drained %v, want [b]", drained)
 	}
-	if err := p.submit("d"); err != ErrPoolClosed {
+	if err := p.submit("d", admission.Batch); err != ErrPoolClosed {
 		t.Fatalf("submit after shutdown: %v, want ErrPoolClosed", err)
 	}
 }
@@ -327,7 +328,7 @@ func TestJobStoreGC(t *testing.T) {
 	recent := now.Add(-time.Minute)
 
 	mk := func(status JobStatus, fin *time.Time) string {
-		j := st.create("tpch", "Drop", "Random", "")
+		j := st.create(Job{Dataset: "tpch", Advisor: "Drop", Method: "Random"})
 		st.update(j.ID, func(j *Job) {
 			j.Status = status
 			j.Finished = fin
@@ -341,8 +342,8 @@ func TestJobStoreGC(t *testing.T) {
 	runningJob := mk(JobRunning, nil)
 	pendingJob := mk(JobPending, nil)
 
-	if n := st.gc(time.Hour, now); n != 3 {
-		t.Fatalf("gc removed %d jobs, want 3", n)
+	if dropped := st.gc(time.Hour, now); len(dropped) != 3 {
+		t.Fatalf("gc removed %d jobs, want 3", len(dropped))
 	}
 	for _, id := range []string{doneOld, failedOld, canceledOld} {
 		if _, ok := st.get(id); ok {

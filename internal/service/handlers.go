@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
 	"strings"
 	"time"
 
+	"github.com/trap-repro/trap/internal/admission"
 	"github.com/trap-repro/trap/internal/assess"
 	"github.com/trap-repro/trap/internal/engine"
 	"github.com/trap-repro/trap/internal/obs"
@@ -22,12 +24,15 @@ import (
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/parse", s.handleParse)
 	s.mux.HandleFunc("POST /v1/explain", s.handleExplain)
 	s.mux.HandleFunc("POST /v1/advise", s.handleAdvise)
 	s.mux.HandleFunc("POST /v1/assess", s.handleAssess)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobsList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
@@ -106,6 +111,38 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Uptime:   time.Since(s.start).Round(time.Millisecond).String(),
 		Jobs:     s.jobs.countByStatus(),
 	})
+}
+
+// GET /readyz
+
+// readyResponse reports whether trapd should receive traffic.
+type readyResponse struct {
+	Ready  bool   `json:"ready"`
+	Reason string `json:"reason,omitempty"`
+	Queued int    `json:"queued"`
+	Depth  int    `json:"depth"`
+}
+
+// handleReadyz is the load-balancer readiness gate, distinct from the
+// /healthz liveness probe: the process can be alive (healthz 200) but
+// not ready — still replaying the job log, or with a saturated queue
+// that would shed new work anyway.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	queued := s.pool.queued()
+	resp := readyResponse{Queued: queued, Depth: s.cfg.QueueDepth}
+	if !s.ready.Load() {
+		resp.Reason = "replaying job log"
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	if queued >= s.cfg.QueueDepth {
+		resp.Reason = "job queue saturated"
+		w.Header().Set("Retry-After", retrySeconds(s.adm.CapacityRetryAfter(queued, time.Now())))
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	resp.Ready = true
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // GET /metrics
@@ -411,18 +448,55 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	job := s.jobs.create(req.Dataset, req.Advisor, req.Method, req.Constraint)
+
+	// Admission: identify the tenant and priority class, then charge the
+	// tenant's token bucket before the job touches the queue.
+	tenant := r.Header.Get("X-Trap-Tenant")
+	if tenant == "" {
+		tenant = "default"
+	}
+	pri := admission.Batch
+	if s.cfg.PriorityQueue {
+		p, err := admission.ParsePriority(r.Header.Get("X-Trap-Priority"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		pri = p
+	}
+	if d := s.adm.Admit(tenant, time.Now()); !d.Admit {
+		s.mShedQuota.Inc()
+		w.Header().Set("Retry-After", retrySeconds(d.RetryAfter))
+		writeError(w, http.StatusTooManyRequests,
+			"tenant %q over submission quota (%s); retry after %s", tenant, d.Reason, d.RetryAfter)
+		return
+	}
+
+	job := s.jobs.create(Job{
+		Dataset:    req.Dataset,
+		Advisor:    req.Advisor,
+		Method:     req.Method,
+		Constraint: req.Constraint,
+		Tenant:     tenant,
+		Priority:   pri.String(),
+	})
+	s.events.create(job.ID)
+	s.appendJobRecord(recSubmit, job)
+	s.events.publish(job.ID, JobEvent{Type: evState, Status: JobPending})
 	s.mJobsSub.Inc()
-	if err := s.pool.submit(job.ID); err != nil {
+	if err := s.pool.submit(job.ID, pri); err != nil {
 		now := time.Now()
 		s.jobs.update(job.ID, func(j *Job) {
 			j.Status = JobFailed
 			j.Error = err.Error()
 			j.Finished = &now
 		})
+		s.publishState(job.ID)
 		// 503 + Retry-After: the condition is load (or shutdown), not a
-		// bad request — the client should resubmit later.
-		w.Header().Set("Retry-After", "5")
+		// bad request — the client should resubmit later. The hint comes
+		// from the observed queue drain rate, not a constant guess.
+		s.mShedCapacity.Inc()
+		w.Header().Set("Retry-After", retrySeconds(s.adm.CapacityRetryAfter(s.pool.queued(), time.Now())))
 		if errors.Is(err, ErrPoolClosed) {
 			writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 		} else {
@@ -433,6 +507,12 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, job)
 }
 
+// retrySeconds renders a Retry-After header value: whole seconds,
+// rounded up so the client never retries early.
+func retrySeconds(d time.Duration) string {
+	return strconv.FormatInt(int64(math.Ceil(d.Seconds())), 10)
+}
+
 func validMethod(name string) bool {
 	for _, m := range assess.MethodNames {
 		if m == name {
@@ -440,6 +520,74 @@ func validMethod(name string) bool {
 		}
 	}
 	return false
+}
+
+// GET /v1/jobs
+
+// jobListResponse is the /v1/jobs envelope. NextCursor, when non-empty,
+// is the ?cursor= value that continues the listing after the last job
+// returned.
+type jobListResponse struct {
+	Jobs       []Job  `json:"jobs"`
+	NextCursor string `json:"nextCursor,omitempty"`
+}
+
+// handleJobsList lists jobs in submission order, filterable by
+// ?status=, ?advisor= and ?dataset=, paginated with ?limit= (default
+// 100, cap 1000) and ?cursor= (a job ID; the listing resumes strictly
+// after it, so a page boundary never duplicates or skips jobs that
+// existed when the cursor was issued).
+func (s *Server) handleJobsList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	statusF := JobStatus(q.Get("status"))
+	if statusF != "" && !validJobStatus(statusF) {
+		writeError(w, http.StatusBadRequest, "bad status %q (want pending, running, done, failed or canceled)", statusF)
+		return
+	}
+	advisorF := q.Get("advisor")
+	datasetF := q.Get("dataset")
+	limit := 100
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		if n > 1000 {
+			n = 1000
+		}
+		limit = n
+	}
+	var after int64
+	if v := q.Get("cursor"); v != "" {
+		after = jobNum(v)
+		if after == 0 {
+			writeError(w, http.StatusBadRequest, "bad cursor %q (want a job ID)", v)
+			return
+		}
+	}
+
+	resp := jobListResponse{Jobs: []Job{}}
+	for _, j := range s.jobs.list() {
+		if jobNum(j.ID) <= after {
+			continue
+		}
+		if statusF != "" && j.Status != statusF {
+			continue
+		}
+		if advisorF != "" && j.Advisor != advisorF {
+			continue
+		}
+		if datasetF != "" && j.Dataset != datasetF {
+			continue
+		}
+		if len(resp.Jobs) == limit {
+			resp.NextCursor = resp.Jobs[limit-1].ID
+			break
+		}
+		resp.Jobs = append(resp.Jobs, j)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // GET /v1/jobs/{id}
@@ -483,6 +631,7 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	})
 	if canceledNow {
 		s.mJobsCanceled.Inc()
+		s.publishState(id)
 	} else if cancel := s.jobs.takeCancel(id); cancel != nil {
 		cancel()
 	}

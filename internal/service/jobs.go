@@ -4,9 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/trap-repro/trap/internal/admission"
 )
 
 // JobStatus is the lifecycle state of an async assessment job.
@@ -28,6 +31,16 @@ func (s JobStatus) terminal() bool {
 	return s == JobDone || s == JobFailed || s == JobCanceled
 }
 
+// validJobStatus reports whether s names a known lifecycle state (used
+// to validate the ?status= list filter).
+func validJobStatus(s JobStatus) bool {
+	switch s {
+	case JobPending, JobRunning, JobDone, JobFailed, JobCanceled:
+		return true
+	}
+	return false
+}
+
 // JobResult is the outcome of a completed assessment job.
 type JobResult struct {
 	MeanIUDR     float64 `json:"meanIUDR"`
@@ -45,13 +58,21 @@ type Job struct {
 	Advisor    string    `json:"advisor"`
 	Method     string    `json:"method"`
 	Constraint string    `json:"constraint"`
-	Error      string    `json:"error,omitempty"`
+	// Tenant is the quota identity the job was admitted under (the
+	// X-Trap-Tenant header; "default" when absent).
+	Tenant string `json:"tenant,omitempty"`
+	// Priority is the scheduling class ("interactive" or "batch").
+	Priority string `json:"priority,omitempty"`
+	Error    string `json:"error,omitempty"`
 	// Stack holds the goroutine stack when the job failed on a panic.
 	Stack string `json:"stack,omitempty"`
 	// Attempts counts execution attempts (>1 after transient-error retries).
 	Attempts int `json:"attempts,omitempty"`
 	// Resumed reports whether training continued from a spooled checkpoint.
 	Resumed bool `json:"resumed,omitempty"`
+	// Restored reports that the job was interrupted by a process death
+	// and re-enqueued from the job log on restart.
+	Restored bool `json:"restored,omitempty"`
 	// TraceID links the job to its pipeline trace (GET /v1/traces/{id});
 	// empty when the tracer's head sampling skipped this job.
 	TraceID  string     `json:"traceId,omitempty"`
@@ -59,6 +80,25 @@ type Job struct {
 	Created  time.Time  `json:"created"`
 	Started  *time.Time `json:"started,omitempty"`
 	Finished *time.Time `json:"finished,omitempty"`
+}
+
+// jobNum extracts the numeric suffix of a "job-N" ID (0 when malformed);
+// it orders the list endpoint and anchors its cursor.
+func jobNum(id string) int64 {
+	var n int64
+	if _, err := fmt.Sscanf(id, "job-%d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+// priority maps the job's stored class name back to the scheduler class.
+func (j *Job) priority() admission.Priority {
+	p, err := admission.ParsePriority(j.Priority)
+	if err != nil {
+		return admission.Batch
+	}
+	return p
 }
 
 // jobStore is a concurrency-safe in-memory job registry. It also holds
@@ -74,21 +114,35 @@ func newJobStore() *jobStore {
 	return &jobStore{jobs: map[string]*Job{}, cancels: map[string]context.CancelFunc{}}
 }
 
-// create registers a new pending job and returns a snapshot of it.
-func (s *jobStore) create(dataset, advisor, method, constraint string) Job {
-	j := &Job{
-		ID:         fmt.Sprintf("job-%d", s.next.Add(1)),
-		Status:     JobPending,
-		Dataset:    dataset,
-		Advisor:    advisor,
-		Method:     method,
-		Constraint: constraint,
-		Created:    time.Now(),
-	}
+// create registers a new pending job from the template (dataset,
+// advisor, method, constraint, tenant, priority) and returns a snapshot.
+func (s *jobStore) create(tpl Job) Job {
+	tpl.ID = fmt.Sprintf("job-%d", s.next.Add(1))
+	tpl.Status = JobPending
+	tpl.Created = time.Now()
+	j := tpl
 	s.mu.Lock()
-	s.jobs[j.ID] = j
+	s.jobs[j.ID] = &j
 	s.mu.Unlock()
-	return *j
+	return tpl
+}
+
+// restore inserts a replayed job under its original ID and keeps the ID
+// sequence strictly ahead of every restored ID, so new submissions
+// never collide with replayed ones.
+func (s *jobStore) restore(j Job) {
+	if n := jobNum(j.ID); n > 0 {
+		for {
+			cur := s.next.Load()
+			if cur >= n || s.next.CompareAndSwap(cur, n) {
+				break
+			}
+		}
+	}
+	jj := j
+	s.mu.Lock()
+	s.jobs[j.ID] = &jj
+	s.mu.Unlock()
 }
 
 // get returns a snapshot of the job, if it exists.
@@ -109,6 +163,19 @@ func (s *jobStore) update(id string, fn func(*Job)) {
 	if j, ok := s.jobs[id]; ok {
 		fn(j)
 	}
+}
+
+// list snapshots every live job, ordered by ascending job number (the
+// stable order the list endpoint paginates over).
+func (s *jobStore) list() []Job {
+	s.mu.Lock()
+	out := make([]Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, *j)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, k int) bool { return jobNum(out[i].ID) < jobNum(out[k].ID) })
+	return out
 }
 
 // countByStatus tallies jobs per status.
@@ -154,11 +221,12 @@ func (s *jobStore) takeCancel(id string) context.CancelFunc {
 }
 
 // gc removes terminal jobs that finished more than ttl ago and returns
-// how many were dropped. Running and pending jobs are never collected.
-func (s *jobStore) gc(ttl time.Duration, now time.Time) int {
+// their IDs so the caller can drop the durable and streaming state too.
+// Running and pending jobs are never collected.
+func (s *jobStore) gc(ttl time.Duration, now time.Time) []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	n := 0
+	var dropped []string
 	for id, j := range s.jobs {
 		if !j.Status.terminal() || j.Finished == nil {
 			continue
@@ -166,10 +234,10 @@ func (s *jobStore) gc(ttl time.Duration, now time.Time) int {
 		if now.Sub(*j.Finished) >= ttl {
 			delete(s.jobs, id)
 			delete(s.cancels, id)
-			n++
+			dropped = append(dropped, id)
 		}
 	}
-	return n
+	return dropped
 }
 
 // Typed submission failures: handlers translate these into 503s with a
@@ -182,24 +250,33 @@ var (
 )
 
 // workerPool runs jobs on a bounded set of goroutines over a bounded
-// queue. Shutdown stops intake, cancels still-queued jobs and waits for
+// two-class priority queue: interactive submissions are dequeued before
+// batch ones, FIFO within a class, with one shared depth bound across
+// both. Shutdown stops intake, cancels still-queued jobs and waits for
 // in-flight jobs to drain.
 type workerPool struct {
-	queue  chan string
-	wg     sync.WaitGroup
 	mu     sync.Mutex
+	cond   *sync.Cond
+	queues [admission.NumPriorities][]string
+	depth  int
 	closed bool
+	wg     sync.WaitGroup
 }
 
-// newWorkerPool starts n workers pulling job IDs off a queue of the
-// given depth and handing them to run.
+// newWorkerPool starts n workers pulling job IDs off the priority queue
+// (total depth as given) and handing them to run.
 func newWorkerPool(n, depth int, run func(id string)) *workerPool {
-	p := &workerPool{queue: make(chan string, depth)}
+	p := &workerPool{depth: depth}
+	p.cond = sync.NewCond(&p.mu)
 	for i := 0; i < n; i++ {
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
-			for id := range p.queue {
+			for {
+				id, ok := p.next()
+				if !ok {
+					return
+				}
 				run(id)
 			}
 		}()
@@ -207,20 +284,56 @@ func newWorkerPool(n, depth int, run func(id string)) *workerPool {
 	return p
 }
 
-// submit enqueues a job ID, or reports why it cannot: ErrQueueFull when
-// the queue is at capacity, ErrPoolClosed when intake has stopped.
-func (p *workerPool) submit(id string) error {
+// next blocks until a job is available (highest priority class first)
+// or the pool is shut down.
+func (p *workerPool) next() (string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		for pri := admission.NumPriorities - 1; pri >= 0; pri-- {
+			if q := p.queues[pri]; len(q) > 0 {
+				id := q[0]
+				p.queues[pri] = q[1:]
+				return id, true
+			}
+		}
+		if p.closed {
+			return "", false
+		}
+		p.cond.Wait()
+	}
+}
+
+// submit enqueues a job ID at the given priority, or reports why it
+// cannot: ErrQueueFull when the shared queue is at capacity,
+// ErrPoolClosed when intake has stopped.
+func (p *workerPool) submit(id string, pri admission.Priority) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
 		return ErrPoolClosed
 	}
-	select {
-	case p.queue <- id:
-		return nil
-	default:
+	if p.queuedLocked() >= p.depth {
 		return ErrQueueFull
 	}
+	p.queues[pri] = append(p.queues[pri], id)
+	p.cond.Signal()
+	return nil
+}
+
+// queued returns how many jobs wait in the queue (all classes).
+func (p *workerPool) queued() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.queuedLocked()
+}
+
+func (p *workerPool) queuedLocked() int {
+	n := 0
+	for _, q := range p.queues {
+		n += len(q)
+	}
+	return n
 }
 
 // shutdown stops intake and waits — up to ctx's deadline — for the
@@ -230,18 +343,13 @@ func (p *workerPool) shutdown(ctx context.Context) (canceled []string) {
 	p.mu.Lock()
 	if !p.closed {
 		p.closed = true
-		// Drain never-started jobs before closing so workers exit after
-		// finishing only what they already picked up.
-		for {
-			select {
-			case id := <-p.queue:
-				canceled = append(canceled, id)
-				continue
-			default:
-			}
-			break
+		// Drain never-started jobs so workers exit after finishing only
+		// what they already picked up.
+		for pri := admission.NumPriorities - 1; pri >= 0; pri-- {
+			canceled = append(canceled, p.queues[pri]...)
+			p.queues[pri] = nil
 		}
-		close(p.queue)
+		p.cond.Broadcast()
 	}
 	p.mu.Unlock()
 

@@ -9,10 +9,21 @@
 //	POST /v1/explain  — plan a query under hypothetical indexes
 //	POST /v1/advise   — recommend an index configuration for a workload
 //	POST /v1/assess   — start an async robustness assessment (job ID)
+//	GET  /v1/jobs     — list jobs (status/advisor/dataset filters, cursor pagination)
 //	GET  /v1/jobs/{id} — poll job status and result
+//	GET  /v1/jobs/{id}/events — stream job progress as Server-Sent Events
 //	GET  /metrics     — text metric exposition
 //	GET  /healthz     — liveness and suite inventory
+//	GET  /readyz      — readiness (replay finished, queue not saturated)
 //	GET  /debug/pprof/* — profiling endpoints (only with Config.EnablePprof)
+//
+// With Config.JobLogDir set, every job transition is appended to a
+// durable, CRC-framed job log (internal/joblog). On startup the log is
+// replayed: terminal jobs come back queryable, and jobs that were
+// pending or running when the process died are re-enqueued and resume
+// from their latest spooled checkpoint. Admission control
+// (internal/admission) adds per-tenant quotas and honest Retry-After
+// hints on load sheds.
 //
 // The suites (engine, workloads, vocabulary, learned utility model) are
 // built once at startup and shared by every request; the engine and
@@ -23,6 +34,7 @@ package service
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -33,12 +45,15 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"github.com/trap-repro/trap/internal/admission"
 	"github.com/trap-repro/trap/internal/assess"
 	"github.com/trap-repro/trap/internal/bench"
 	"github.com/trap-repro/trap/internal/core"
 	"github.com/trap-repro/trap/internal/faultinject"
+	"github.com/trap-repro/trap/internal/joblog"
 	"github.com/trap-repro/trap/internal/obs"
 	olog "github.com/trap-repro/trap/internal/obs/log"
 	"github.com/trap-repro/trap/internal/schema"
@@ -127,6 +142,26 @@ type Config struct {
 	SpoolDir string
 	// CheckpointEvery is the epoch stride between checkpoints (default 1).
 	CheckpointEvery int
+	// JobLogDir, when set, enables the durable job log: every job
+	// transition is appended (fsync'd) there and replayed on startup, so
+	// jobs survive a process death. Empty disables the log.
+	JobLogDir string
+	// JobLogSegmentBytes overrides the job-log segment size (testing).
+	JobLogSegmentBytes int64
+	// TenantQPS enables per-tenant admission quotas: each tenant (the
+	// X-Trap-Tenant header) may submit at this sustained rate. <= 0
+	// disables quotas.
+	TenantQPS float64
+	// TenantBurst is the per-tenant burst allowance
+	// (default ceil(TenantQPS)).
+	TenantBurst int
+	// PriorityQueue honors the X-Trap-Priority header (interactive jobs
+	// are dequeued before batch ones). Off by default: without the flag
+	// the header is ignored and all jobs are batch.
+	PriorityQueue bool
+	// SSEHeartbeat is the comment-heartbeat interval of idle progress
+	// streams (default 15s).
+	SSEHeartbeat time.Duration
 	// Injector arms the fault-injection points in the suites' engines
 	// and frameworks (nil — the default — disables injection).
 	Injector faultinject.Injector
@@ -187,6 +222,9 @@ func (c *Config) fill() {
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 1
 	}
+	if c.SSEHeartbeat <= 0 {
+		c.SSEHeartbeat = 15 * time.Second
+	}
 }
 
 // Server is the trapd HTTP service.
@@ -198,7 +236,11 @@ type Server struct {
 	suites map[string]*assess.Suite
 	jobs   *jobStore
 	pool   *workerPool
-	ckpt   *ckptStore // nil when SpoolDir is unset
+	ckpt   *ckptStore  // nil when SpoolDir is unset
+	jlog   *joblog.Log // nil when JobLogDir is unset
+	adm    *admission.Controller
+	events *eventBus
+	ready  atomic.Bool // false until the job-log replay has finished
 	mux    *http.ServeMux
 	start  time.Time
 
@@ -211,11 +253,23 @@ type Server struct {
 	mJobRetries   *obs.Counter
 	mJobPanics    *obs.Counter
 	mJobsGCed     *obs.Counter
+	mJobsRestored *obs.Counter
 	mCkptSaved    *obs.Counter
 	mCkptResumed  *obs.Counter
+	mShedQuota    *obs.Counter
+	mShedCapacity *obs.Counter
 	mJobsRun      *obs.Gauge
 	mJobSecs      *obs.Histogram
 }
+
+// Job-log record types. Submit and state records carry a full Job
+// snapshot (replay folds them last-write-wins); drop records mark a
+// GC'd job so replay forgets it.
+const (
+	recSubmit = "submit"
+	recState  = "state"
+	recDrop   = "drop"
+)
 
 // NewServer builds the suites for every configured dataset (this is the
 // slow part: workload generation and utility-model training) and wires
@@ -230,7 +284,12 @@ func NewServer(cfg Config) (*Server, error) {
 		log:    cfg.Logger,
 		suites: map[string]*assess.Suite{},
 		jobs:   newJobStore(),
-		start:  time.Now(),
+		events: newEventBus(),
+		adm: admission.New(admission.Options{
+			TenantQPS:   cfg.TenantQPS,
+			TenantBurst: cfg.TenantBurst,
+		}),
+		start: time.Now(),
 
 		mRequests:     cfg.Registry.Counter("trapd_http_requests_total"),
 		mReqSecs:      cfg.Registry.Histogram("trapd_http_request_seconds"),
@@ -241,8 +300,11 @@ func NewServer(cfg Config) (*Server, error) {
 		mJobRetries:   cfg.Registry.Counter("trapd_job_retries_total"),
 		mJobPanics:    cfg.Registry.Counter("trapd_job_panics_total"),
 		mJobsGCed:     cfg.Registry.Counter("trapd_jobs_gced_total"),
+		mJobsRestored: cfg.Registry.Counter("trapd_jobs_restored_total"),
 		mCkptSaved:    cfg.Registry.Counter("trapd_checkpoints_saved_total"),
 		mCkptResumed:  cfg.Registry.Counter("trapd_checkpoints_resumed_total"),
+		mShedQuota:    cfg.Registry.Counter("trapd_shed_quota_total"),
+		mShedCapacity: cfg.Registry.Counter("trapd_shed_capacity_total"),
 		mJobsRun:      cfg.Registry.Gauge("trapd_jobs_running"),
 		mJobSecs:      cfg.Registry.Histogram("trapd_job_seconds"),
 	}
@@ -288,6 +350,15 @@ func NewServer(cfg Config) (*Server, error) {
 	s.reg.GaugeFunc("trapd_jobs_live", func() float64 {
 		return float64(s.jobs.size())
 	})
+	s.reg.GaugeFunc("trapd_sse_streams", func() float64 {
+		return float64(s.events.size())
+	})
+	s.reg.GaugeFunc("trapd_admission_drain_per_sec", func() float64 {
+		return s.adm.Stats().DrainPerSec
+	})
+	s.reg.GaugeFunc("trapd_admission_tenants", func() float64 {
+		return float64(s.adm.Stats().Tenants)
+	})
 	obs.RegisterRuntimeGauges(s.reg)
 	for name, help := range map[string]string{
 		"trapd_jobs_submitted_total":  "Assessment jobs accepted by POST /v1/assess.",
@@ -304,9 +375,143 @@ func NewServer(cfg Config) (*Server, error) {
 		s.reg.Describe(name, help)
 	}
 	s.pool = newWorkerPool(cfg.Workers, cfg.QueueDepth, s.runJob)
+	if cfg.JobLogDir != "" {
+		if err := s.openJobLog(); err != nil {
+			return nil, err
+		}
+	}
+	s.ready.Store(true)
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s, nil
+}
+
+// openJobLog opens (or creates) the durable job log, replays it into
+// the job store — re-enqueuing jobs interrupted by a process death —
+// and compacts the log down to one state record per live job.
+func (s *Server) openJobLog() error {
+	byID := map[string]*Job{}
+	var order []string // first-seen order, preserved across folding
+	l, err := joblog.Open(s.cfg.JobLogDir, joblog.Options{
+		SegmentBytes: s.cfg.JobLogSegmentBytes,
+		Replay: func(r joblog.Record) error {
+			switch r.Type {
+			case recSubmit, recState:
+				var j Job
+				if err := json.Unmarshal(r.Data, &j); err != nil || j.ID == "" {
+					return nil // tolerate a damaged payload: skip the record
+				}
+				if _, seen := byID[j.ID]; !seen {
+					order = append(order, j.ID)
+				}
+				byID[j.ID] = &j
+			case recDrop:
+				delete(byID, r.JobID)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("service: job log: %w", err)
+	}
+	s.jlog = l
+
+	var snapshot []joblog.Record
+	restored, requeued := 0, 0
+	for _, id := range order {
+		j, ok := byID[id]
+		if !ok {
+			continue // dropped later in the log
+		}
+		if !j.Status.terminal() {
+			// The process died while this job was queued or running:
+			// re-enqueue it. A spooled checkpoint (if the server has a
+			// spool) makes the re-run resume mid-training.
+			j.Status = JobPending
+			j.Restored = true
+			j.Started, j.Finished = nil, nil
+			j.Error, j.Stack = "", ""
+			j.Result = nil
+			requeued++
+		}
+		s.jobs.restore(*j)
+		hub := s.events.create(j.ID)
+		ev := JobEvent{Type: evState, Status: j.Status, Error: j.Error}
+		hub.publish(ev)
+		if j.Status.terminal() {
+			if j.Status == JobDone && j.Result != nil {
+				hub.publish(JobEvent{Type: evResult, Result: j.Result})
+			}
+			hub.closeHub()
+		} else if err := s.pool.submit(j.ID, j.priority()); err != nil {
+			now := time.Now()
+			s.jobs.update(j.ID, func(jj *Job) {
+				jj.Status = JobFailed
+				jj.Error = fmt.Sprintf("re-enqueue after restart: %v", err)
+				jj.Finished = &now
+			})
+			cur, _ := s.jobs.get(j.ID)
+			*j = cur
+			hub.publish(JobEvent{Type: evState, Status: j.Status, Error: j.Error})
+			hub.closeHub()
+		}
+		cur, _ := s.jobs.get(j.ID)
+		data, merr := json.Marshal(cur)
+		if merr != nil {
+			continue
+		}
+		snapshot = append(snapshot, joblog.Record{Type: recState, JobID: j.ID, Data: data})
+		restored++
+	}
+	if err := l.Compact(snapshot); err != nil {
+		return fmt.Errorf("service: job log compact: %w", err)
+	}
+	if restored > 0 {
+		s.mJobsRestored.Add(int64(requeued))
+		s.log.Info(context.Background(), "trapd: job log replayed",
+			"jobs", restored, "requeued", requeued, "dir", s.cfg.JobLogDir)
+	}
+	return nil
+}
+
+// appendJobRecord durably appends the job's current state to the job
+// log. Log failures are deliberately non-fatal for the job itself: they
+// cost durability, not correctness of the in-memory run.
+func (s *Server) appendJobRecord(typ string, j Job) {
+	if s.jlog == nil {
+		return
+	}
+	if _, err := s.jlog.Append(typ, j.ID, j); err != nil {
+		s.log.Warn(context.Background(), "trapd: job log append failed", "job", j.ID, "err", err)
+	}
+}
+
+// publishState streams the job's current lifecycle state, mirrors it to
+// the job log, and — when the state is terminal — finalizes the stream.
+func (s *Server) publishState(id string) {
+	j, ok := s.jobs.get(id)
+	if !ok {
+		return
+	}
+	ev := JobEvent{Type: evState, Status: j.Status, Error: j.Error}
+	s.events.publish(id, ev)
+	s.appendJobRecord(recState, j)
+	if j.Status.terminal() {
+		if j.Status == JobDone && j.Result != nil {
+			s.events.publish(id, JobEvent{Type: evResult, Result: j.Result})
+		}
+		s.events.closeHub(id)
+	}
+}
+
+// Close releases the server's durable resources (the job log). Safe to
+// call more than once; serving continues degraded if it ever races an
+// in-flight append (appends after close fail soft).
+func (s *Server) Close() error {
+	if s.jlog != nil {
+		return s.jlog.Close()
+	}
+	return nil
 }
 
 // Handler returns the service's HTTP handler (metrics middleware
@@ -362,6 +567,7 @@ func (s *Server) Run(ctx context.Context) error {
 const shutdownGrace = 30 * time.Second
 
 func (s *Server) serve(ctx context.Context, ln net.Listener) error {
+	defer s.Close()
 	hs := &http.Server{Handler: s.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
@@ -397,24 +603,50 @@ func (s *Server) gcLoop(ctx context.Context) {
 		case <-ctx.Done():
 			return
 		case now := <-t.C:
-			if n := s.jobs.gc(s.cfg.JobTTL, now); n > 0 {
-				s.mJobsGCed.Add(int64(n))
-				s.log.Info(ctx, "trapd: gc dropped finished jobs", "count", n, "ttl", s.cfg.JobTTL)
+			s.collectGarbage(ctx, now)
+		}
+	}
+}
+
+// collectGarbage drops terminal jobs past their TTL from every layer:
+// the in-memory store, the SSE event hubs, and — via a tombstone — the
+// durable job log, so a restart does not resurrect what the GC already
+// forgot.
+func (s *Server) collectGarbage(ctx context.Context, now time.Time) int {
+	dropped := s.jobs.gc(s.cfg.JobTTL, now)
+	if len(dropped) == 0 {
+		return 0
+	}
+	for _, id := range dropped {
+		s.events.drop(id)
+		if s.jlog != nil {
+			if _, err := s.jlog.Append(recDrop, id, nil); err != nil {
+				s.log.Warn(ctx, "trapd: job log drop append failed", "job", id, "err", err)
 			}
 		}
 	}
+	s.mJobsGCed.Add(int64(len(dropped)))
+	s.log.Info(ctx, "trapd: gc dropped finished jobs", "count", len(dropped), "ttl", s.cfg.JobTTL)
+	return len(dropped)
 }
 
 // Drain stops job intake, cancels queued-but-unstarted jobs, and waits
 // (bounded by ctx) for running jobs to finish.
 func (s *Server) Drain(ctx context.Context) {
 	for _, id := range s.pool.shutdown(ctx) {
+		now := time.Now()
+		changed := false
 		s.jobs.update(id, func(j *Job) {
 			if j.Status == JobPending {
 				j.Status = JobCanceled
 				j.Error = "server shut down before the job started"
+				j.Finished = &now
+				changed = true
 			}
 		})
+		if changed {
+			s.publishState(id)
+		}
 	}
 }
 
@@ -456,6 +688,7 @@ func (s *Server) runJob(id string) {
 		// Canceled (or otherwise finalized) while queued: nothing to run.
 		return
 	}
+	s.publishState(id)
 	// Root span of the job's trace: every span the assessment pipeline
 	// opens below (advisor/method builds, training epochs, measurement
 	// cells, cost batches) nests under it, and every log line carries the
@@ -470,6 +703,30 @@ func (s *Server) runJob(id string) {
 	if tid := tsp.TraceID(); tid != "" {
 		s.jobs.update(id, func(j *Job) { j.TraceID = tid })
 	}
+	// Span→event bridge: each finished measurement cell streams a "cell"
+	// progress event to the job's SSE subscribers. Only sampled jobs have
+	// a trace to observe; unsampled ones still stream state and epoch
+	// events.
+	tsp.Observe(func(se trace.SpanEnd) {
+		if se.Name != "assess.cell" {
+			return
+		}
+		ev := JobEvent{Type: evCell}
+		for _, a := range se.Attrs {
+			switch a.Key {
+			case "workload":
+				if v, ok := a.Value.(int64); ok {
+					w := int(v)
+					ev.Workload = &w
+				}
+			case "pairs":
+				if v, ok := a.Value.(int64); ok {
+					ev.Pairs = int(v)
+				}
+			}
+		}
+		s.events.publish(id, ev)
+	})
 	s.mJobsRun.Add(1)
 	sp := obs.StartSpan(s.mJobSecs)
 	var res *JobResult
@@ -534,6 +791,8 @@ func (s *Server) runJob(id string) {
 			j.Error = err.Error()
 		}
 	})
+	s.publishState(id)
+	s.adm.JobDone(fin)
 	switch {
 	case err == nil:
 		if s.ckpt != nil {
@@ -593,20 +852,23 @@ func (s *Server) runAssessment(ctx context.Context, j Job) (*JobResult, error) {
 			if data, derr := s.ckpt.load(j); derr == nil && len(data) > 0 {
 				mc.Resume = bytes.NewReader(data)
 			}
-			every := s.cfg.CheckpointEvery
-			mc.EpochHook = func(fw *core.Framework, epoch int) error {
-				if (epoch+1)%every != 0 {
-					return nil
-				}
-				if serr := s.ckpt.save(j, fw, epoch+1); serr != nil {
-					// Best-effort: a failed checkpoint write must not
-					// fail the job, it only loses resumability.
-					s.log.Warn(ctx, "trapd: checkpoint save failed", "err", serr)
-					return nil
-				}
-				s.mCkptSaved.Inc()
+		}
+		// The epoch hook always runs (it feeds the progress stream);
+		// checkpointing piggybacks on it when a spool is configured.
+		every := s.cfg.CheckpointEvery
+		mc.EpochHook = func(fw *core.Framework, epoch int) error {
+			s.events.publish(j.ID, JobEvent{Type: evEpoch, Epoch: epoch + 1})
+			if s.ckpt == nil || (epoch+1)%every != 0 {
 				return nil
 			}
+			if serr := s.ckpt.save(j, fw, epoch+1); serr != nil {
+				// Best-effort: a failed checkpoint write must not
+				// fail the job, it only loses resumability.
+				s.log.Warn(ctx, "trapd: checkpoint save failed", "err", serr)
+				return nil
+			}
+			s.mCkptSaved.Inc()
+			return nil
 		}
 		m, err := suite.BuildMethod(ctx, j.Method, pc, adv, base, ac, mc)
 		if err != nil {

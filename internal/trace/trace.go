@@ -67,15 +67,16 @@ type Span struct {
 // it. Spans append themselves on Start; once the root ends the trace is
 // finished and immutable, and the tracer's store retains or drops it.
 type Trace struct {
-	id      string
-	op      string // root span name
-	start   time.Time
-	tracer  *Tracer
-	root    *Span
-	nextID  atomic.Uint64
-	mu      sync.Mutex
-	spans   []*Span
-	dropped int
+	id       string
+	op       string // root span name
+	start    time.Time
+	tracer   *Tracer
+	root     *Span
+	nextID   atomic.Uint64
+	observer atomic.Pointer[func(SpanEnd)]
+	mu       sync.Mutex
+	spans    []*Span
+	dropped  int
 
 	// set once at finish (root End), read-only afterwards
 	done atomic.Bool
@@ -241,6 +242,46 @@ func (s *Span) Event(msg string, attrs ...Attr) {
 	s.mu.Unlock()
 }
 
+// SpanEnd is the span→event bridge payload: a snapshot of one finished
+// span, delivered to the trace's observer the moment the span ends
+// (while the rest of the trace is still running). It lets a subscriber
+// stream pipeline progress — training epochs, measurement cells — at
+// span granularity without polling the trace store.
+type SpanEnd struct {
+	TraceID string
+	Name    string
+	Dur     time.Duration
+	Err     string
+	Attrs   []Attr
+}
+
+// Observe installs fn as the span-end observer of the receiver's trace:
+// every span of the trace (the receiver included) that ends after this
+// call is delivered to fn, on the goroutine that ended it, so fn must be
+// fast and safe for concurrent use. Only one observer is held; installing
+// replaces. A nil span is a no-op. Untraced paths pay nothing: without an
+// observer the delivery check is a single atomic load on span end.
+func (s *Span) Observe(fn func(SpanEnd)) {
+	if s == nil {
+		return
+	}
+	s.tr.observer.Store(&fn)
+}
+
+// deliver snapshots the span and hands it to the trace's observer.
+func (s *Span) deliver(fn func(SpanEnd), d time.Duration) {
+	s.mu.Lock()
+	se := SpanEnd{
+		TraceID: s.tr.id,
+		Name:    s.name,
+		Dur:     d,
+		Err:     s.errMsg,
+		Attrs:   append([]Attr(nil), s.attrs...),
+	}
+	s.mu.Unlock()
+	fn(se)
+}
+
 // Fail marks the span failed with the error's message. A nil err (or
 // nil span) is a no-op, so `sp.Fail(err)` is safe on every return path.
 func (s *Span) Fail(err error) {
@@ -269,6 +310,9 @@ func (s *Span) End() time.Duration {
 	s.dur = time.Since(s.start)
 	d := s.dur
 	s.mu.Unlock()
+	if fn := s.tr.observer.Load(); fn != nil {
+		s.deliver(*fn, d)
+	}
 	if s.parent == 0 {
 		s.tr.dur = d
 		s.tr.done.Store(true)

@@ -282,3 +282,81 @@ func TestTraceIDUnique(t *testing.T) {
 		seen[id] = true
 	}
 }
+
+// TestSpanObserverBridge verifies the span→event bridge: an observer
+// installed on the root span sees every span end — concurrently ended
+// children included — with name, duration, error and attribute snapshot.
+func TestSpanObserverBridge(t *testing.T) {
+	tr := New(Options{})
+	ctx, root := tr.Start(context.Background(), "job")
+
+	var mu sync.Mutex
+	var got []SpanEnd
+	root.Observe(func(se SpanEnd) {
+		mu.Lock()
+		got = append(got, se)
+		mu.Unlock()
+	})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, sp := Start(ctx, "assess.cell")
+			sp.Int("workload", int64(i))
+			if i == 3 {
+				sp.Fail(errors.New("boom"))
+			}
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 5 {
+		t.Fatalf("observer saw %d span ends, want 5 (4 cells + root)", len(got))
+	}
+	cells, failed := 0, 0
+	for _, se := range got {
+		if se.TraceID != root.TraceID() {
+			t.Errorf("span end carries trace %q, want %q", se.TraceID, root.TraceID())
+		}
+		if se.Name == "assess.cell" {
+			cells++
+			found := false
+			for _, a := range se.Attrs {
+				if a.Key == "workload" {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("cell span end lost its attrs: %+v", se)
+			}
+		}
+		if se.Err != "" {
+			failed++
+		}
+	}
+	if cells != 4 || failed != 1 {
+		t.Fatalf("cells=%d failed=%d, want 4/1", cells, failed)
+	}
+	// The last delivery is the root (it ended after every child here).
+	if got[len(got)-1].Name != "job" {
+		t.Errorf("last span end %q, want root", got[len(got)-1].Name)
+	}
+}
+
+// TestObserverUnsetIsFree double-checks the no-observer path: spans end
+// without delivering anywhere and a nil span ignores Observe.
+func TestObserverUnsetIsFree(t *testing.T) {
+	tr := New(Options{})
+	ctx, root := tr.Start(context.Background(), "job")
+	var nilSpan *Span
+	nilSpan.Observe(func(SpanEnd) { t.Error("observer on nil span fired") })
+	_, sp := Start(ctx, "child")
+	sp.End()
+	root.End()
+}
