@@ -33,6 +33,10 @@ go test -race -timeout 300s -count=1 ./internal/trace
 # rewrites segments, and the admission controller is hit by every
 # submit: both are lock-heavy by design and must prove it under -race.
 go test -race -timeout 300s -count=1 ./internal/joblog ./internal/admission
+# The cluster bus is the fleet's linearization point — claims, fencing
+# checks and fan-out all contend on one mutex from every node's
+# coordinator; it gets its own loud pass.
+go test -race -timeout 300s -count=1 ./internal/cluster
 go test -race -timeout 300s ./...
 
 echo "== benchmark smoke =="
@@ -78,6 +82,17 @@ echo "== SSE smoke =="
 # resume from Last-Event-ID without gaps or duplicates.
 go test -race -timeout 300s -count=1 \
     -run 'TestSSEStreamAndResume' \
+    ./internal/service
+
+echo "== chaos smoke =="
+# The multi-node failover drill: three in-process fleet nodes share one
+# job namespace, the owner of a running RL-training job is killed
+# mid-training, and a survivor must take over at a higher fencing epoch
+# and finish exactly once, bit-identical to an uninterrupted run. The
+# SSE and fencing drills ride along: stream resume across a takeover,
+# and stale-owner appends rejected after a partition heals.
+go test -race -timeout 600s -count=1 \
+    -run 'TestFleetChaosDrillTakeover|TestFleetFencedStaleResult|TestFleetSSEResumeAcrossTakeover|TestJobLogDegradedDraining' \
     ./internal/service
 
 echo "ci: all green"

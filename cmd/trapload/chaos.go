@@ -1,0 +1,279 @@
+package main
+
+// The multi-node chaos drill (-chaos-nodes N): boots a fleet of
+// in-process trapd nodes sharing one job namespace through a cluster
+// bus, submits RL-training jobs, SIGKILL-style tears down the node
+// owning the first job mid-training, and measures the fleet's failover
+// SLOs: takeover latency (kill to a survivor holding the lease at a
+// higher fencing epoch) and exactly-once completion (no lost jobs, no
+// double results), verified post-mortem by replaying the shared log.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/trap-repro/trap/internal/assess"
+	"github.com/trap-repro/trap/internal/faultinject"
+	"github.com/trap-repro/trap/internal/joblog"
+	"github.com/trap-repro/trap/internal/obs"
+	"github.com/trap-repro/trap/internal/service"
+)
+
+// chaosReport is the "chaos" section of BENCH_service.json.
+type chaosReport struct {
+	Nodes             int     `json:"nodes"`
+	Jobs              int     `json:"jobs"`
+	KilledNode        string  `json:"killed_node"`
+	TakeoverLatencyMs float64 `json:"takeover_latency_ms"`
+	Takeovers         int64   `json:"takeovers"`
+	FenceRejects      int64   `json:"fence_rejects"`
+	Done              int     `json:"done"`
+	LostJobs          int     `json:"lost_jobs"`
+	DoubleResults     int     `json:"double_results"`
+	WallSeconds       float64 `json:"wall_seconds"`
+	SLOViolated       bool    `json:"slo_violated"`
+}
+
+// chaosParams stretches training so the drill has time to kill the
+// owner mid-run: GRU jobs RL-train for several epochs, each delayed by
+// an injected pause (delays never change training results).
+func chaosParams() assess.Params {
+	p := loadParams()
+	p.RLEpochs = 4
+	return p
+}
+
+const (
+	chaosLeaseTTL   = 900 * time.Millisecond
+	chaosHeartbeat  = 250 * time.Millisecond
+	chaosEpochDelay = 300 * time.Millisecond
+	// chaosSLOTakeover bounds takeover latency: lease expiry plus a few
+	// reconcile ticks, with generous headroom for loaded CI machines.
+	chaosSLOTakeover = 10 * time.Second
+)
+
+func runChaos(nodes, jobs int, seed int64, timeout time.Duration, out string) error {
+	base, err := os.MkdirTemp("", "trapload-chaos-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(base)
+	logDir := filepath.Join(base, "joblog")
+	spool := filepath.Join(base, "spool")
+
+	bus, err := service.NewFleetBus(logDir, 0)
+	if err != nil {
+		return err
+	}
+	names := make([]string, nodes)
+	srvs := map[string]*service.Server{}
+	for i := range names {
+		names[i] = fmt.Sprintf("n%d", i+1)
+		srv, err := service.NewServer(service.Config{
+			Datasets:          []string{"tpch"},
+			Params:            chaosParams(),
+			Seed:              seed,
+			Workers:           1,
+			QueueDepth:        jobs + 1,
+			JobTimeout:        5 * time.Minute,
+			Registry:          obs.NewRegistry(),
+			Logf:              func(string, ...any) {},
+			NodeID:            names[i],
+			Bus:               bus,
+			SpoolDir:          spool,
+			CheckpointEvery:   1,
+			LeaseTTL:          chaosLeaseTTL,
+			HeartbeatInterval: chaosHeartbeat,
+			Injector: faultinject.NewSeeded(seed, faultinject.Rule{
+				Point: faultinject.PointRLEpoch, Action: faultinject.ActDelay,
+				Every: 1, Delay: chaosEpochDelay,
+			}),
+		})
+		if err != nil {
+			return err
+		}
+		srvs[names[i]] = srv
+	}
+	closed := false
+	closeAll := func() {
+		if closed {
+			return
+		}
+		closed = true
+		for _, s := range srvs {
+			s.Close()
+		}
+		bus.Close()
+	}
+	defer closeAll()
+
+	start := time.Now()
+	deadline := start.Add(timeout)
+	ids := make([]string, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		h := srvs[names[i%nodes]].Handler()
+		req := httptest.NewRequest("POST", "/v1/assess",
+			strings.NewReader(`{"dataset":"tpch","advisor":"Drop","method":"GRU"}`))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusAccepted {
+			return fmt.Errorf("chaos submit %d: %d %s", i, rec.Code, rec.Body.String())
+		}
+		var j service.Job
+		if err := json.Unmarshal(rec.Body.Bytes(), &j); err != nil {
+			return err
+		}
+		ids = append(ids, j.ID)
+	}
+
+	// Wait for the first job to be owned and checkpointed, then tear its
+	// owner down without any graceful shutdown.
+	var victim string
+	for {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos: no owned+checkpointed job within %s", timeout)
+		}
+		l, open := bus.Lease(ids[0])
+		ck, _ := filepath.Glob(filepath.Join(spool, "*.ckpt"))
+		if open && l.Node != "" && len(ck) > 0 {
+			victim = l.Node
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	killAt := time.Now()
+	srvs[victim].KillNode()
+	fmt.Fprintf(os.Stderr, "trapload: chaos killed %s (owner of %s) mid-training\n", victim, ids[0])
+
+	// Takeover latency: kill until a survivor holds the first job's
+	// lease at a higher fencing epoch.
+	var takeoverLat time.Duration
+	for {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos: job %s never taken over from %s", ids[0], victim)
+		}
+		l, open := bus.Lease(ids[0])
+		if !open { // already completed under a survivor
+			takeoverLat = time.Since(killAt)
+			break
+		}
+		if l.Node != "" && l.Node != victim {
+			takeoverLat = time.Since(killAt)
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var survivor string
+	for _, n := range names {
+		if n != victim {
+			survivor = n
+			break
+		}
+	}
+	h := srvs[survivor].Handler()
+	done := 0
+	for _, id := range ids {
+		for {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("chaos: job %s not terminal within %s", id, timeout)
+			}
+			req := httptest.NewRequest("GET", "/v1/jobs/"+id, nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			var j service.Job
+			if err := json.Unmarshal(rec.Body.Bytes(), &j); err != nil {
+				return fmt.Errorf("chaos poll %s: %w", id, err)
+			}
+			if j.Status == service.JobDone {
+				done++
+				break
+			}
+			if j.Status == service.JobFailed || j.Status == service.JobCanceled {
+				fmt.Fprintf(os.Stderr, "trapload: chaos job %s ended %s: %s\n", id, j.Status, j.Error)
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	wall := time.Since(start)
+	stats := bus.Stats()
+
+	// Post-mortem: replay the shared log and count terminal done records
+	// per job — exactly one each means nothing was lost or doubled.
+	closeAll()
+	doneRecs := map[string]int{}
+	l, err := joblog.Open(logDir, joblog.Options{Replay: func(r joblog.Record) error {
+		if r.Type != "state" && r.Type != "submit" {
+			return nil
+		}
+		var j service.Job
+		if json.Unmarshal(r.Data, &j) == nil && j.Status == service.JobDone {
+			doneRecs[j.ID]++
+		}
+		return nil
+	}})
+	if err != nil {
+		return fmt.Errorf("chaos replay: %w", err)
+	}
+	l.Close()
+	lost, doubled := 0, 0
+	for _, id := range ids {
+		switch n := doneRecs[id]; {
+		case n == 0:
+			lost++
+		case n > 1:
+			doubled++
+		}
+	}
+
+	cr := chaosReport{
+		Nodes:             nodes,
+		Jobs:              jobs,
+		KilledNode:        victim,
+		TakeoverLatencyMs: ms(takeoverLat),
+		Takeovers:         stats.Takeovers,
+		FenceRejects:      stats.FenceRejects,
+		Done:              done,
+		LostJobs:          lost,
+		DoubleResults:     doubled,
+		WallSeconds:       wall.Seconds(),
+	}
+	cr.SLOViolated = done != jobs || lost > 0 || doubled > 0 ||
+		stats.Takeovers < 1 || takeoverLat > chaosSLOTakeover
+
+	// Merge into an existing report (the load run's SLOs) rather than
+	// clobbering it: the chaos section rides alongside.
+	full := map[string]json.RawMessage{}
+	if prev, err := os.ReadFile(out); err == nil {
+		_ = json.Unmarshal(prev, &full)
+	}
+	crJSON, err := json.Marshal(cr)
+	if err != nil {
+		return err
+	}
+	full["chaos"] = crJSON
+	js, err := json.MarshalIndent(full, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(js, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"trapload: chaos %d/%d done in %.1fs, takeover %.0fms, takeovers %d, lost %d, doubled %d\n",
+		done, jobs, wall.Seconds(), cr.TakeoverLatencyMs, stats.Takeovers, lost, doubled)
+	fmt.Fprintf(os.Stderr, "trapload: wrote %s\n", out)
+	if cr.SLOViolated {
+		return fmt.Errorf("chaos SLO violated: done=%d/%d lost=%d doubled=%d takeover=%.0fms (budget %s)",
+			done, jobs, lost, doubled, cr.TakeoverLatencyMs, chaosSLOTakeover)
+	}
+	return nil
+}

@@ -80,9 +80,15 @@ type Options struct {
 	// DrainWindow is the sliding window the completion rate is measured
 	// over (default 16s, 1s resolution).
 	DrainWindow time.Duration
-	// FallbackRetry is the Retry-After used before any completion has
-	// been observed (default 5s).
+	// FallbackRetry is the base Retry-After used before any completion
+	// has been observed (default 5s).
 	FallbackRetry time.Duration
+	// ColdPerJob scales the cold-start Retry-After with the backlog:
+	// before any completion has been observed the hint is
+	// FallbackRetry + queued*ColdPerJob, so a deep queue on a freshly
+	// (re)started node does not invite an immediate thundering retry
+	// (default 250ms per queued job).
+	ColdPerJob time.Duration
 	// MinRetry/MaxRetry clamp every computed Retry-After
 	// (defaults 1s and 5m).
 	MinRetry, MaxRetry time.Duration
@@ -103,6 +109,9 @@ func (o *Options) fill() {
 	}
 	if o.FallbackRetry <= 0 {
 		o.FallbackRetry = 5 * time.Second
+	}
+	if o.ColdPerJob <= 0 {
+		o.ColdPerJob = 250 * time.Millisecond
 	}
 	if o.MinRetry <= 0 {
 		o.MinRetry = time.Second
@@ -284,12 +293,19 @@ func (c *Controller) drainPerSec(now time.Time) float64 {
 // queued jobs ahead divided by the observed drain rate, clamped. Before
 // any completion is observed it returns the fallback.
 func (c *Controller) CapacityRetryAfter(queued int, now time.Time) time.Duration {
-	rate := c.drainPerSec(now)
-	if rate <= 0 {
-		return c.clamp(c.o.FallbackRetry)
-	}
 	if queued < 1 {
 		queued = 1
+	}
+	rate := c.drainPerSec(now)
+	if rate <= 0 {
+		// Cold-start window: no completion has been observed yet (or the
+		// trailing window is empty after a long idle), so the drain rate
+		// is undefined — not actually zero. Dividing into it would yield
+		// an infinite hint; returning the bare fallback regardless of
+		// backlog invites a thundering retry against a node that has a
+		// full queue and zero throughput history. Scale the floor with
+		// the backlog instead, inside the usual [MinRetry, MaxRetry].
+		return c.clamp(c.o.FallbackRetry + time.Duration(queued)*c.o.ColdPerJob)
 	}
 	return c.clamp(time.Duration(float64(queued) / rate * float64(time.Second)))
 }

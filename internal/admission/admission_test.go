@@ -117,10 +117,41 @@ func TestMaxTenantsEviction(t *testing.T) {
 	}
 }
 
-func TestCapacityRetryAfterFallback(t *testing.T) {
-	c := New(Options{FallbackRetry: 5 * time.Second})
-	if got := c.CapacityRetryAfter(10, t0); got != 5*time.Second {
-		t.Fatalf("fallback Retry-After = %v, want 5s", got)
+// TestCapacityRetryAfterColdStart is the regression test for the
+// cold-start window: before any JobDone the drain rate is undefined, and
+// the hint must be a sane backlog-scaled floor — never zero, never below
+// MinRetry, never above MaxRetry, and growing with queue depth so a
+// freshly restarted node with a deep queue is not stampeded.
+func TestCapacityRetryAfterColdStart(t *testing.T) {
+	c := New(Options{FallbackRetry: 5 * time.Second, ColdPerJob: 250 * time.Millisecond})
+	// Empty queue: the bare fallback.
+	if got := c.CapacityRetryAfter(0, t0); got != 5*time.Second+250*time.Millisecond {
+		t.Fatalf("cold empty-queue Retry-After = %v", got)
+	}
+	// Backlog scales the floor: 10 queued -> 5s + 10*250ms = 7.5s.
+	if got := c.CapacityRetryAfter(10, t0); got != 7500*time.Millisecond {
+		t.Fatalf("cold Retry-After(10) = %v, want 7.5s", got)
+	}
+	// Monotone in backlog, and always inside [MinRetry, MaxRetry].
+	prev := time.Duration(0)
+	for _, q := range []int{1, 4, 16, 64, 1 << 20} {
+		got := c.CapacityRetryAfter(q, t0)
+		if got <= 0 || got < time.Second || got > 5*time.Minute {
+			t.Fatalf("cold Retry-After(%d) = %v outside [1s, 5m]", q, got)
+		}
+		if got < prev {
+			t.Fatalf("cold Retry-After not monotone: %v after %v", got, prev)
+		}
+		prev = got
+	}
+	if got := c.CapacityRetryAfter(1<<20, t0); got != 5*time.Minute {
+		t.Fatalf("huge cold backlog = %v, want MaxRetry", got)
+	}
+	// A long-idle controller (drain window empty again) falls back to the
+	// same floor instead of dividing by a stale zero rate.
+	c.JobDone(t0)
+	if got := c.CapacityRetryAfter(10, t0.Add(time.Hour)); got != 7500*time.Millisecond {
+		t.Fatalf("post-idle Retry-After = %v, want cold floor", got)
 	}
 }
 
@@ -151,9 +182,10 @@ func TestCapacityRetryAfterFromDrainRate(t *testing.T) {
 		t.Fatalf("diluted Retry-After = %v, want 10s", got)
 	}
 	// Once the window has fully rolled past the burst, the rate decays
-	// to zero and the fallback applies again.
-	if got := c.CapacityRetryAfter(20, t0.Add(time.Hour)); got != 5*time.Second {
-		t.Fatalf("stale-window Retry-After = %v, want 5s fallback", got)
+	// to zero and the backlog-scaled cold floor applies again:
+	// 5s fallback + 20 * 250ms = 10s.
+	if got := c.CapacityRetryAfter(20, t0.Add(time.Hour)); got != 10*time.Second {
+		t.Fatalf("stale-window Retry-After = %v, want 10s cold floor", got)
 	}
 }
 

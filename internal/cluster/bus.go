@@ -1,0 +1,673 @@
+package cluster
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+	"time"
+
+	"github.com/trap-repro/trap/internal/faultinject"
+	"github.com/trap-repro/trap/internal/joblog"
+)
+
+// maxHistory bounds the in-memory record history kept for late Attach
+// calls; past it the history is compacted to the folded snapshot (the
+// same shape a process restart would replay from disk).
+const maxHistory = 8192
+
+// Options parameterizes a Bus.
+type Options struct {
+	// SegmentBytes and NoSync pass through to the underlying joblog.
+	SegmentBytes int64
+	NoSync       bool
+	// Classify maps the service's own job records onto the Bus's job
+	// table (open/terminal/cancel/drop). Cluster records are handled by
+	// the Bus itself. A nil Classify treats every non-cluster record as
+	// ClassOther, which disables job tracking.
+	Classify func(joblog.Record) Class
+	// Injector arms the joblog append path (see joblog.Options.Injector).
+	Injector faultinject.Injector
+}
+
+// BusStats is a point-in-time summary of the Bus's counters.
+type BusStats struct {
+	// Claims counts fresh claims (including takeovers), Renewals the
+	// same-epoch deadline extensions, Takeovers the subset of claims
+	// that seized an expired lease from another node.
+	Claims, Renewals, Takeovers, Releases int64
+	// FenceRejects counts owned appends rejected because the caller's
+	// lease epoch was stale — each one is a stale result that a
+	// partitioned or paused node tried to publish after losing its lease.
+	FenceRejects int64
+	// OpenJobs is the number of non-terminal jobs in the namespace;
+	// Attached the number of live node subscriptions.
+	OpenJobs, Attached int
+}
+
+// Bus fronts one shared joblog for a fleet of nodes: it linearizes
+// check-then-append operations (claims, fenced appends) under one mutex,
+// folds every record into the job/lease table, and fans records out to
+// every attached node in log order. Kill and Partition make node death
+// and network partition drillable in-process.
+type Bus struct {
+	mu       sync.Mutex
+	log      *joblog.Log
+	classify func(joblog.Record) Class
+
+	jobs    map[string]*jobState
+	nodes   map[string]time.Time     // node -> last heartbeat record time
+	beats   map[string]joblog.Record // node -> last heartbeat record (survives compaction)
+	subs    map[string]*Sub
+	banned  map[string]bool // Kill'd nodes
+	parted  map[string]bool // Partition'd nodes
+	history []joblog.Record // non-heartbeat records for late Attach
+	nextJob int64           // high-water of "job-N" IDs seen
+	closed  bool
+	stats   BusStats
+}
+
+// ClaimResult is the outcome of a Claim attempt.
+type ClaimResult struct {
+	// OK reports the caller now holds (or still holds) the lease.
+	OK bool
+	// Epoch is the fencing token the lease is held under when OK.
+	Epoch uint64
+	// Takeover marks a claim that seized an expired lease; Prev names
+	// the previous holder.
+	Takeover bool
+	Prev     string
+	// Holder is the valid current lease when OK is false because the
+	// job is owned elsewhere.
+	Holder Lease
+}
+
+// Open opens (or creates) the shared log in dir, folds every replayed
+// record into the job/lease table, and compacts both the disk log and
+// the in-memory history down to the folded snapshot.
+func Open(dir string, o Options) (*Bus, error) {
+	b := &Bus{
+		classify: o.Classify,
+		jobs:     make(map[string]*jobState),
+		nodes:    make(map[string]time.Time),
+		beats:    make(map[string]joblog.Record),
+		subs:     make(map[string]*Sub),
+		banned:   make(map[string]bool),
+		parted:   make(map[string]bool),
+	}
+	l, err := joblog.Open(dir, joblog.Options{
+		SegmentBytes: o.SegmentBytes,
+		NoSync:       o.NoSync,
+		Injector:     o.Injector,
+		Replay: func(rec joblog.Record) error {
+			b.fold(rec)
+			if rec.Type != RecHeartbeat {
+				b.history = append(b.history, rec)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	b.log = l
+	if len(b.history) > 0 || l.Stats().Replayed > 0 {
+		snap := b.rebuild()
+		// Compaction failure is not fatal — the log just replays longer
+		// next time (or is already degraded, which Stats exposes).
+		_ = l.Compact(snap)
+		b.history = snap
+	}
+	return b, nil
+}
+
+// Log exposes the underlying joblog (read-only use: stats, health).
+func (b *Bus) Log() *joblog.Log { return b.log }
+
+// gate rejects operations from closed buses and dead/partitioned nodes
+// (caller holds mu).
+func (b *Bus) gate(node string) error {
+	if b.closed {
+		return ErrClosed
+	}
+	if b.banned[node] {
+		return ErrNodeDown
+	}
+	if b.parted[node] {
+		return ErrUnavailable
+	}
+	return nil
+}
+
+// job returns (creating if needed) the fold state for one job ID
+// (caller holds mu).
+func (b *Bus) job(id string) *jobState {
+	st, ok := b.jobs[id]
+	if !ok {
+		st = &jobState{}
+		b.jobs[id] = st
+	}
+	return st
+}
+
+// fold applies one record to the job/lease table (caller holds mu).
+// The claim rule is the replay-side fence: a claim folds in only if its
+// epoch is at least the current one, so ownership never regresses no
+// matter what record order replay presents.
+func (b *Bus) fold(rec joblog.Record) {
+	switch rec.Type {
+	case RecHeartbeat:
+		var hb HeartbeatData
+		if unmarshal(rec.Data, &hb) && hb.Node != "" {
+			b.nodes[hb.Node] = rec.Time
+			b.beats[hb.Node] = rec
+		}
+	case RecClaim:
+		var cd ClaimData
+		if !unmarshal(rec.Data, &cd) {
+			return
+		}
+		st := b.job(rec.JobID)
+		if cd.Epoch > st.lease.Epoch || (cd.Epoch == st.lease.Epoch && cd.Node == st.lease.Node) {
+			st.lease = Lease{Node: cd.Node, Epoch: cd.Epoch, Deadline: cd.Deadline}
+			st.lastClaim, st.hasClaim = rec, true
+		}
+	case RecRelease:
+		var rd ReleaseData
+		if !unmarshal(rec.Data, &rd) {
+			return
+		}
+		if st, ok := b.jobs[rec.JobID]; ok && st.lease.Node == rd.Node && st.lease.Epoch == rd.Epoch {
+			// Clear the holder but keep the epoch: it is the high-water
+			// fencing token the next claim must exceed.
+			st.lease.Node = ""
+			st.lease.Deadline = time.Time{}
+		}
+	default:
+		if b.classify == nil {
+			return
+		}
+		switch b.classify(rec) {
+		case ClassJobOpen:
+			st := b.job(rec.JobID)
+			st.open, st.lastRec = true, rec
+			b.noteJobID(rec.JobID)
+		case ClassJobTerminal:
+			st := b.job(rec.JobID)
+			st.open, st.lastRec = false, rec
+			b.noteJobID(rec.JobID)
+		case ClassJobCancel:
+			if st, ok := b.jobs[rec.JobID]; ok {
+				st.cancelReq = true
+				st.lastCancel, st.hasCancel = rec, true
+			}
+		case ClassJobDrop:
+			delete(b.jobs, rec.JobID)
+		}
+	}
+}
+
+// noteJobID advances the fleet-global job-ID high-water (caller holds mu).
+func (b *Bus) noteJobID(id string) {
+	if n := parseJobNum(id); n > b.nextJob {
+		b.nextJob = n
+	}
+}
+
+// append writes one record, folds it, and fans it out (caller holds mu).
+func (b *Bus) append(typ, jobID string, data any) (joblog.Record, error) {
+	rec, err := b.log.Append(typ, jobID, data)
+	if err != nil {
+		return joblog.Record{}, err
+	}
+	b.fold(rec)
+	if typ != RecHeartbeat {
+		b.history = append(b.history, rec)
+		if len(b.history) > maxHistory {
+			b.history = b.rebuild()
+		}
+		for _, sub := range b.subs {
+			sub.push(rec)
+		}
+	}
+	return rec, nil
+}
+
+// rebuild compacts the record stream to its folded snapshot: the latest
+// job record per live job, plus the latest claim and any outstanding
+// cancel for open jobs, in sequence order (caller holds mu).
+func (b *Bus) rebuild() []joblog.Record {
+	var recs []joblog.Record
+	// Each node's last heartbeat survives compaction so the fleet
+	// registry (and its down/stale reporting) spans restarts.
+	for _, rec := range b.beats {
+		recs = append(recs, rec)
+	}
+	for _, st := range b.jobs {
+		if st.lastRec.Seq > 0 {
+			recs = append(recs, st.lastRec)
+		}
+		if st.open && st.hasClaim {
+			recs = append(recs, st.lastClaim)
+		}
+		if st.open && st.hasCancel && st.cancelReq {
+			recs = append(recs, st.lastCancel)
+		}
+	}
+	slices.SortFunc(recs, func(a, c joblog.Record) int {
+		switch {
+		case a.Seq < c.Seq:
+			return -1
+		case a.Seq > c.Seq:
+			return 1
+		}
+		return 0
+	})
+	return recs
+}
+
+// NextJobID allocates the next fleet-unique "job-N" ID. IDs keep
+// ascending across restarts because every folded job record advances the
+// high-water.
+func (b *Bus) NextJobID() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.nextJob++
+	return fmt.Sprintf("job-%d", b.nextJob)
+}
+
+// Append durably appends an unowned record (job submission, GC drop) on
+// behalf of node. Use AppendOwned for records that must be fenced.
+func (b *Bus) Append(node, typ, jobID string, data any) (joblog.Record, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.gate(node); err != nil {
+		return joblog.Record{}, err
+	}
+	return b.append(typ, jobID, data)
+}
+
+// AppendOwned appends a record under a lease: it succeeds only if node
+// holds jobID at exactly epoch. A stale epoch — the caller lost the
+// lease to a takeover while it was stalled or partitioned — is rejected
+// with ErrFenced and counted, and nothing reaches the log.
+func (b *Bus) AppendOwned(node string, epoch uint64, typ, jobID string, data any) (joblog.Record, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.gate(node); err != nil {
+		return joblog.Record{}, err
+	}
+	st, ok := b.jobs[jobID]
+	if !ok {
+		b.stats.FenceRejects++
+		return joblog.Record{}, ErrNotOwner
+	}
+	if st.lease.Node != node || st.lease.Epoch != epoch {
+		b.stats.FenceRejects++
+		return joblog.Record{}, fmt.Errorf("%w: %s@%d vs lease %s@%d",
+			ErrFenced, node, epoch, st.lease.Node, st.lease.Epoch)
+	}
+	return b.append(typ, jobID, data)
+}
+
+// Claim takes, takes over, or renews the lease on jobID for node.
+//   - Held by node already: renewal — same epoch, deadline extended.
+//   - Unheld or expired: fresh claim at epoch+1 (a takeover if another
+//     node let it expire).
+//   - Validly held elsewhere: not OK, with the holder reported.
+//
+// Unknown and terminal jobs are not claimable (not OK, zero Holder).
+func (b *Bus) Claim(job, node string, ttl time.Duration) (ClaimResult, error) {
+	now := time.Now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.gate(node); err != nil {
+		return ClaimResult{}, err
+	}
+	st, ok := b.jobs[job]
+	if !ok || !st.open {
+		return ClaimResult{}, nil
+	}
+	cur := st.lease
+	switch {
+	case cur.Node == node && cur.Epoch > 0:
+		cd := ClaimData{Node: node, Epoch: cur.Epoch, Deadline: now.Add(ttl)}
+		if _, err := b.append(RecClaim, job, cd); err != nil {
+			return ClaimResult{}, err
+		}
+		b.stats.Renewals++
+		return ClaimResult{OK: true, Epoch: cur.Epoch}, nil
+	case cur.Held(now):
+		return ClaimResult{Holder: cur}, nil
+	default:
+		takeover := cur.Node != ""
+		cd := ClaimData{
+			Node: node, Epoch: cur.Epoch + 1, Deadline: now.Add(ttl),
+			Takeover: takeover, Prev: cur.Node,
+		}
+		if _, err := b.append(RecClaim, job, cd); err != nil {
+			return ClaimResult{}, err
+		}
+		b.stats.Claims++
+		if takeover {
+			b.stats.Takeovers++
+		}
+		return ClaimResult{OK: true, Epoch: cd.Epoch, Takeover: takeover, Prev: cur.Node}, nil
+	}
+}
+
+// Release voluntarily gives up node's lease on job (drain, rejected
+// placement). A mismatched lease is a lost race, not an error.
+func (b *Bus) Release(job, node string, epoch uint64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.gate(node); err != nil {
+		return err
+	}
+	st, ok := b.jobs[job]
+	if !ok || st.lease.Node != node || st.lease.Epoch != epoch {
+		return nil
+	}
+	if _, err := b.append(RecRelease, job, ReleaseData{Node: node, Epoch: epoch}); err != nil {
+		return err
+	}
+	b.stats.Releases++
+	return nil
+}
+
+// Heartbeat durably announces node liveness. Heartbeats update the node
+// registry but are excluded from history and fan-out.
+func (b *Bus) Heartbeat(node string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.gate(node); err != nil {
+		return err
+	}
+	_, err := b.append(RecHeartbeat, "", HeartbeatData{Node: node})
+	return err
+}
+
+// Attach subscribes node to the record stream: fn first receives the
+// (compacted) history synchronously, then every subsequent record in
+// log order on a dedicated goroutine. fn must not block indefinitely —
+// it is the node's single fold thread.
+func (b *Bus) Attach(node string, fn func(joblog.Record)) (*Sub, error) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if b.banned[node] {
+		b.mu.Unlock()
+		return nil, ErrNodeDown
+	}
+	if _, dup := b.subs[node]; dup {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("cluster: node %q already attached", node)
+	}
+	hist := slices.Clone(b.history)
+	sub := newSub()
+	b.subs[node] = sub
+	if _, ok := b.nodes[node]; !ok {
+		b.nodes[node] = time.Time{}
+	}
+	b.mu.Unlock()
+	for _, rec := range hist {
+		fn(rec)
+	}
+	go sub.pump(fn)
+	return sub, nil
+}
+
+// Detach gracefully removes node's subscription (server shutdown).
+func (b *Bus) Detach(node string) {
+	b.mu.Lock()
+	sub := b.subs[node]
+	delete(b.subs, node)
+	b.mu.Unlock()
+	if sub != nil {
+		sub.close()
+	}
+}
+
+// Kill tears node down the way SIGKILL would: its subscription dies with
+// queued records undelivered, and every later operation from it fails
+// with ErrNodeDown. Its leases are left to expire, which is exactly what
+// a survivor's failure detector watches for.
+func (b *Bus) Kill(node string) {
+	b.mu.Lock()
+	b.banned[node] = true
+	sub := b.subs[node]
+	delete(b.subs, node)
+	b.mu.Unlock()
+	if sub != nil {
+		sub.close()
+	}
+}
+
+// Partition cuts node off from the shared log: its appends (heartbeats,
+// renewals, results) fail with ErrUnavailable and record delivery to it
+// pauses — but, unlike Kill, the node keeps running. Heal reconnects it,
+// at which point its stale lease epochs bounce off the fence.
+func (b *Bus) Partition(node string) {
+	b.mu.Lock()
+	b.parted[node] = true
+	sub := b.subs[node]
+	b.mu.Unlock()
+	if sub != nil {
+		sub.setPaused(true)
+	}
+}
+
+// Heal reverses Partition: appends work again and the queued record
+// backlog is delivered in order.
+func (b *Bus) Heal(node string) {
+	b.mu.Lock()
+	delete(b.parted, node)
+	sub := b.subs[node]
+	b.mu.Unlock()
+	if sub != nil {
+		sub.setPaused(false)
+	}
+}
+
+// Lease reports the current lease on job (ok when the job is known and
+// open).
+func (b *Bus) Lease(job string) (Lease, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st, found := b.jobs[job]
+	if !found {
+		return Lease{}, false
+	}
+	return st.lease, st.open
+}
+
+// Claimable lists the open jobs with no valid lease at now — never
+// claimed, released, or expired (the failure-detector signal).
+func (b *Bus) Claimable(now time.Time) []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var ids []string
+	for id, st := range b.jobs {
+		if st.open && !st.lease.Held(now) {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// CancelRequested reports an outstanding cancel record for job, so the
+// node that claims it can finalize the cancel instead of running it.
+func (b *Bus) CancelRequested(job string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st, ok := b.jobs[job]
+	return ok && st.open && st.cancelReq
+}
+
+// downAfter is how stale an unattached node's heartbeat may be before
+// Nodes reports it down: long enough to ride out a restart, short
+// enough that a crashed process's record doesn't read as alive.
+const downAfter = 30 * time.Second
+
+// Nodes lists every node known to the bus (heartbeats and live
+// subscriptions), sorted by name.
+func (b *Bus) Nodes() []NodeInfo {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	leases := make(map[string]int)
+	for _, st := range b.jobs {
+		if st.open && st.lease.Node != "" {
+			leases[st.lease.Node]++
+		}
+	}
+	names := make(map[string]bool, len(b.nodes))
+	for n := range b.nodes {
+		names[n] = true
+	}
+	for n := range b.subs {
+		names[n] = true
+	}
+	infos := make([]NodeInfo, 0, len(names))
+	for n := range names {
+		_, attached := b.subs[n]
+		beat := b.nodes[n]
+		stale := !attached && !beat.IsZero() && time.Since(beat) > downAfter
+		infos = append(infos, NodeInfo{
+			Node:     n,
+			LastBeat: beat,
+			Leases:   leases[n],
+			Attached: attached,
+			Down:     b.banned[n] || stale,
+		})
+	}
+	slices.SortFunc(infos, func(a, c NodeInfo) int {
+		switch {
+		case a.Node < c.Node:
+			return -1
+		case a.Node > c.Node:
+			return 1
+		}
+		return 0
+	})
+	return infos
+}
+
+// OpenJobs counts non-terminal jobs in the namespace.
+func (b *Bus) OpenJobs() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, st := range b.jobs {
+		if st.open {
+			n++
+		}
+	}
+	return n
+}
+
+// AttachedCount counts live node subscriptions.
+func (b *Bus) AttachedCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Stats returns a snapshot of the bus counters.
+func (b *Bus) Stats() BusStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.stats
+	st.Attached = len(b.subs)
+	for _, js := range b.jobs {
+		if js.open {
+			st.OpenJobs++
+		}
+	}
+	return st
+}
+
+// Close shuts the bus: all subscriptions end and the log is closed.
+func (b *Bus) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	subs := make([]*Sub, 0, len(b.subs))
+	for _, s := range b.subs {
+		subs = append(subs, s)
+	}
+	b.subs = make(map[string]*Sub)
+	b.mu.Unlock()
+	for _, s := range subs {
+		s.close()
+	}
+	return b.log.Close()
+}
+
+// Sub is one node's subscription to the record stream.
+type Sub struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []joblog.Record
+	paused bool
+	closed bool
+	done   chan struct{}
+}
+
+func newSub() *Sub {
+	s := &Sub{done: make(chan struct{})}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *Sub) push(rec joblog.Record) {
+	s.mu.Lock()
+	if !s.closed {
+		s.queue = append(s.queue, rec)
+		s.cond.Signal()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Sub) setPaused(p bool) {
+	s.mu.Lock()
+	s.paused = p
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *Sub) close() {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if !already {
+		<-s.done // wait for the pump to exit: no folds after close
+	}
+}
+
+// pump delivers queued records to fn in order. Close drops any queued
+// backlog (a dead node never sees them).
+func (s *Sub) pump(fn func(joblog.Record)) {
+	defer close(s.done)
+	for {
+		s.mu.Lock()
+		for !s.closed && (s.paused || len(s.queue) == 0) {
+			s.cond.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		batch := s.queue
+		s.queue = nil
+		s.mu.Unlock()
+		for _, rec := range batch {
+			fn(rec)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package cluster is the multi-node placement layer for trapd: a fleet
+// of nodes shares one job namespace through the durable joblog, with
+// worker-pull job ownership mediated by leases and fencing tokens.
+//
+// # Model
+//
+// The shared log is the only coordination medium. Every node folds the
+// same totally-ordered record stream, so every node converges on the
+// same view of the job table. Three cluster record types ride alongside
+// the service's own job records:
+//
+//   - node-heartbeat: a node announcing liveness.
+//   - lease-claim:    a node taking (or renewing) ownership of one job,
+//     carrying the node ID, the lease epoch and a deadline.
+//   - lease-release:  a node voluntarily giving a job back.
+//
+// # Fencing tokens
+//
+// Each job carries a monotonic lease epoch — the fencing token. A fresh
+// claim (first claim, takeover of an expired lease) increments it; a
+// renewal by the current holder keeps it and extends the deadline. Every
+// owned append (job state, progress, result) names the epoch it was
+// issued under, and the Bus rejects it with ErrFenced unless it matches
+// the current lease exactly. A node that stalls or partitions past its
+// lease deadline loses ownership the moment a survivor re-claims at a
+// higher epoch; when the stale node wakes up, its appends bounce off the
+// fence (counted, visible in metrics) and its in-flight training is
+// cancelled via context by the Coordinator. The same monotonicity rule
+// guards replay: a claim record folds into the table only if its epoch
+// is at least the current one, so stale claims can never regress
+// ownership no matter what order segments are replayed in.
+//
+// # Failure detection and takeover
+//
+// Liveness is lease-deadline based: renewal rides the heartbeat tick, so
+// a node that misses its heartbeats lets its lease deadlines pass, and
+// any survivor's reconcile pass finds the jobs claimable and takes them
+// over at a higher epoch. The new owner resumes training bit-identically
+// from the latest shared -spool checkpoint (checkpoint keys are derived
+// from the job spec and seed, not the node, so checkpoints are portable
+// across the fleet).
+//
+// # Topology
+//
+// A Bus fronts one open joblog and fans records out to every attached
+// node. In-process fleets (tests, chaos drills, cmd/trapload) attach N
+// nodes to one Bus — the Bus's mutex is the linearization point for
+// check-then-append claim races, standing in for the filesystem-level
+// single-writer any real deployment has. Cross-process deployments run
+// sequential failover: a standby starts on the dead node's log
+// directory, replays, re-claims everything at higher epochs and resumes
+// from the shared spool.
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/trap-repro/trap/internal/joblog"
+)
+
+// Cluster record types appended to the shared joblog.
+const (
+	// RecHeartbeat is a node liveness announcement.
+	RecHeartbeat = "node-heartbeat"
+	// RecClaim is a lease claim or renewal on one job.
+	RecClaim = "lease-claim"
+	// RecRelease is a voluntary lease release.
+	RecRelease = "lease-release"
+)
+
+// Errors returned by Bus operations.
+var (
+	// ErrFenced rejects an owned append or renewal whose lease epoch is
+	// stale: another node holds the job at a higher epoch.
+	ErrFenced = errors.New("cluster: fenced: lease epoch is stale")
+	// ErrNodeDown rejects operations from a node torn down by Kill
+	// (the in-process stand-in for SIGKILL).
+	ErrNodeDown = errors.New("cluster: node is down")
+	// ErrUnavailable rejects operations from a node cut off by
+	// Partition: the shared log is unreachable from it.
+	ErrUnavailable = errors.New("cluster: node is partitioned from the shared log")
+	// ErrClosed rejects operations on a closed Bus.
+	ErrClosed = errors.New("cluster: bus is closed")
+	// ErrNotOwner rejects an owned append from a node that holds no
+	// lease on the job at all.
+	ErrNotOwner = errors.New("cluster: node does not own this job")
+)
+
+// HeartbeatData is the payload of a RecHeartbeat record.
+type HeartbeatData struct {
+	Node string `json:"node"`
+}
+
+// ClaimData is the payload of a RecClaim record: the fencing token
+// (Epoch) plus the holder and its deadline.
+type ClaimData struct {
+	Node     string    `json:"node"`
+	Epoch    uint64    `json:"epoch"`
+	Deadline time.Time `json:"deadline"`
+	// Takeover marks a claim that seized an expired lease from another
+	// node (as opposed to a first claim or a renewal).
+	Takeover bool `json:"takeover,omitempty"`
+	// Prev names the previous holder on a takeover, for audit.
+	Prev string `json:"prev,omitempty"`
+}
+
+// ReleaseData is the payload of a RecRelease record.
+type ReleaseData struct {
+	Node  string `json:"node"`
+	Epoch uint64 `json:"epoch"`
+}
+
+// Lease is the current ownership state of one job. A zero Node with a
+// nonzero Epoch means the job is unheld but has been owned before; the
+// epoch is the high-water fencing token the next claim must exceed.
+type Lease struct {
+	Node     string
+	Epoch    uint64
+	Deadline time.Time
+}
+
+// Held reports whether the lease is held and unexpired at now.
+func (l Lease) Held(now time.Time) bool {
+	return l.Node != "" && now.Before(l.Deadline)
+}
+
+// Class is how the service classifies its own job records for the Bus's
+// table fold; the Bus itself is payload-agnostic.
+type Class int
+
+const (
+	// ClassOther is a record with no bearing on job liveness.
+	ClassOther Class = iota
+	// ClassJobOpen is a job snapshot in a non-terminal state.
+	ClassJobOpen
+	// ClassJobTerminal is a job snapshot in a terminal state.
+	ClassJobTerminal
+	// ClassJobCancel is a cancel request routed to the owning node.
+	ClassJobCancel
+	// ClassJobDrop removes the job from the namespace (GC).
+	ClassJobDrop
+)
+
+// NodeInfo is one node's row in the registry.
+type NodeInfo struct {
+	Node string `json:"node"`
+	// LastBeat is the time of the node's last heartbeat record.
+	LastBeat time.Time `json:"lastHeartbeat"`
+	// Leases is the number of open jobs the node currently holds.
+	Leases int `json:"leases"`
+	// Attached reports a live subscription on this Bus (in-process
+	// fleets); false for nodes known only from replayed heartbeats.
+	Attached bool `json:"attached"`
+	// Down marks a node torn down by Kill, or an unattached node whose
+	// last heartbeat is stale (a crashed process in a shared-log fleet).
+	Down bool `json:"down,omitempty"`
+}
+
+// jobState is the Bus's per-job fold of the record stream.
+type jobState struct {
+	lease      Lease
+	open       bool // a non-terminal snapshot has been seen
+	cancelReq  bool // a cancel record is outstanding
+	lastRec    joblog.Record
+	lastClaim  joblog.Record
+	hasClaim   bool
+	lastCancel joblog.Record
+	hasCancel  bool
+}
+
+// parseJobNum extracts N from a "job-N" ID, 0 if it is not of that form.
+func parseJobNum(id string) int64 {
+	var n int64
+	if _, err := fmt.Sscanf(id, "job-%d", &n); err != nil || fmt.Sprintf("job-%d", n) != id {
+		return 0
+	}
+	return n
+}
+
+// sortJobIDs orders "job-N" IDs numerically (unknown forms last,
+// lexicographic), so reconcile scans are deterministic.
+func sortJobIDs(ids []string) {
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := parseJobNum(ids[i]), parseJobNum(ids[j])
+		if a != b {
+			if a == 0 {
+				return false
+			}
+			if b == 0 {
+				return true
+			}
+			return a < b
+		}
+		return ids[i] < ids[j]
+	})
+}
+
+// unmarshal decodes a record payload, reporting success.
+func unmarshal(data json.RawMessage, v any) bool {
+	return data != nil && json.Unmarshal(data, v) == nil
+}

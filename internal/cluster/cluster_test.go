@@ -1,0 +1,401 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/trap-repro/trap/internal/joblog"
+)
+
+// testClassify treats records typed "open" as live job snapshots,
+// "done" as terminal, "cancel"/"drop" as their classes.
+func testClassify(r joblog.Record) Class {
+	switch r.Type {
+	case "open":
+		return ClassJobOpen
+	case "done":
+		return ClassJobTerminal
+	case "cancel":
+		return ClassJobCancel
+	case "drop":
+		return ClassJobDrop
+	}
+	return ClassOther
+}
+
+func testBus(t *testing.T) *Bus {
+	t.Helper()
+	b, err := Open(t.TempDir(), Options{Classify: testClassify, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	return b
+}
+
+func submit(t *testing.T, b *Bus, node string) string {
+	t.Helper()
+	id := b.NextJobID()
+	if _, err := b.Append(node, "open", id, map[string]string{"id": id}); err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestClaimRenewTakeoverEpochs(t *testing.T) {
+	b := testBus(t)
+	job := submit(t, b, "a")
+
+	// First claim: epoch 1.
+	res, err := b.Claim(job, "a", 50*time.Millisecond)
+	if err != nil || !res.OK || res.Epoch != 1 || res.Takeover {
+		t.Fatalf("first claim: %+v, %v", res, err)
+	}
+	// A valid lease blocks other claimants and reports the holder.
+	if res2, _ := b.Claim(job, "b", 50*time.Millisecond); res2.OK || res2.Holder.Node != "a" {
+		t.Fatalf("contended claim: %+v", res2)
+	}
+	// Renewal keeps the epoch.
+	if res3, _ := b.Claim(job, "a", 50*time.Millisecond); !res3.OK || res3.Epoch != 1 {
+		t.Fatalf("renewal: %+v", res3)
+	}
+	// Expiry lets another node take over at a higher epoch.
+	time.Sleep(60 * time.Millisecond)
+	res4, err := b.Claim(job, "b", time.Minute)
+	if err != nil || !res4.OK || res4.Epoch != 2 || !res4.Takeover || res4.Prev != "a" {
+		t.Fatalf("takeover: %+v, %v", res4, err)
+	}
+	st := b.Stats()
+	if st.Claims != 2 || st.Renewals != 1 || st.Takeovers != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestFencedAppend(t *testing.T) {
+	b := testBus(t)
+	job := submit(t, b, "a")
+	if res, _ := b.Claim(job, "a", time.Millisecond); !res.OK {
+		t.Fatal("claim failed")
+	}
+	time.Sleep(5 * time.Millisecond)
+	if res, _ := b.Claim(job, "b", time.Minute); !res.OK || res.Epoch != 2 {
+		t.Fatalf("takeover: %+v", res)
+	}
+	// The old owner's append at epoch 1 bounces off the fence…
+	if _, err := b.AppendOwned("a", 1, "done", job, nil); !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale append: %v, want ErrFenced", err)
+	}
+	// …visibly.
+	if st := b.Stats(); st.FenceRejects != 1 {
+		t.Fatalf("fence rejects: %+v", st)
+	}
+	// The valid owner's append lands.
+	if _, err := b.AppendOwned("b", 2, "done", job, nil); err != nil {
+		t.Fatalf("valid append: %v", err)
+	}
+	// A terminal job is no longer claimable.
+	if res, _ := b.Claim(job, "a", time.Minute); res.OK {
+		t.Fatal("terminal job claimed")
+	}
+}
+
+func TestKillAndPartitionGates(t *testing.T) {
+	b := testBus(t)
+	job := submit(t, b, "a")
+	if res, _ := b.Claim(job, "a", time.Minute); !res.OK {
+		t.Fatal("claim failed")
+	}
+
+	b.Partition("a")
+	if err := b.Heartbeat("a"); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("partitioned heartbeat: %v", err)
+	}
+	if _, err := b.AppendOwned("a", 1, "done", job, nil); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("partitioned append: %v", err)
+	}
+	b.Heal("a")
+	if err := b.Heartbeat("a"); err != nil {
+		t.Fatalf("healed heartbeat: %v", err)
+	}
+
+	b.Kill("a")
+	if err := b.Heartbeat("a"); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("killed heartbeat: %v", err)
+	}
+	if _, err := b.Claim(job, "a", time.Minute); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("killed claim: %v", err)
+	}
+}
+
+// TestReplayKeepsEpochHighWater proves the fencing token survives a
+// restart and compaction: a bus reopened on the same directory must not
+// hand out an epoch at or below the pre-restart one.
+func TestReplayKeepsEpochHighWater(t *testing.T) {
+	dir := t.TempDir()
+	b, err := Open(dir, Options{Classify: testClassify, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := b.NextJobID()
+	if _, err := b.Append("a", "open", job, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // epochs 1..3 via expiry takeovers
+		node := fmt.Sprintf("n%d", i)
+		if res, _ := b.Claim(job, node, time.Nanosecond); !res.OK {
+			t.Fatalf("claim %d failed", i)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if lease, _ := b.Lease(job); lease.Epoch != 3 {
+		t.Fatalf("epoch = %d, want 3", lease.Epoch)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b2, err := Open(dir, Options{Classify: testClassify, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	lease, open := b2.Lease(job)
+	if !open || lease.Epoch != 3 {
+		t.Fatalf("replayed lease: %+v open=%v, want epoch 3", lease, open)
+	}
+	// The job ID high-water survives too: no ID reuse across restarts.
+	if id := b2.NextJobID(); id != "job-2" {
+		t.Fatalf("next ID after replay = %q, want job-2", id)
+	}
+	// And the next claim exceeds the high-water.
+	if res, _ := b2.Claim(job, "n9", time.Minute); !res.OK || res.Epoch != 4 {
+		t.Fatalf("post-replay claim: %+v", res)
+	}
+}
+
+// TestAttachReplayAndFanout checks that a late attacher sees the folded
+// history and that records flow to all attached nodes in log order.
+func TestAttachReplayAndFanout(t *testing.T) {
+	b := testBus(t)
+	job := submit(t, b, "a")
+	if res, _ := b.Claim(job, "a", time.Minute); !res.OK {
+		t.Fatal("claim failed")
+	}
+
+	var mu sync.Mutex
+	var got []string
+	record := func(rec joblog.Record) {
+		mu.Lock()
+		got = append(got, rec.Type)
+		mu.Unlock()
+	}
+	if _, err := b.Attach("b", record); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	hist := len(got)
+	mu.Unlock()
+	if hist != 2 { // open + claim
+		t.Fatalf("attach replayed %d records, want 2: %v", hist, got)
+	}
+	if _, err := b.AppendOwned("a", 1, "done", job, nil); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		last := ""
+		if n > 0 {
+			last = got[n-1]
+		}
+		mu.Unlock()
+		if n == 3 && last == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fan-out never delivered: %v", got)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n := b.AttachedCount(); n != 1 {
+		t.Fatalf("attached = %d", n)
+	}
+	b.Detach("b")
+	if n := b.AttachedCount(); n != 0 {
+		t.Fatalf("attached after detach = %d", n)
+	}
+}
+
+// TestCoordinatorTakeover runs two coordinators against one bus: the
+// owner stops beating (simulated stall), the survivor detects the
+// expired lease, takes over at a higher epoch, and the stalled node's
+// run is fenced when it observes the new claim.
+func TestCoordinatorTakeover(t *testing.T) {
+	b := testBus(t)
+
+	type placed struct {
+		epoch    uint64
+		takeover bool
+	}
+	acquired := make(chan placed, 4)
+	fencedCh := make(chan uint64, 1)
+
+	mkCoord := func(node string, sink chan placed) *Coordinator {
+		c := &Coordinator{
+			Node: node, Bus: b,
+			TTL: 120 * time.Millisecond, Beat: 30 * time.Millisecond,
+			OnAcquire: func(job string, epoch uint64, takeover bool) bool {
+				if sink != nil {
+					sink <- placed{epoch, takeover}
+				}
+				return true
+			},
+			OnFence: func(job string, epoch uint64) {
+				select {
+				case fencedCh <- epoch:
+				default:
+				}
+			},
+		}
+		return c
+	}
+
+	a := mkCoord("a", nil)
+	job := submit(t, b, "a")
+	if !a.TryClaim(job) {
+		t.Fatal("initial claim failed")
+	}
+	epoch, ok := a.RunStarted(job, func() {})
+	if !ok || epoch != 1 {
+		t.Fatalf("RunStarted: %d %v", epoch, ok)
+	}
+
+	// The survivor starts its loop; node a never renews (no Start), so
+	// its lease expires and b takes over.
+	bc := mkCoord("b", acquired)
+	bc.Start()
+	defer bc.Stop()
+
+	select {
+	case p := <-acquired:
+		if p.epoch != 2 || !p.takeover {
+			t.Fatalf("takeover placement: %+v", p)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("survivor never took over")
+	}
+	if bc.Takeovers() != 1 {
+		t.Fatalf("takeovers = %d", bc.Takeovers())
+	}
+
+	// The stalled node observes the higher-epoch claim and fences.
+	a.ObserveClaim(job, ClaimData{Node: "b", Epoch: 2})
+	select {
+	case e := <-fencedCh:
+		if e != 2 {
+			t.Fatalf("fenced at %d", e)
+		}
+	default:
+		t.Fatal("OnFence not called")
+	}
+	if a.FencedRuns() != 1 {
+		t.Fatal("fenced run not counted")
+	}
+	// Its terminal append still goes to the bus — and is rejected there,
+	// visibly.
+	if _, err := a.AppendOwned("done", job, nil); !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale terminal append: %v", err)
+	}
+	if st := b.Stats(); st.FenceRejects < 1 {
+		t.Fatalf("fence not counted: %+v", st)
+	}
+	a.RunEnded(job)
+	if _, own := a.Owned(job); own {
+		t.Fatal("stale owner still owns")
+	}
+}
+
+// TestCancelRequestFold checks cancel records route through the table.
+func TestCancelRequestFold(t *testing.T) {
+	b := testBus(t)
+	job := submit(t, b, "a")
+	if b.CancelRequested(job) {
+		t.Fatal("fresh job has cancel requested")
+	}
+	if _, err := b.Append("b", "cancel", job, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !b.CancelRequested(job) {
+		t.Fatal("cancel record not folded")
+	}
+}
+
+// TestHistoryCompaction drives the in-memory history past its bound and
+// checks a late attacher still converges on the folded state.
+func TestHistoryCompaction(t *testing.T) {
+	b := testBus(t)
+	job := submit(t, b, "a")
+	if res, _ := b.Claim(job, "a", time.Minute); !res.OK {
+		t.Fatal("claim failed")
+	}
+	for i := 0; i < maxHistory+16; i++ {
+		if _, err := b.AppendOwned("a", 1, "open", job, map[string]int{"i": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.mu.Lock()
+	hlen := len(b.history)
+	b.mu.Unlock()
+	if hlen > maxHistory {
+		t.Fatalf("history not compacted: %d", hlen)
+	}
+	var types []string
+	if _, err := b.Attach("late", func(rec joblog.Record) {
+		types = append(types, rec.Type)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The compacted view is the latest snapshot + claim at compaction
+	// time, plus whatever was appended since — far fewer than the raw
+	// stream, and with exactly one claim record.
+	open, claim := 0, 0
+	for _, ty := range types {
+		switch ty {
+		case "open":
+			open++
+		case RecClaim:
+			claim++
+		}
+	}
+	if claim != 1 || open < 1 || len(types) > 64 {
+		t.Fatalf("late attach saw %d open / %d claim records (%d total)", open, claim, len(types))
+	}
+}
+
+// TestNodesRegistry checks heartbeat folding into the registry.
+func TestNodesRegistry(t *testing.T) {
+	b := testBus(t)
+	if err := b.Heartbeat("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Heartbeat("b"); err != nil {
+		t.Fatal(err)
+	}
+	b.Kill("b")
+	infos := b.Nodes()
+	if len(infos) != 2 || infos[0].Node != "a" || infos[1].Node != "b" {
+		t.Fatalf("nodes: %+v", infos)
+	}
+	if infos[0].LastBeat.IsZero() || !infos[1].Down {
+		t.Fatalf("nodes detail: %+v", infos)
+	}
+	raw, err := json.Marshal(infos)
+	if err != nil || len(raw) == 0 {
+		t.Fatalf("marshal: %v", err)
+	}
+}

@@ -1,0 +1,399 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/trap-repro/trap/internal/faultinject"
+	"github.com/trap-repro/trap/internal/joblog"
+	"github.com/trap-repro/trap/internal/trace"
+)
+
+// Coordinator is one node's cluster agent: it heartbeats, renews the
+// leases the node holds, pulls claimable work (worker-pull placement),
+// and fences the node's own in-flight runs the moment another node takes
+// a job over at a higher epoch. The owning server drives it through
+// three hooks:
+//
+//   - CanClaim gates reconcile (local queue capacity, draining state).
+//   - OnAcquire places a claimed job on the local queue; returning false
+//     releases the lease so another node can take it.
+//   - OnFence is notified after a local run has been cancelled because
+//     its lease moved.
+//
+// All exported fields must be set before Start and not mutated after.
+type Coordinator struct {
+	Node string
+	Bus  *Bus
+	// TTL is the lease duration (default 15s); Beat the heartbeat/renew/
+	// reconcile cadence (default TTL/3). Renewal rides the beat, so a
+	// node that misses ~TTL/Beat consecutive beats loses its leases.
+	TTL  time.Duration
+	Beat time.Duration
+	// Inject fires PointHeartbeat at every beat and PointLeaseAppend
+	// before every fresh claim.
+	Inject faultinject.Injector
+	// Tracer, when non-nil, records takeover and fence transitions as
+	// spans.
+	Tracer    *trace.Tracer
+	CanClaim  func() bool
+	OnAcquire func(job string, epoch uint64, takeover bool) bool
+	OnFence   func(job string, epoch uint64)
+
+	mu    sync.Mutex
+	owned map[string]*ownedJob
+	once  sync.Once
+
+	running  bool
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	lastBeat atomic.Int64 // unix nanos of the last successful heartbeat
+
+	beatErrs   atomic.Int64
+	fencedRuns atomic.Int64
+	takeovers  atomic.Int64
+	claims     atomic.Int64
+}
+
+// ownedJob is one lease this node holds. fenced marks a lease lost to a
+// higher epoch: the local run is cancelled, and any still-in-flight
+// append deliberately proceeds at the stale epoch so the Bus's fence
+// counter records the rejection.
+type ownedJob struct {
+	epoch  uint64
+	fenced bool
+	cancel context.CancelFunc
+}
+
+func (c *Coordinator) init() {
+	c.once.Do(func() {
+		c.owned = make(map[string]*ownedJob)
+		if c.TTL <= 0 {
+			c.TTL = 15 * time.Second
+		}
+		if c.Beat <= 0 {
+			c.Beat = c.TTL / 3
+		}
+	})
+}
+
+// Start begins the heartbeat/renew/reconcile loop (one immediate beat,
+// then every Beat).
+func (c *Coordinator) Start() {
+	c.init()
+	c.mu.Lock()
+	if c.running {
+		c.mu.Unlock()
+		return
+	}
+	c.running = true
+	c.stop = make(chan struct{})
+	stop := c.stop
+	c.mu.Unlock()
+	c.lastBeat.Store(time.Now().UnixNano())
+	c.tick()
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		t := time.NewTicker(c.Beat)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				c.tick()
+			}
+		}
+	}()
+}
+
+// Stop halts the loop. Held leases are left to expire (use Release or
+// CancelAll first for a graceful drain).
+func (c *Coordinator) Stop() {
+	c.mu.Lock()
+	if !c.running {
+		c.mu.Unlock()
+		return
+	}
+	c.running = false
+	close(c.stop)
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+// tick is one beat: announce liveness, renew held leases, pull work.
+func (c *Coordinator) tick() {
+	// An injected delay here stalls the whole loop — the "GC pause"
+	// drill: heartbeats stop, leases expire, survivors take over.
+	if err := faultinject.Fire(c.Inject, faultinject.PointHeartbeat); err != nil {
+		c.beatErrs.Add(1)
+	} else if err := c.Bus.Heartbeat(c.Node); err != nil {
+		c.beatErrs.Add(1)
+	} else {
+		c.lastBeat.Store(time.Now().UnixNano())
+	}
+	c.renew()
+	c.reconcile()
+}
+
+// renew extends every held lease at its current epoch. A renewal that
+// finds the lease validly held elsewhere means this node lost it while
+// stalled: the local run is fenced.
+func (c *Coordinator) renew() {
+	c.mu.Lock()
+	jobs := make([]string, 0, len(c.owned))
+	for id, o := range c.owned {
+		if !o.fenced {
+			jobs = append(jobs, id)
+		}
+	}
+	c.mu.Unlock()
+	sortJobIDs(jobs)
+	for _, id := range jobs {
+		res, err := c.Bus.Claim(id, c.Node, c.TTL)
+		switch {
+		case err != nil:
+			// Partitioned, degraded or down: nothing to do but keep
+			// running and let the deadline decide.
+		case !res.OK:
+			if res.Holder.Node != "" && res.Holder.Node != c.Node {
+				c.fence(id, res.Holder.Epoch)
+			}
+		default:
+			c.mu.Lock()
+			if o := c.owned[id]; o != nil && !o.fenced {
+				o.epoch = res.Epoch
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+// reconcile pulls claimable jobs (unclaimed, released, or expired — the
+// missed-heartbeat signal) while the server reports capacity.
+func (c *Coordinator) reconcile() {
+	ids := c.Bus.Claimable(time.Now())
+	sortJobIDs(ids)
+	for _, id := range ids {
+		if c.CanClaim != nil && !c.CanClaim() {
+			return
+		}
+		c.TryClaim(id)
+	}
+}
+
+// TryClaim attempts to take ownership of job and place it locally.
+// Safe to call from the fold path (submit records) and from reconcile.
+func (c *Coordinator) TryClaim(job string) bool {
+	c.init()
+	c.mu.Lock()
+	if _, own := c.owned[job]; own {
+		c.mu.Unlock()
+		return false
+	}
+	c.mu.Unlock()
+	if c.CanClaim != nil && !c.CanClaim() {
+		return false
+	}
+	if err := faultinject.Fire(c.Inject, faultinject.PointLeaseAppend); err != nil {
+		return false // injected claim-path failure: leave it claimable
+	}
+	res, err := c.Bus.Claim(job, c.Node, c.TTL)
+	if err != nil || !res.OK {
+		return false
+	}
+	c.mu.Lock()
+	c.owned[job] = &ownedJob{epoch: res.Epoch}
+	c.mu.Unlock()
+	c.claims.Add(1)
+	if res.Takeover {
+		c.takeovers.Add(1)
+		if c.Tracer != nil {
+			_, sp := c.Tracer.Start(context.Background(), "cluster.takeover")
+			sp.Str("job", job)
+			sp.Str("node", c.Node)
+			sp.Str("from", res.Prev)
+			sp.Int("epoch", int64(res.Epoch))
+			sp.End()
+		}
+	}
+	if c.OnAcquire != nil && !c.OnAcquire(job, res.Epoch, res.Takeover) {
+		_ = c.Bus.Release(job, c.Node, res.Epoch)
+		c.mu.Lock()
+		delete(c.owned, job)
+		c.mu.Unlock()
+		return false
+	}
+	return true
+}
+
+// ObserveClaim is fed every folded lease-claim record by the server. A
+// claim by another node at a higher epoch on a job this node owns is the
+// fence: the local run is cancelled immediately.
+func (c *Coordinator) ObserveClaim(job string, cd ClaimData) {
+	if cd.Node == c.Node {
+		return
+	}
+	c.init()
+	c.mu.Lock()
+	o := c.owned[job]
+	stale := o != nil && !o.fenced && cd.Epoch > o.epoch
+	c.mu.Unlock()
+	if stale {
+		c.fence(job, cd.Epoch)
+	}
+}
+
+// fence marks job's local lease lost and cancels its in-flight run. The
+// owned entry is kept (at its stale epoch) until RunEnded, so the run's
+// terminal append still happens — and bounces off the Bus fence, making
+// the rejection visible in the counter.
+func (c *Coordinator) fence(job string, newEpoch uint64) {
+	c.mu.Lock()
+	o := c.owned[job]
+	if o == nil || o.fenced {
+		c.mu.Unlock()
+		return
+	}
+	o.fenced = true
+	oldEpoch := o.epoch
+	cancel := o.cancel
+	c.mu.Unlock()
+	c.fencedRuns.Add(1)
+	if c.Tracer != nil {
+		_, sp := c.Tracer.Start(context.Background(), "cluster.fence")
+		sp.Str("job", job)
+		sp.Str("node", c.Node)
+		sp.Int("epoch", int64(oldEpoch))
+		sp.Int("newEpoch", int64(newEpoch))
+		sp.End()
+	}
+	if cancel != nil {
+		cancel()
+	}
+	if c.OnFence != nil {
+		c.OnFence(job, newEpoch)
+	}
+}
+
+// RunStarted registers the cancel func of a run about to start and
+// returns the epoch it runs under. Not ok means the lease is already
+// gone (lost while queued) and the run must not start.
+func (c *Coordinator) RunStarted(job string, cancel context.CancelFunc) (uint64, bool) {
+	c.init()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	o := c.owned[job]
+	if o == nil || o.fenced {
+		return 0, false
+	}
+	o.cancel = cancel
+	return o.epoch, true
+}
+
+// RunEnded drops the local lease record after the run's terminal append
+// (successful or fenced). The durable lease simply expires; the job is
+// terminal, so nobody re-claims it.
+func (c *Coordinator) RunEnded(job string) {
+	c.init()
+	c.mu.Lock()
+	delete(c.owned, job)
+	c.mu.Unlock()
+}
+
+// AppendOwned appends a record under the node's current lease on job.
+// Fenced leases deliberately still attempt the append at their stale
+// epoch: the Bus rejects it and counts the fence.
+func (c *Coordinator) AppendOwned(typ, job string, data any) (joblog.Record, error) {
+	c.init()
+	c.mu.Lock()
+	o := c.owned[job]
+	var epoch uint64
+	if o != nil {
+		epoch = o.epoch
+	}
+	c.mu.Unlock()
+	if o == nil {
+		return joblog.Record{}, ErrNotOwner
+	}
+	return c.Bus.AppendOwned(c.Node, epoch, typ, job, data)
+}
+
+// Release gives job's lease back (graceful drain of queued work).
+func (c *Coordinator) Release(job string) {
+	c.init()
+	c.mu.Lock()
+	o := c.owned[job]
+	var epoch uint64
+	if o != nil {
+		epoch = o.epoch
+		delete(c.owned, job)
+	}
+	c.mu.Unlock()
+	if o != nil {
+		_ = c.Bus.Release(job, c.Node, epoch)
+	}
+}
+
+// Owned reports the lease epoch this node holds on job, if any.
+func (c *Coordinator) Owned(job string) (uint64, bool) {
+	c.init()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	o := c.owned[job]
+	if o == nil || o.fenced {
+		return 0, false
+	}
+	return o.epoch, true
+}
+
+// CancelAll cancels every registered in-flight run (node teardown).
+func (c *Coordinator) CancelAll() {
+	c.init()
+	c.mu.Lock()
+	cancels := make([]context.CancelFunc, 0, len(c.owned))
+	for _, o := range c.owned {
+		if o.cancel != nil {
+			cancels = append(cancels, o.cancel)
+		}
+	}
+	c.mu.Unlock()
+	for _, cancel := range cancels {
+		cancel()
+	}
+}
+
+// Leases counts the unfenced leases this node holds.
+func (c *Coordinator) Leases() int {
+	c.init()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, o := range c.owned {
+		if !o.fenced {
+			n++
+		}
+	}
+	return n
+}
+
+// HeartbeatAge is the time since the last successful heartbeat append —
+// the node's own view of its lease health (readyz surfaces it).
+func (c *Coordinator) HeartbeatAge() time.Duration {
+	ns := c.lastBeat.Load()
+	if ns == 0 {
+		return 0
+	}
+	return time.Since(time.Unix(0, ns))
+}
+
+// BeatErrors counts failed heartbeat appends; FencedRuns counts local
+// runs cancelled because their lease moved; Takeovers and Claims count
+// this node's acquisitions.
+func (c *Coordinator) BeatErrors() int64 { return c.beatErrs.Load() }
+func (c *Coordinator) FencedRuns() int64 { return c.fencedRuns.Load() }
+func (c *Coordinator) Takeovers() int64  { return c.takeovers.Load() }
+func (c *Coordinator) Claims() int64     { return c.claims.Load() }

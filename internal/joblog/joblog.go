@@ -32,6 +32,17 @@
 // rename and the deletes replays old-then-snapshot, which folds to the
 // same state.
 //
+// # Degraded mode
+//
+// A failed append write or fsync (ENOSPC, an I/O error, an injected
+// fault at faultinject.PointJoblogAppend) leaves the on-disk tail in an
+// unknown state, so the log does not guess: the first such failure
+// permanently degrades the log to read-only. Every later Append returns
+// ErrDegraded (wrapping the original cause) and Degraded()/Stats report
+// it, letting the owning node drain instead of acknowledging writes it
+// cannot make durable. Recovery is a process restart: Open replays the
+// good prefix and truncates any torn tail as usual.
+//
 // All methods are safe for concurrent use.
 package joblog
 
@@ -47,6 +58,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/trap-repro/trap/internal/faultinject"
 )
 
 // Record is one durable log entry. Type and Data are caller-defined;
@@ -73,6 +86,10 @@ type Options struct {
 	// before Open returns. A nil Replay skips delivery (the records
 	// are still scanned to find the append position).
 	Replay func(Record) error
+	// Injector, when non-nil, is fired at faultinject.PointJoblogAppend
+	// before each append writes its frame. An injected error is handled
+	// exactly like a real write failure: the log degrades to read-only.
+	Injector faultinject.Injector
 }
 
 func (o *Options) fill() {
@@ -92,9 +109,16 @@ type Stats struct {
 	// CorruptFrames counts frames dropped during replay (torn tail or
 	// CRC mismatch).
 	CorruptFrames int64
+	// TornTails counts torn-tail truncation events: a bad frame at the
+	// end of the last segment, cut back to the last good frame by Open.
+	TornTails int64
 	// TruncatedBytes counts tail bytes cut from the last segment to
 	// recover from a torn write.
 	TruncatedBytes int64
+	// Compactions counts successful Compact calls this process lifetime.
+	Compactions int64
+	// Degraded reports that an append failed and the log is read-only.
+	Degraded bool
 	// Segments is the number of live segment files.
 	Segments int
 	// ActiveBytes is the size of the active (append) segment.
@@ -114,12 +138,19 @@ type Log struct {
 	size    int64    // active segment size
 	nextSeq uint64
 	closed  bool
+	broken  error // first append failure; non-nil means read-only
 	st      Stats
 }
 
 const frameHeader = 8 // length + crc
 
 var errClosed = errors.New("joblog: log is closed")
+
+// ErrDegraded is returned (wrapped around the original failure) by every
+// Append after a write or fsync error has left the on-disk tail in an
+// unknown state. The log is read-only from that point on; the owning
+// node should stop acknowledging new work and drain.
+var ErrDegraded = errors.New("joblog: degraded, log is read-only")
 
 // Open opens (or creates) the log in dir, replays every recoverable
 // record into o.Replay, recovers from a torn tail, and leaves the log
@@ -227,6 +258,7 @@ func (l *Log) badTail(f *os.File, n int, off int64, last bool, cause error) erro
 	if !last {
 		return nil // skip the rest of this segment, keep replaying
 	}
+	l.st.TornTails++
 	fi, err := f.Stat()
 	if err != nil {
 		return fmt.Errorf("joblog: %w", err)
@@ -272,22 +304,45 @@ func (l *Log) Append(typ, jobID string, data any) (Record, error) {
 	if l.closed {
 		return Record{}, errClosed
 	}
+	if l.broken != nil {
+		return Record{}, fmt.Errorf("%w (cause: %v)", ErrDegraded, l.broken)
+	}
+	if err := faultinject.Fire(l.opts.Injector, faultinject.PointJoblogAppend); err != nil {
+		return Record{}, l.degrade(err)
+	}
 	rec.Seq = l.nextSeq
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		return Record{}, fmt.Errorf("joblog: %w", err)
 	}
 	if err := l.writeFrame(payload); err != nil {
-		return Record{}, err
+		return Record{}, l.degrade(err)
 	}
 	l.nextSeq++
 	l.st.Appends++
 	if l.size > l.opts.SegmentBytes {
 		if err := l.rotate(); err != nil {
-			return Record{}, err
+			return Record{}, l.degrade(err)
 		}
 	}
 	return rec, nil
+}
+
+// degrade records the first append failure and flips the log to
+// read-only (caller holds mu). The returned error wraps both ErrDegraded
+// and the cause so callers can match either.
+func (l *Log) degrade(cause error) error {
+	if l.broken == nil {
+		l.broken = cause
+	}
+	return fmt.Errorf("%w: %w", ErrDegraded, cause)
+}
+
+// Degraded reports whether an append failure has made the log read-only.
+func (l *Log) Degraded() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.broken != nil
 }
 
 // writeFrame frames, writes and syncs one payload (caller holds mu).
@@ -346,6 +401,9 @@ func (l *Log) Compact(snapshot []Record) error {
 	if l.closed {
 		return errClosed
 	}
+	if l.broken != nil {
+		return fmt.Errorf("%w (cause: %v)", ErrDegraded, l.broken)
+	}
 	old, err := l.segmentNums()
 	if err != nil {
 		return err
@@ -370,30 +428,31 @@ func (l *Log) Compact(snapshot []Record) error {
 		if err := l.writeFrame(payload); err != nil {
 			tmp.Close()
 			os.Remove(tmp.Name())
-			return err
+			return l.degrade(err)
 		}
 		l.nextSeq++
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return fmt.Errorf("joblog: %w", err)
+		return l.degrade(err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("joblog: %w", err)
+		return l.degrade(err)
 	}
 	if err := os.Rename(tmp.Name(), l.segPath(next)); err != nil {
-		return fmt.Errorf("joblog: %w", err)
+		return l.degrade(err)
 	}
 	if err := l.syncDir(); err != nil {
-		return err
+		return l.degrade(err)
 	}
 	for _, n := range old {
 		if n < next {
 			_ = os.Remove(l.segPath(n))
 		}
 	}
+	l.st.Compactions++
 	return l.openSegment(next)
 }
 
@@ -404,6 +463,7 @@ func (l *Log) Stats() Stats {
 	st := l.st
 	st.ActiveBytes = l.size
 	st.NextSeq = l.nextSeq
+	st.Degraded = l.broken != nil
 	if nums, err := l.segmentNums(); err == nil {
 		st.Segments = len(nums)
 	}

@@ -2,11 +2,14 @@ package joblog
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
 	"testing"
+
+	"github.com/trap-repro/trap/internal/faultinject"
 )
 
 // collect reopens dir and returns every replayed record.
@@ -282,5 +285,106 @@ func TestConcurrentAppends(t *testing.T) {
 			t.Fatalf("duplicate seq %d", r.Seq)
 		}
 		seen[r.Seq] = true
+	}
+}
+
+// TestAppendFailureDegrades proves the read-only degradation contract:
+// one injected append failure (standing in for ENOSPC or a bad disk)
+// makes every subsequent append fail with ErrDegraded, while a fresh
+// Open on the same directory recovers the good prefix and is writable.
+func TestAppendFailureDegrades(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultinject.NewSeeded(1, faultinject.Rule{
+		Point: faultinject.PointJoblogAppend, Action: faultinject.ActError,
+		Every: 1, After: 1, Count: 1, // first append fine, second fails
+	})
+	l, err := Open(dir, Options{Injector: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append("a", "job-1", nil); err != nil {
+		t.Fatalf("first append: %v", err)
+	}
+	if _, err := l.Append("b", "job-1", nil); err == nil {
+		t.Fatal("injected append failure not surfaced")
+	} else if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("injected failure is %v, want ErrDegraded", err)
+	}
+	if !l.Degraded() {
+		t.Fatal("log not degraded after append failure")
+	}
+	// Sticky: later appends fail without touching the injector, and
+	// compaction is refused too.
+	if _, err := l.Append("c", "job-1", nil); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("append after degradation: %v, want ErrDegraded", err)
+	}
+	if err := l.Compact(nil); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("compact after degradation: %v, want ErrDegraded", err)
+	}
+	st := l.Stats()
+	if !st.Degraded || st.Appends != 1 {
+		t.Fatalf("stats after degradation: %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery is a restart: reopen, replay the acknowledged record,
+	// append again.
+	recs, l2 := collect(t, dir)
+	defer l2.Close()
+	if len(recs) != 1 || recs[0].Type != "a" {
+		t.Fatalf("reopen replayed %+v, want the one acknowledged record", recs)
+	}
+	if l2.Degraded() {
+		t.Fatal("fresh open inherited degradation")
+	}
+	if _, err := l2.Append("d", "job-1", nil); err != nil {
+		t.Fatalf("append after reopen: %v", err)
+	}
+}
+
+// TestStatsCounters pins the new durability counters: torn-tail
+// truncations and compactions are counted separately from the
+// long-standing CorruptFrames total.
+func TestStatsCounters(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append("s", fmt.Sprintf("job-%d", i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Compact([]Record{{Type: "s", JobID: "job-2"}}); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Compactions != 1 || st.TornTails != 0 {
+		t.Fatalf("stats after compact: %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail and reopen: one torn-tail truncation, one corrupt
+	// frame, no compactions in the new process lifetime.
+	segs, err := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{9, 0, 0, 0}); err != nil { // half a header
+		t.Fatal(err)
+	}
+	f.Close()
+	_, l2 := collect(t, dir)
+	defer l2.Close()
+	if st := l2.Stats(); st.TornTails != 1 || st.CorruptFrames != 1 || st.Compactions != 0 {
+		t.Fatalf("stats after torn-tail reopen: %+v", st)
 	}
 }

@@ -1,0 +1,494 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/trap-repro/trap/internal/admission"
+	"github.com/trap-repro/trap/internal/cluster"
+	"github.com/trap-repro/trap/internal/joblog"
+)
+
+// This file wires one Server into a multi-node fleet (Config.NodeID):
+// job ownership moves from the local worker pool's implicit "I run what
+// I queued" to leases with fencing tokens over the shared job log (see
+// internal/cluster). Every node folds the same record stream, so every
+// node serves the same job table and the same SSE streams — a client
+// can submit, poll, stream and cancel against any node.
+//
+// In cluster mode the fold is the only writer of hub events: the owner
+// appends state/progress records under its lease and publishes nothing
+// directly, so every node's per-job event Seqs are identical and a
+// Last-Event-ID resume works across a takeover onto a different node.
+
+// Cluster-mode job-log record types, alongside recSubmit/recState/
+// recDrop. Progress records carry completed-epoch counts so SSE epoch
+// events replicate fleet-wide; cancel records route a cancel request to
+// whichever node owns the job.
+const (
+	recProgress = "progress"
+	recCancel   = "cancel"
+)
+
+// progressData is the payload of a recProgress record (1-based epochs
+// completed, matching JobEvent.Epoch).
+type progressData struct {
+	Epoch int `json:"epoch"`
+}
+
+// ClassifyJobRecord maps the service's job records onto the cluster
+// Bus's job table. It is exported so fleet builders (cmd/trapload,
+// chaos drills) can open a shared Bus with the service's semantics.
+func ClassifyJobRecord(rec joblog.Record) cluster.Class {
+	switch rec.Type {
+	case recSubmit, recState:
+		var j Job
+		if json.Unmarshal(rec.Data, &j) != nil || j.ID == "" {
+			return cluster.ClassOther
+		}
+		if j.Status.terminal() {
+			return cluster.ClassJobTerminal
+		}
+		return cluster.ClassJobOpen
+	case recCancel:
+		return cluster.ClassJobCancel
+	case recDrop:
+		return cluster.ClassJobDrop
+	}
+	return cluster.ClassOther
+}
+
+// NewFleetBus opens a shared cluster bus over dir with the service's
+// record classifier — the entry point for building an in-process fleet
+// (N servers with Config.Bus pointing at one bus).
+func NewFleetBus(dir string, segmentBytes int64) (*cluster.Bus, error) {
+	return cluster.Open(dir, cluster.Options{
+		SegmentBytes: segmentBytes,
+		Classify:     ClassifyJobRecord,
+	})
+}
+
+// setupCluster joins the server to the fleet: it opens (or adopts) the
+// shared bus, attaches the fold, and starts the lease coordinator.
+// Called from NewServer instead of openJobLog when NodeID is set.
+func (s *Server) setupCluster() error {
+	bus := s.cfg.Bus
+	if bus == nil {
+		if s.cfg.JobLogDir == "" {
+			return errors.New("service: cluster mode (NodeID) requires JobLogDir or Bus")
+		}
+		b, err := cluster.Open(s.cfg.JobLogDir, cluster.Options{
+			SegmentBytes: s.cfg.JobLogSegmentBytes,
+			Classify:     ClassifyJobRecord,
+			Injector:     s.cfg.Injector,
+		})
+		if err != nil {
+			return fmt.Errorf("service: cluster bus: %w", err)
+		}
+		bus = b
+		s.ownBus = true
+	}
+	s.bus = bus
+	s.coord = &cluster.Coordinator{
+		Node:   s.cfg.NodeID,
+		Bus:    bus,
+		TTL:    s.cfg.LeaseTTL,
+		Beat:   s.cfg.HeartbeatInterval,
+		Inject: s.cfg.Injector,
+		Tracer: s.tr,
+		CanClaim: func() bool {
+			return !s.draining.Load() && s.pool.queued() < s.cfg.QueueDepth
+		},
+		OnAcquire: s.acquireJob,
+		OnFence: func(job string, epoch uint64) {
+			s.log.Warn(context.Background(),
+				"trapd: lease lost to takeover, local run fenced", "job", job, "newEpoch", epoch)
+		},
+	}
+	// Attach folds the compacted history synchronously on this goroutine
+	// (restored open jobs are claimed and re-enqueued here, the cluster
+	// analogue of openJobLog's replay), then pumps live records.
+	sub, err := bus.Attach(s.cfg.NodeID, s.foldRecord)
+	if err != nil {
+		if s.ownBus {
+			_ = bus.Close()
+		}
+		return fmt.Errorf("service: cluster attach: %w", err)
+	}
+	s.sub = sub
+	s.registerClusterMetrics()
+	s.coord.Start()
+	s.log.Info(context.Background(), "trapd: joined fleet",
+		"node", s.cfg.NodeID, "leaseTTL", s.coord.TTL, "heartbeat", s.coord.Beat)
+	return nil
+}
+
+// foldRecord is the node's single fold thread: it applies one shared-log
+// record to the local job table and event hubs. Every node folds the
+// identical stream in the identical order, so the local stores converge
+// and hub event Seqs match across the fleet.
+func (s *Server) foldRecord(rec joblog.Record) {
+	switch rec.Type {
+	case cluster.RecClaim:
+		var cd cluster.ClaimData
+		if json.Unmarshal(rec.Data, &cd) != nil {
+			return
+		}
+		s.jobs.update(rec.JobID, func(j *Job) {
+			if cd.Epoch >= j.Epoch {
+				j.Node = cd.Node
+				j.Epoch = cd.Epoch
+			}
+		})
+		// The fence trigger: a foreign claim at a higher epoch on a job
+		// this node is running cancels the local run.
+		s.coord.ObserveClaim(rec.JobID, cd)
+	case cluster.RecRelease:
+		var rd cluster.ReleaseData
+		if json.Unmarshal(rec.Data, &rd) != nil {
+			return
+		}
+		s.jobs.update(rec.JobID, func(j *Job) {
+			if j.Node == rd.Node && j.Epoch == rd.Epoch {
+				j.Node = ""
+			}
+		})
+		s.coord.TryClaim(rec.JobID)
+	case recSubmit, recState:
+		var j Job
+		if json.Unmarshal(rec.Data, &j) != nil || j.ID == "" {
+			return
+		}
+		s.foldJobState(rec, j)
+	case recProgress:
+		var pd progressData
+		if json.Unmarshal(rec.Data, &pd) != nil {
+			return
+		}
+		// Epoch high-water dedup: after a takeover the new owner re-runs
+		// epochs since the last checkpoint, and their progress records
+		// must not duplicate epoch events the stream already carried.
+		if s.jobs.advanceEpoch(rec.JobID, pd.Epoch) {
+			s.events.publish(rec.JobID, JobEvent{Type: evEpoch, Epoch: pd.Epoch})
+		}
+	case recCancel:
+		s.foldCancel(rec.JobID)
+	case recDrop:
+		s.jobs.remove(rec.JobID)
+		s.events.drop(rec.JobID)
+	}
+}
+
+// foldJobState applies a submit/state snapshot. The local store adopts
+// every snapshot except the ones this node itself published (its own
+// memory is ahead of the log between append and delivery); hub events
+// are published for all of them, own records included, to keep Seqs
+// identical fleet-wide.
+func (s *Server) foldJobState(rec joblog.Record, j Job) {
+	if j.Node != s.cfg.NodeID {
+		if _, ok := s.jobs.get(j.ID); ok {
+			s.jobs.update(j.ID, func(cur *Job) { *cur = j })
+		} else {
+			s.jobs.restore(j)
+		}
+	}
+	hub := s.events.create(j.ID)
+	hub.publish(JobEvent{Type: evState, Status: j.Status, Error: j.Error})
+	if j.Status.terminal() {
+		if j.Status == JobDone && j.Result != nil {
+			hub.publish(JobEvent{Type: evResult, Result: j.Result})
+		}
+		hub.closeHub()
+		return
+	}
+	// Worker-pull placement: every node races to claim a fresh
+	// submission; the bus linearizes the race and one node wins.
+	if rec.Type == recSubmit {
+		s.coord.TryClaim(j.ID)
+	}
+}
+
+// foldCancel handles a cancel record. Only the owning node acts: a
+// queued job is finalized as canceled, a running one has its context
+// canceled (the terminal state is then published under the lease).
+func (s *Server) foldCancel(id string) {
+	j, ok := s.jobs.get(id)
+	if !ok || j.Status.terminal() {
+		return
+	}
+	if _, owned := s.coord.Owned(id); !owned {
+		return
+	}
+	canceledNow := false
+	now := time.Now()
+	s.jobs.update(id, func(j *Job) {
+		if j.Status == JobPending {
+			j.Status = JobCanceled
+			j.Error = "canceled before start"
+			j.Finished = &now
+			canceledNow = true
+		}
+	})
+	if canceledNow {
+		s.mJobsCanceled.Inc()
+		s.publishState(id)
+		s.coord.RunEnded(id)
+	} else if cancel := s.jobs.takeCancel(id); cancel != nil {
+		cancel()
+	}
+}
+
+// acquireJob is the coordinator's OnAcquire hook: a lease was just won
+// (fresh claim or takeover) and the job must be placed on the local
+// queue. Returning false releases the lease for another node.
+func (s *Server) acquireJob(id string, epoch uint64, takeover bool) bool {
+	j, ok := s.jobs.get(id)
+	if !ok {
+		// Reconcile can win a claim before this node's fold has applied
+		// the submit record; release and let a later pass retry.
+		return false
+	}
+	if j.Status.terminal() {
+		return false
+	}
+	if s.bus.CancelRequested(id) {
+		// A cancel arrived while the job was unowned (or its owner died):
+		// finalize it instead of running it.
+		now := time.Now()
+		s.jobs.update(id, func(j *Job) {
+			j.Status = JobCanceled
+			j.Error = "canceled"
+			j.Finished = &now
+			j.Node = s.cfg.NodeID
+			j.Epoch = epoch
+		})
+		s.mJobsCanceled.Inc()
+		s.publishState(id)
+		s.coord.RunEnded(id)
+		return true
+	}
+	s.jobs.update(id, func(j *Job) {
+		j.Node = s.cfg.NodeID
+		j.Epoch = epoch
+		if j.Status != JobPending {
+			// Takeover of a job that was running on the dead node:
+			// re-enqueue it; the spooled checkpoint makes the re-run
+			// resume mid-training, bit-identical to an uninterrupted one.
+			j.Status = JobPending
+			j.Started, j.Finished = nil, nil
+			j.Error, j.Stack = "", ""
+			j.Result = nil
+		}
+		if takeover {
+			j.Restored = true
+		}
+	})
+	if err := s.pool.submit(id, j.priority()); err != nil {
+		return false
+	}
+	if takeover {
+		s.mJobsRestored.Inc()
+		s.publishState(id)
+		s.log.Info(context.Background(), "trapd: took over job from failed node",
+			"job", id, "epoch", epoch)
+	}
+	return true
+}
+
+// handleAssessCluster is the submit-anywhere path: the job gets a
+// fleet-unique ID and its submission replicates through the shared log;
+// whichever node's claim wins the worker-pull race runs it. The local
+// insert happens before the append so the job is immediately pollable
+// on this node; the fold (and every other node's fold) then converges
+// on the same record.
+func (s *Server) handleAssessCluster(w http.ResponseWriter, req assessRequest, tenant string, pri admission.Priority) {
+	// Fleet backlog bound: total open jobs against aggregate queue
+	// capacity of the attached nodes.
+	if open := s.bus.OpenJobs(); open >= s.cfg.QueueDepth*max(1, s.bus.AttachedCount()) {
+		s.mShedCapacity.Inc()
+		w.Header().Set("Retry-After", retrySeconds(s.adm.CapacityRetryAfter(open, time.Now())))
+		writeError(w, http.StatusServiceUnavailable, "fleet backlog full (%d open jobs)", open)
+		return
+	}
+	id := s.bus.NextJobID()
+	job := Job{
+		ID:         id,
+		Status:     JobPending,
+		Created:    time.Now(),
+		Dataset:    req.Dataset,
+		Advisor:    req.Advisor,
+		Method:     req.Method,
+		Constraint: req.Constraint,
+		Tenant:     tenant,
+		Priority:   pri.String(),
+	}
+	s.events.create(id)
+	s.jobs.restore(job)
+	if _, err := s.bus.Append(s.cfg.NodeID, recSubmit, id, job); err != nil {
+		s.jobs.remove(id)
+		s.events.drop(id)
+		if errors.Is(err, joblog.ErrDegraded) && s.draining.CompareAndSwap(false, true) {
+			s.log.Error(context.Background(),
+				"trapd: job log degraded, node entering read-only drain", "err", err)
+		}
+		s.mShedCapacity.Inc()
+		writeError(w, http.StatusServiceUnavailable, "cannot persist submission: %v", err)
+		return
+	}
+	s.mJobsSub.Inc()
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+// KillNode tears this node down the way SIGKILL would, for chaos
+// drills: its bus subscription dies mid-stream with queued records
+// undelivered, every later cluster operation from it fails, and its
+// in-flight training is cancelled (the in-process stand-in for the
+// goroutines vanishing). Its leases are left to expire — which is
+// exactly the signal the survivors' failure detectors watch for.
+func (s *Server) KillNode() {
+	if s.bus == nil {
+		return
+	}
+	s.bus.Kill(s.cfg.NodeID)
+	s.coord.Stop()
+	s.coord.CancelAll()
+}
+
+// PartitionNode cuts this node off from the shared log (appends fail,
+// record delivery pauses) while it keeps running — the network-partition
+// / long-GC-pause drill. HealNode reconnects it, at which point any
+// lease it lost in the meantime fences its stale appends.
+func (s *Server) PartitionNode() {
+	if s.bus != nil {
+		s.bus.Partition(s.cfg.NodeID)
+	}
+}
+
+// HealNode reverses PartitionNode.
+func (s *Server) HealNode() {
+	if s.bus != nil {
+		s.bus.Heal(s.cfg.NodeID)
+	}
+}
+
+// NodeID returns the fleet node ID ("" in single-node mode).
+func (s *Server) NodeID() string { return s.cfg.NodeID }
+
+// ClusterStats is one node's view of the fleet counters (drills,
+// cmd/trapload SLO accounting).
+type ClusterStats struct {
+	Node       string           `json:"node"`
+	Claims     int64            `json:"claims"`
+	Takeovers  int64            `json:"takeovers"`
+	FencedRuns int64            `json:"fencedRuns"`
+	BeatErrors int64            `json:"beatErrors"`
+	Leases     int              `json:"leases"`
+	Bus        cluster.BusStats `json:"bus"`
+}
+
+// ClusterStats snapshots the node's cluster counters (zero when not in
+// cluster mode).
+func (s *Server) ClusterStats() ClusterStats {
+	if s.coord == nil {
+		return ClusterStats{}
+	}
+	return ClusterStats{
+		Node:       s.cfg.NodeID,
+		Claims:     s.coord.Claims(),
+		Takeovers:  s.coord.Takeovers(),
+		FencedRuns: s.coord.FencedRuns(),
+		BeatErrors: s.coord.BeatErrors(),
+		Leases:     s.coord.Leases(),
+		Bus:        s.bus.Stats(),
+	}
+}
+
+// GET /v1/nodes
+
+// nodesResponse is the /v1/nodes envelope: the serving node plus the
+// whole fleet registry as folded from heartbeat records.
+type nodesResponse struct {
+	Node  string             `json:"node"`
+	Nodes []cluster.NodeInfo `json:"nodes"`
+}
+
+func (s *Server) handleNodes(w http.ResponseWriter, r *http.Request) {
+	if s.bus == nil {
+		writeError(w, http.StatusNotFound, "not running in cluster mode (no -node-id)")
+		return
+	}
+	writeJSON(w, http.StatusOK, nodesResponse{Node: s.cfg.NodeID, Nodes: s.bus.Nodes()})
+}
+
+// registerJoblogMetrics exposes the durable log's replay/durability
+// counters as scrape-time gauges (works for both the single-node jlog
+// and the cluster bus's shared log).
+func (s *Server) registerJoblogMetrics(lg *joblog.Log) {
+	for name, fn := range map[string]func(joblog.Stats) float64{
+		"trapd_joblog_records_replayed":     func(st joblog.Stats) float64 { return float64(st.Replayed) },
+		"trapd_joblog_appends_total":        func(st joblog.Stats) float64 { return float64(st.Appends) },
+		"trapd_joblog_corrupt_frames_total": func(st joblog.Stats) float64 { return float64(st.CorruptFrames) },
+		"trapd_joblog_torn_tails_total":     func(st joblog.Stats) float64 { return float64(st.TornTails) },
+		"trapd_joblog_truncated_bytes":      func(st joblog.Stats) float64 { return float64(st.TruncatedBytes) },
+		"trapd_joblog_compactions_total":    func(st joblog.Stats) float64 { return float64(st.Compactions) },
+		"trapd_joblog_segments":             func(st joblog.Stats) float64 { return float64(st.Segments) },
+		"trapd_joblog_active_bytes":         func(st joblog.Stats) float64 { return float64(st.ActiveBytes) },
+		"trapd_joblog_degraded": func(st joblog.Stats) float64 {
+			if st.Degraded {
+				return 1
+			}
+			return 0
+		},
+	} {
+		fn := fn
+		s.reg.GaugeFunc(name, func() float64 { return fn(lg.Stats()) })
+	}
+	for name, help := range map[string]string{
+		"trapd_joblog_records_replayed":     "Job-log records recovered by replay at startup.",
+		"trapd_joblog_corrupt_frames_total": "Job-log frames dropped during replay (CRC mismatch or torn tail).",
+		"trapd_joblog_torn_tails_total":     "Torn-tail truncation events recovered by replay.",
+		"trapd_joblog_truncated_bytes":      "Tail bytes cut from the last segment to recover a torn write.",
+		"trapd_joblog_compactions_total":    "Successful job-log compactions this process lifetime.",
+		"trapd_joblog_degraded":             "1 when an append failed and the job log is read-only (node drains).",
+	} {
+		s.reg.Describe(name, help)
+	}
+}
+
+// registerClusterMetrics exposes the fleet counters this node sees.
+func (s *Server) registerClusterMetrics() {
+	s.registerJoblogMetrics(s.bus.Log())
+	s.reg.GaugeFunc("trapd_cluster_fence_rejects_total", func() float64 {
+		return float64(s.bus.Stats().FenceRejects)
+	})
+	s.reg.GaugeFunc("trapd_cluster_takeovers_total", func() float64 {
+		return float64(s.bus.Stats().Takeovers)
+	})
+	s.reg.GaugeFunc("trapd_cluster_claims_total", func() float64 {
+		return float64(s.bus.Stats().Claims)
+	})
+	s.reg.GaugeFunc("trapd_cluster_nodes", func() float64 {
+		return float64(len(s.bus.Nodes()))
+	})
+	s.reg.GaugeFunc("trapd_cluster_leases_held", func() float64 {
+		return float64(s.coord.Leases())
+	})
+	s.reg.GaugeFunc("trapd_cluster_fenced_runs_total", func() float64 {
+		return float64(s.coord.FencedRuns())
+	})
+	s.reg.GaugeFunc("trapd_cluster_heartbeat_age_seconds", func() float64 {
+		return s.coord.HeartbeatAge().Seconds()
+	})
+	for name, help := range map[string]string{
+		"trapd_cluster_fence_rejects_total": "Owned appends rejected because the lease epoch was stale — stale results a paused or partitioned node tried to publish.",
+		"trapd_cluster_takeovers_total":     "Claims that seized an expired lease from another node.",
+		"trapd_cluster_leases_held":         "Open-job leases this node currently holds.",
+		"trapd_cluster_fenced_runs_total":   "Local runs cancelled because their lease moved to another node.",
+	} {
+		s.reg.Describe(name, help)
+	}
+}

@@ -1,0 +1,549 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/trap-repro/trap/internal/cluster"
+	"github.com/trap-repro/trap/internal/faultinject"
+	"github.com/trap-repro/trap/internal/joblog"
+)
+
+// newFleetNode builds one trapd node attached to a shared cluster bus.
+// epochDelay stretches RL training (a per-epoch injector delay) so the
+// tests have time to kill or partition the owner mid-run; delays do not
+// change training results.
+func newFleetNode(t *testing.T, bus *cluster.Bus, node, spool string, epochDelay time.Duration, mutate func(*Config)) *Server {
+	t.Helper()
+	cfg := crashParams()
+	cfg.NodeID = node
+	cfg.Bus = bus
+	cfg.SpoolDir = spool
+	cfg.CheckpointEvery = 1
+	cfg.LeaseTTL = 900 * time.Millisecond
+	cfg.HeartbeatInterval = 250 * time.Millisecond
+	if epochDelay > 0 {
+		cfg.Injector = faultinject.NewSeeded(1, faultinject.Rule{
+			Point: faultinject.PointRLEpoch, Action: faultinject.ActDelay,
+			Every: 1, Delay: epochDelay,
+		})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func waitUntil(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// replayRecords reopens a (closed) joblog directory and returns every
+// retained record, for post-mortem invariant checks.
+func replayRecords(t *testing.T, dir string) []joblog.Record {
+	t.Helper()
+	var recs []joblog.Record
+	l, err := joblog.Open(dir, joblog.Options{Replay: func(r joblog.Record) error {
+		recs = append(recs, r)
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	return recs
+}
+
+// TestFleetChaosDrillTakeover is the headline chaos drill: three
+// in-process nodes share one job namespace through the joblog, the
+// node owning a running RL-training job is torn down SIGKILL-style
+// mid-training, and a survivor must take the lease over at a higher
+// fencing epoch and resume from the latest spooled checkpoint. The
+// drill then replays the shared log to assert the distributed
+// invariants — a single owner per lease epoch, no lost job, no double
+// result — and reruns the job uninterrupted on a fresh single node to
+// assert the survivor's final parameters are bit-identical.
+func TestFleetChaosDrillTakeover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-suite chaos drill")
+	}
+	base := t.TempDir()
+	logDir := filepath.Join(base, "joblog")
+	spool := filepath.Join(base, "spool")
+	bus, err := NewFleetBus(logDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := []string{"n1", "n2", "n3"}
+	srvs := map[string]*Server{}
+	for _, n := range nodes {
+		srvs[n] = newFleetNode(t, bus, n, spool, 400*time.Millisecond, nil)
+	}
+	closed := false
+	closeAll := func() {
+		if closed {
+			return
+		}
+		closed = true
+		for _, s := range srvs {
+			s.Close()
+		}
+		bus.Close()
+	}
+	defer closeAll()
+
+	j := submitJob(t, srvs["n1"].Handler(), "Drop", "GRU")
+
+	// Wait for the first checkpoint so the survivor has something to
+	// resume from, then identify and kill the owner.
+	waitUntil(t, time.Minute, "first checkpoint", func() bool {
+		m, _ := filepath.Glob(filepath.Join(spool, "*.ckpt"))
+		return len(m) > 0
+	})
+	lease, open := bus.Lease(j.ID)
+	if !open || lease.Node == "" {
+		t.Fatalf("no lease for %s after checkpoint (open=%v)", j.ID, open)
+	}
+	owner := lease.Node
+	srvs[owner].KillNode()
+
+	var survivor string
+	for _, n := range nodes {
+		if n != owner {
+			survivor = n
+			break
+		}
+	}
+	final := pollTerminal(t, srvs[survivor].Handler(), j.ID, 3*time.Minute)
+	if final.Status != JobDone {
+		t.Fatalf("job after takeover: %s (err=%q)", final.Status, final.Error)
+	}
+	if final.Node == owner || final.Node == "" {
+		t.Errorf("final owner = %q, want a survivor (killed %q)", final.Node, owner)
+	}
+	if final.Epoch < 2 {
+		t.Errorf("final lease epoch = %d, want >= 2 (takeover)", final.Epoch)
+	}
+	if !final.Restored {
+		t.Error("job not marked restored after takeover")
+	}
+	if !final.Resumed {
+		t.Error("job did not resume from checkpoint")
+	}
+	if st := bus.Stats(); st.Takeovers < 1 {
+		t.Errorf("bus takeovers = %d, want >= 1", st.Takeovers)
+	}
+
+	// The fleet view on a survivor shows all three nodes, the dead one
+	// marked down.
+	code, body := getPath(t, srvs[survivor].Handler(), "/v1/nodes")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/nodes: %d %s", code, body)
+	}
+	var nv struct {
+		Node  string             `json:"node"`
+		Nodes []cluster.NodeInfo `json:"nodes"`
+	}
+	if err := json.Unmarshal(body, &nv); err != nil {
+		t.Fatal(err)
+	}
+	if len(nv.Nodes) != 3 {
+		t.Errorf("fleet view: %d nodes, want 3", len(nv.Nodes))
+	}
+	downOK := false
+	for _, n := range nv.Nodes {
+		if n.Node == owner && n.Down {
+			downOK = true
+		}
+	}
+	if !downOK {
+		t.Errorf("killed node %q not marked down in %s", owner, body)
+	}
+	metricAtLeast(t, srvs[final.Node].Handler(), "trapd_jobs_restored_total", 1)
+	metricAtLeast(t, srvs[final.Node].Handler(), "trapd_cluster_takeovers_total", 1)
+
+	// Post-mortem over the shared log: exactly one terminal done record
+	// (no double result), claim epochs never regress, and each lease
+	// epoch has exactly one owner.
+	closeAll()
+	recs := replayRecords(t, logDir)
+	doneRecs := 0
+	claimants := map[uint64]map[string]bool{}
+	var lastEpoch, maxEpoch uint64
+	for _, r := range recs {
+		switch r.Type {
+		case recSubmit, recState:
+			var jr Job
+			if json.Unmarshal(r.Data, &jr) == nil && jr.ID == j.ID && jr.Status == JobDone {
+				doneRecs++
+			}
+		case cluster.RecClaim:
+			if r.JobID != j.ID {
+				continue
+			}
+			var cd cluster.ClaimData
+			if err := json.Unmarshal(r.Data, &cd); err != nil {
+				t.Fatalf("bad claim record: %v", err)
+			}
+			if cd.Epoch < lastEpoch {
+				t.Errorf("claim epoch regressed: %d after %d", cd.Epoch, lastEpoch)
+			}
+			lastEpoch = cd.Epoch
+			if cd.Epoch > maxEpoch {
+				maxEpoch = cd.Epoch
+			}
+			m := claimants[cd.Epoch]
+			if m == nil {
+				m = map[string]bool{}
+				claimants[cd.Epoch] = m
+			}
+			m[cd.Node] = true
+		}
+	}
+	if doneRecs != 1 {
+		t.Errorf("done-state records in log = %d, want exactly 1", doneRecs)
+	}
+	for ep, who := range claimants {
+		if len(who) != 1 {
+			t.Errorf("lease epoch %d claimed by %d nodes %v, want 1", ep, len(who), who)
+		}
+	}
+	if maxEpoch < 2 {
+		t.Errorf("max claim epoch = %d, want >= 2", maxEpoch)
+	}
+
+	// Bit-identical: rerun the same job uninterrupted on a fresh
+	// single-node server with the same seed and params.
+	ref, err := NewServer(crashParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	want := waitForJob(t, ref.Handler(), submitJob(t, ref.Handler(), "Drop", "GRU").ID,
+		JobDone, 3*time.Minute)
+	if final.Result == nil || want.Result == nil {
+		t.Fatal("missing results")
+	}
+	if final.Result.MeanIUDR != want.Result.MeanIUDR ||
+		final.Result.Pairs != want.Result.Pairs ||
+		final.Result.Workloads != want.Result.Workloads {
+		t.Errorf("takeover result diverged: got %+v want %+v", final.Result, want.Result)
+	}
+}
+
+// TestFleetFencedStaleResult pauses (partitions) the owner mid-training
+// past its lease TTL. A survivor takes over at a higher epoch; when the
+// old owner is healed it must be fenced — its stale appends rejected
+// and its in-flight training cancelled — and the job must still finish
+// exactly once under the new owner.
+func TestFleetFencedStaleResult(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-suite fencing drill")
+	}
+	base := t.TempDir()
+	logDir := filepath.Join(base, "joblog")
+	spool := filepath.Join(base, "spool")
+	bus, err := NewFleetBus(logDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	longer := func(c *Config) { c.Params.RLEpochs = 8 }
+	srvs := map[string]*Server{
+		"a": newFleetNode(t, bus, "a", spool, 400*time.Millisecond, longer),
+		"b": newFleetNode(t, bus, "b", spool, 400*time.Millisecond, longer),
+	}
+	closed := false
+	closeAll := func() {
+		if closed {
+			return
+		}
+		closed = true
+		for _, s := range srvs {
+			s.Close()
+		}
+		bus.Close()
+	}
+	defer closeAll()
+
+	j := submitJob(t, srvs["a"].Handler(), "Drop", "GRU")
+
+	var owner string
+	waitUntil(t, time.Minute, "lease", func() bool {
+		l, open := bus.Lease(j.ID)
+		if open && l.Node != "" {
+			owner = l.Node
+			return true
+		}
+		return false
+	})
+	survivor := "a"
+	if owner == "a" {
+		survivor = "b"
+	}
+
+	// Partition the owner: heartbeats and lease renewals fail, so the
+	// lease expires and the survivor takes over.
+	srvs[owner].PartitionNode()
+	waitUntil(t, time.Minute, "heartbeat-stall readiness alarm", func() bool {
+		code, body := getPath(t, srvs[owner].Handler(), "/readyz")
+		return code == http.StatusServiceUnavailable &&
+			strings.Contains(string(body), "heartbeat stalled")
+	})
+	waitUntil(t, time.Minute, "takeover", func() bool {
+		return bus.Stats().Takeovers >= 1
+	})
+
+	// Heal the stale owner while its training is still running: its next
+	// owned append carries the old fencing epoch and must be rejected.
+	srvs[owner].HealNode()
+	waitUntil(t, time.Minute, "fence reject", func() bool {
+		return bus.Stats().FenceRejects >= 1
+	})
+	waitUntil(t, time.Minute, "fenced run cancel", func() bool {
+		return srvs[owner].ClusterStats().FencedRuns >= 1
+	})
+
+	final := pollTerminal(t, srvs[survivor].Handler(), j.ID, 3*time.Minute)
+	if final.Status != JobDone {
+		t.Fatalf("job after fencing: %s (err=%q)", final.Status, final.Error)
+	}
+	if final.Node != survivor {
+		t.Errorf("final owner = %q, want survivor %q", final.Node, survivor)
+	}
+
+	closeAll()
+	doneRecs := 0
+	for _, r := range replayRecords(t, logDir) {
+		if r.Type != recState && r.Type != recSubmit {
+			continue
+		}
+		var jr Job
+		if json.Unmarshal(r.Data, &jr) == nil && jr.ID == j.ID && jr.Status == JobDone {
+			doneRecs++
+		}
+	}
+	if doneRecs != 1 {
+		t.Errorf("done-state records in log = %d, want exactly 1 (stale result leaked?)", doneRecs)
+	}
+}
+
+// TestFleetSSEResumeAcrossTakeover disconnects an SSE consumer
+// mid-stream, kills the job's owner, and resumes the stream with
+// Last-Event-ID on a surviving node after the takeover completes. The
+// two segments must join contiguously with every training epoch
+// reported exactly once and exactly one result event — the fold-driven
+// hub keeps event sequence numbers identical fleet-wide.
+func TestFleetSSEResumeAcrossTakeover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-suite SSE drill")
+	}
+	base := t.TempDir()
+	logDir := filepath.Join(base, "joblog")
+	spool := filepath.Join(base, "spool")
+	bus, err := NewFleetBus(logDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvs := map[string]*Server{
+		"a": newFleetNode(t, bus, "a", spool, 400*time.Millisecond, nil),
+		"b": newFleetNode(t, bus, "b", spool, 400*time.Millisecond, nil),
+	}
+	defer func() {
+		for _, s := range srvs {
+			s.Close()
+		}
+		bus.Close()
+	}()
+
+	j := submitJob(t, srvs["a"].Handler(), "Drop", "GRU")
+	var owner string
+	waitUntil(t, time.Minute, "lease", func() bool {
+		l, open := bus.Lease(j.ID)
+		if open && l.Node != "" {
+			owner = l.Node
+			return true
+		}
+		return false
+	})
+	survivor := "a"
+	if owner == "a" {
+		survivor = "b"
+	}
+
+	// Stream from the survivor (a pure mirror of the fold) and read up
+	// to the first epoch event, then drop the connection.
+	ts := httptest.NewServer(srvs[survivor].Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + j.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := readSSE(t, resp.Body, 3)
+	resp.Body.Close()
+	if len(head) != 3 {
+		t.Fatalf("short first SSE segment: %d frames", len(head))
+	}
+
+	srvs[owner].KillNode()
+	final := pollTerminal(t, srvs[survivor].Handler(), j.ID, 3*time.Minute)
+	if final.Status != JobDone {
+		t.Fatalf("job after takeover: %s (err=%q)", final.Status, final.Error)
+	}
+
+	// Resume after the last frame we saw; the hub is closed (job
+	// terminal) so the replay runs to EOF.
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/jobs/"+j.ID+"/events", nil)
+	req.Header.Set("Last-Event-ID", strconv.FormatInt(head[len(head)-1].ID, 10))
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := readSSE(t, resp2.Body, 1<<20)
+	resp2.Body.Close()
+
+	frames := append(head, tail...)
+	for i := 1; i < len(frames); i++ {
+		if frames[i].ID != frames[i-1].ID+1 {
+			t.Fatalf("event stream gap across resume: id %d after %d", frames[i].ID, frames[i-1].ID)
+		}
+	}
+	epochSeen := map[int]int{}
+	results := 0
+	for _, f := range frames {
+		switch f.Event {
+		case evEpoch:
+			epochSeen[f.Data.Epoch]++
+		case evResult:
+			results++
+		}
+	}
+	for ep := 1; ep <= 4; ep++ {
+		if epochSeen[ep] != 1 {
+			t.Errorf("epoch %d reported %d times, want exactly once", ep, epochSeen[ep])
+		}
+	}
+	if results != 1 {
+		t.Errorf("result events = %d, want exactly 1", results)
+	}
+	terminalStates := 0
+	for _, f := range frames {
+		if f.Event == evState && f.Data.Status.terminal() {
+			terminalStates++
+		}
+	}
+	if terminalStates != 1 {
+		t.Errorf("terminal state events = %d, want exactly 1", terminalStates)
+	}
+	if last := frames[len(frames)-1]; last.Event != evResult {
+		t.Errorf("stream did not end on the result event: %+v", last)
+	}
+}
+
+// TestJobLogDegradedDraining (single node) injects a write failure into
+// the job-log append path: the log latches read-only, the node flips to
+// draining — /readyz 503, new submissions rejected 503 — while already
+// accepted jobs still run to completion.
+func TestJobLogDegradedDraining(t *testing.T) {
+	s := newFaultServer(t, func(c *Config) {
+		c.JobLogDir = t.TempDir()
+		c.Injector = faultinject.NewSeeded(1, faultinject.Rule{
+			Point: faultinject.PointJoblogAppend, Action: faultinject.ActError,
+			Every: 1, Count: 1,
+		})
+	})
+	defer s.Close()
+	h := s.Handler()
+
+	// First submit: the submit-record append fails, degrading the log.
+	// The job itself is still accepted (append failure is non-fatal for
+	// in-memory execution) but the node starts draining.
+	j := submitJob(t, h, "Drop", "Random")
+
+	waitUntil(t, 10*time.Second, "draining readiness", func() bool {
+		code, body := getPath(t, h, "/readyz")
+		return code == http.StatusServiceUnavailable &&
+			strings.Contains(string(body), "degraded")
+	})
+
+	code, body := postJSON(t, h, "/v1/assess", assessRequest{
+		Dataset: "tpch", Advisor: "Drop", Method: "Random",
+	})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: %d %s, want 503", code, body)
+	}
+	if !strings.Contains(string(body), "degraded") {
+		t.Errorf("drain rejection body %q does not mention degradation", body)
+	}
+
+	fin := pollTerminal(t, h, j.ID, time.Minute)
+	if fin.Status != JobDone {
+		t.Errorf("accepted job after degradation: %s (err=%q)", fin.Status, fin.Error)
+	}
+	metricAtLeast(t, h, "trapd_joblog_degraded", 1)
+}
+
+// TestHubSlowConsumerEviction verifies the SSE hub never blocks on a
+// stalled subscriber: the laggard's channel is closed once its buffer
+// fills, and a reconnect with Last-Event-ID replays what it missed from
+// the retained backlog.
+func TestHubSlowConsumerEviction(t *testing.T) {
+	h := newJobHub()
+	_, ch := h.subscribe(0)
+	if ch == nil {
+		t.Fatal("subscribe on open hub returned nil channel")
+	}
+
+	total := subBuffer + 10
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < total; i++ {
+			h.publish(JobEvent{Type: evEpoch, Epoch: i + 1})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publisher blocked on a slow consumer")
+	}
+
+	// The evicted channel holds its buffered prefix and is then closed.
+	n := 0
+	for range ch {
+		n++
+	}
+	if n != subBuffer {
+		t.Fatalf("evicted consumer drained %d events, want %d buffered", n, subBuffer)
+	}
+
+	// Reconnect after the last seen Seq: the backlog fills the gap.
+	replay, ch2 := h.subscribe(int64(n))
+	if ch2 == nil {
+		t.Fatal("re-subscribe returned nil channel on open hub")
+	}
+	defer h.unsubscribe(ch2)
+	if len(replay) != total-n {
+		t.Fatalf("resume replayed %d events, want %d", len(replay), total-n)
+	}
+	if replay[0].Seq != int64(n)+1 || replay[len(replay)-1].Seq != int64(total) {
+		t.Fatalf("resume range [%d,%d], want [%d,%d]",
+			replay[0].Seq, replay[len(replay)-1].Seq, n+1, total)
+	}
+}

@@ -51,6 +51,7 @@ import (
 	"github.com/trap-repro/trap/internal/admission"
 	"github.com/trap-repro/trap/internal/assess"
 	"github.com/trap-repro/trap/internal/bench"
+	"github.com/trap-repro/trap/internal/cluster"
 	"github.com/trap-repro/trap/internal/core"
 	"github.com/trap-repro/trap/internal/faultinject"
 	"github.com/trap-repro/trap/internal/joblog"
@@ -165,6 +166,23 @@ type Config struct {
 	// Injector arms the fault-injection points in the suites' engines
 	// and frameworks (nil — the default — disables injection).
 	Injector faultinject.Injector
+
+	// NodeID, when set, joins the server to a multi-node fleet: jobs are
+	// owned via leases over the shared job log (worker-pull placement),
+	// with fencing-token takeover when a node dies. Requires JobLogDir or
+	// Bus. Empty (the default) keeps the single-node job path.
+	NodeID string
+	// LeaseTTL is how long a job lease survives without renewal; a node
+	// that misses heartbeats for this long loses its jobs to takeover
+	// (default 15s).
+	LeaseTTL time.Duration
+	// HeartbeatInterval is the heartbeat/renew/reconcile cadence
+	// (default LeaseTTL/3).
+	HeartbeatInterval time.Duration
+	// Bus attaches the server to an existing in-process fleet bus
+	// (chaos drills, cmd/trapload). When nil and NodeID is set, the
+	// server opens its own bus over JobLogDir.
+	Bus *cluster.Bus
 }
 
 func (c *Config) fill() {
@@ -241,8 +259,20 @@ type Server struct {
 	adm    *admission.Controller
 	events *eventBus
 	ready  atomic.Bool // false until the job-log replay has finished
-	mux    *http.ServeMux
-	start  time.Time
+	// draining latches true when the job log degrades (an append or
+	// fsync failed): the node stops accepting jobs and claiming leases,
+	// serves what it has, and /readyz turns 503.
+	draining atomic.Bool
+	mux      *http.ServeMux
+	start    time.Time
+
+	// Cluster mode (Config.NodeID): the shared bus, this node's lease
+	// coordinator, and its fold subscription. ownBus marks a bus this
+	// server opened itself (and must close).
+	bus    *cluster.Bus
+	coord  *cluster.Coordinator
+	sub    *cluster.Sub
+	ownBus bool
 
 	mRequests     *obs.Counter
 	mReqSecs      *obs.Histogram
@@ -254,6 +284,7 @@ type Server struct {
 	mJobPanics    *obs.Counter
 	mJobsGCed     *obs.Counter
 	mJobsRestored *obs.Counter
+	mJobsFenced   *obs.Counter
 	mCkptSaved    *obs.Counter
 	mCkptResumed  *obs.Counter
 	mShedQuota    *obs.Counter
@@ -301,6 +332,7 @@ func NewServer(cfg Config) (*Server, error) {
 		mJobPanics:    cfg.Registry.Counter("trapd_job_panics_total"),
 		mJobsGCed:     cfg.Registry.Counter("trapd_jobs_gced_total"),
 		mJobsRestored: cfg.Registry.Counter("trapd_jobs_restored_total"),
+		mJobsFenced:   cfg.Registry.Counter("trapd_jobs_fenced_total"),
 		mCkptSaved:    cfg.Registry.Counter("trapd_checkpoints_saved_total"),
 		mCkptResumed:  cfg.Registry.Counter("trapd_checkpoints_resumed_total"),
 		mShedQuota:    cfg.Registry.Counter("trapd_shed_quota_total"),
@@ -375,10 +407,16 @@ func NewServer(cfg Config) (*Server, error) {
 		s.reg.Describe(name, help)
 	}
 	s.pool = newWorkerPool(cfg.Workers, cfg.QueueDepth, s.runJob)
-	if cfg.JobLogDir != "" {
+	switch {
+	case cfg.NodeID != "":
+		if err := s.setupCluster(); err != nil {
+			return nil, err
+		}
+	case cfg.JobLogDir != "":
 		if err := s.openJobLog(); err != nil {
 			return nil, err
 		}
+		s.registerJoblogMetrics(s.jlog)
 	}
 	s.ready.Store(true)
 	s.mux = http.NewServeMux()
@@ -394,6 +432,7 @@ func (s *Server) openJobLog() error {
 	var order []string // first-seen order, preserved across folding
 	l, err := joblog.Open(s.cfg.JobLogDir, joblog.Options{
 		SegmentBytes: s.cfg.JobLogSegmentBytes,
+		Injector:     s.cfg.Injector,
 		Replay: func(r joblog.Record) error {
 			switch r.Type {
 			case recSubmit, recState:
@@ -475,23 +514,48 @@ func (s *Server) openJobLog() error {
 }
 
 // appendJobRecord durably appends the job's current state to the job
-// log. Log failures are deliberately non-fatal for the job itself: they
-// cost durability, not correctness of the in-memory run.
+// log. Log failures are non-fatal for the job itself (they cost
+// durability, not correctness of the in-memory run) — but a degraded
+// log flips the node into read-only draining: it finishes what it has
+// and stops accepting work whose transitions it could not persist.
 func (s *Server) appendJobRecord(typ string, j Job) {
 	if s.jlog == nil {
 		return
 	}
 	if _, err := s.jlog.Append(typ, j.ID, j); err != nil {
+		if errors.Is(err, joblog.ErrDegraded) && s.draining.CompareAndSwap(false, true) {
+			s.log.Error(context.Background(),
+				"trapd: job log degraded, node entering read-only drain", "err", err)
+		}
 		s.log.Warn(context.Background(), "trapd: job log append failed", "job", j.ID, "err", err)
 	}
 }
 
 // publishState streams the job's current lifecycle state, mirrors it to
 // the job log, and — when the state is terminal — finalizes the stream.
-func (s *Server) publishState(id string) {
+//
+// In cluster mode the state is appended under this node's lease and hub
+// events come only from the fold (identical Seqs on every node). The
+// return value reports a rejected terminal publication: the lease was
+// lost (fenced), the node is dead/partitioned, or the log degraded —
+// either way the result did not reach the shared log and the caller
+// must not account the job as completed (another node owns it now).
+func (s *Server) publishState(id string) (rejected bool) {
 	j, ok := s.jobs.get(id)
 	if !ok {
-		return
+		return false
+	}
+	if s.coord != nil {
+		if _, err := s.coord.AppendOwned(recState, id, j); err != nil {
+			if errors.Is(err, joblog.ErrDegraded) && s.draining.CompareAndSwap(false, true) {
+				s.log.Error(context.Background(),
+					"trapd: job log degraded, node entering read-only drain", "err", err)
+			}
+			s.log.Warn(context.Background(), "trapd: cluster state append rejected",
+				"job", id, "status", j.Status, "err", err)
+			return j.Status.terminal()
+		}
+		return false
 	}
 	ev := JobEvent{Type: evState, Status: j.Status, Error: j.Error}
 	s.events.publish(id, ev)
@@ -502,12 +566,24 @@ func (s *Server) publishState(id string) {
 		}
 		s.events.closeHub(id)
 	}
+	return false
 }
 
-// Close releases the server's durable resources (the job log). Safe to
-// call more than once; serving continues degraded if it ever races an
-// in-flight append (appends after close fail soft).
+// Close releases the server's durable resources (the job log, the
+// fleet attachment). Safe to call more than once; serving continues
+// degraded if it ever races an in-flight append (appends after close
+// fail soft).
 func (s *Server) Close() error {
+	if s.coord != nil {
+		s.coord.Stop()
+	}
+	if s.bus != nil {
+		s.bus.Detach(s.cfg.NodeID)
+		if s.ownBus {
+			return s.bus.Close()
+		}
+		return nil
+	}
 	if s.jlog != nil {
 		return s.jlog.Close()
 	}
@@ -619,7 +695,14 @@ func (s *Server) collectGarbage(ctx context.Context, now time.Time) int {
 	}
 	for _, id := range dropped {
 		s.events.drop(id)
-		if s.jlog != nil {
+		switch {
+		case s.bus != nil:
+			// Fleet-wide tombstone: every node's fold forgets the job
+			// (duplicate tombstones from concurrent GCs are idempotent).
+			if _, err := s.bus.Append(s.cfg.NodeID, recDrop, id, nil); err != nil {
+				s.log.Warn(ctx, "trapd: job log drop append failed", "job", id, "err", err)
+			}
+		case s.jlog != nil:
 			if _, err := s.jlog.Append(recDrop, id, nil); err != nil {
 				s.log.Warn(ctx, "trapd: job log drop append failed", "job", id, "err", err)
 			}
@@ -631,9 +714,15 @@ func (s *Server) collectGarbage(ctx context.Context, now time.Time) int {
 }
 
 // Drain stops job intake, cancels queued-but-unstarted jobs, and waits
-// (bounded by ctx) for running jobs to finish.
+// (bounded by ctx) for running jobs to finish. In cluster mode queued
+// jobs are released instead of canceled: their leases go back to the
+// fleet and a surviving node picks them up.
 func (s *Server) Drain(ctx context.Context) {
 	for _, id := range s.pool.shutdown(ctx) {
+		if s.coord != nil {
+			s.coord.Release(id)
+			continue
+		}
 		now := time.Now()
 		changed := false
 		s.jobs.update(id, func(j *Job) {
@@ -675,6 +764,15 @@ func (s *Server) runJob(id string) {
 		s.jobs.clearCancel(id)
 		cancel()
 	}()
+	if s.coord != nil {
+		// Lease gate: the run proceeds only while this node still owns
+		// the job; the coordinator cancels ctx the moment the lease is
+		// taken over at a higher epoch (the fence).
+		if _, ok := s.coord.RunStarted(id, cancel); !ok {
+			return // lease lost while queued: another node owns the job
+		}
+		defer s.coord.RunEnded(id)
+	}
 	started := false
 	now := time.Now()
 	s.jobs.update(id, func(j *Job) {
@@ -706,27 +804,11 @@ func (s *Server) runJob(id string) {
 	// Span→event bridge: each finished measurement cell streams a "cell"
 	// progress event to the job's SSE subscribers. Only sampled jobs have
 	// a trace to observe; unsampled ones still stream state and epoch
-	// events.
-	tsp.Observe(func(se trace.SpanEnd) {
-		if se.Name != "assess.cell" {
-			return
-		}
-		ev := JobEvent{Type: evCell}
-		for _, a := range se.Attrs {
-			switch a.Key {
-			case "workload":
-				if v, ok := a.Value.(int64); ok {
-					w := int(v)
-					ev.Workload = &w
-				}
-			case "pairs":
-				if v, ok := a.Value.(int64); ok {
-					ev.Pairs = int(v)
-				}
-			}
-		}
-		s.events.publish(id, ev)
-	})
+	// events. Cluster mode skips the bridge: hub events must come only
+	// from folded records so Seqs stay identical across nodes.
+	if s.coord == nil {
+		tsp.Observe(s.cellObserver(id))
+	}
 	s.mJobsRun.Add(1)
 	sp := obs.StartSpan(s.mJobSecs)
 	var res *JobResult
@@ -791,7 +873,16 @@ func (s *Server) runJob(id string) {
 			j.Error = err.Error()
 		}
 	})
-	s.publishState(id)
+	if s.publishState(id) {
+		// The terminal record bounced off the fence (or the node is dead
+		// or partitioned): another node owns the job now and will publish
+		// the real result. This run's outcome is discarded — not counted
+		// as done, the checkpoint left in place for the new owner.
+		s.mJobsFenced.Inc()
+		s.log.Warn(ctx, "trapd: job result fenced, discarding",
+			"elapsed", elapsed.Round(time.Millisecond), "err", err)
+		return
+	}
 	s.adm.JobDone(fin)
 	switch {
 	case err == nil:
@@ -811,6 +902,31 @@ func (s *Server) runJob(id string) {
 	default:
 		s.mJobsFailed.Inc()
 		s.log.Error(ctx, "trapd: job failed", "elapsed", elapsed.Round(time.Millisecond), "err", err)
+	}
+}
+
+// cellObserver builds the span→event bridge that streams one "cell"
+// progress event per finished measurement cell.
+func (s *Server) cellObserver(id string) func(trace.SpanEnd) {
+	return func(se trace.SpanEnd) {
+		if se.Name != "assess.cell" {
+			return
+		}
+		ev := JobEvent{Type: evCell}
+		for _, a := range se.Attrs {
+			switch a.Key {
+			case "workload":
+				if v, ok := a.Value.(int64); ok {
+					w := int(v)
+					ev.Workload = &w
+				}
+			case "pairs":
+				if v, ok := a.Value.(int64); ok {
+					ev.Pairs = int(v)
+				}
+			}
+		}
+		s.events.publish(id, ev)
 	}
 }
 
@@ -857,7 +973,23 @@ func (s *Server) runAssessment(ctx context.Context, j Job) (*JobResult, error) {
 		// checkpointing piggybacks on it when a spool is configured.
 		every := s.cfg.CheckpointEvery
 		mc.EpochHook = func(fw *core.Framework, epoch int) error {
-			s.events.publish(j.ID, JobEvent{Type: evEpoch, Epoch: epoch + 1})
+			if s.coord != nil {
+				// Progress replicates through the shared log so every
+				// node's SSE streams carry it. A fenced append means the
+				// lease is gone: abort training immediately rather than
+				// burn cores on a result nobody will accept. Append comes
+				// before the checkpoint save, so a crash between the two
+				// re-runs the epoch and the fold's high-water dedups it.
+				if _, perr := s.coord.AppendOwned(recProgress, j.ID, progressData{Epoch: epoch + 1}); perr != nil {
+					if errors.Is(perr, cluster.ErrFenced) || errors.Is(perr, cluster.ErrNotOwner) {
+						return perr
+					}
+					// Partitioned or degraded: keep training; the fence
+					// decides when the terminal state is published.
+				}
+			} else {
+				s.events.publish(j.ID, JobEvent{Type: evEpoch, Epoch: epoch + 1})
+			}
 			if s.ckpt == nil || (epoch+1)%every != 0 {
 				return nil
 			}
