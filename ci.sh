@@ -37,7 +37,21 @@ go test -race -timeout 300s -count=1 ./internal/joblog ./internal/admission
 # checks and fan-out all contend on one mutex from every node's
 # coordinator; it gets its own loud pass.
 go test -race -timeout 300s -count=1 ./internal/cluster
+# The GEMM kernels carry a bit-identity contract: blocked/fused
+# forward and backward must match the naive k-ascending reference
+# exactly, on odd shapes and across worker counts, with the race
+# detector watching the fan-out.
+go test -race -timeout 300s -count=1 \
+    -run 'TestGEMM|TestArenaTrimReleasesOneOffPeak' ./internal/nn
 go test -race -timeout 300s ./...
+
+echo "== parallel scaling gate =="
+# The RLTrain parallel-regression gates, under -race: a 4-worker epoch
+# must not run slower than a 1-worker epoch, and widening the rollout
+# pool must not multiply allocations (the per-worker scratch dividend).
+go test -race -timeout 300s -count=1 \
+    -run 'TestRLTrainScalingGate|TestRLTrainAllocsFlatAcrossWorkers' \
+    ./internal/core
 
 echo "== benchmark smoke =="
 # One iteration of every CostBatch benchmark: catches bit-rot in the

@@ -26,6 +26,7 @@ func (a *Extend) Recommend(e *engine.Engine, w *workload.Workload, c Constraint)
 	singles := Candidates(s, w, Options{MultiColumn: false})
 	relevant := relevantColumnsByTable(w)
 	var cfg schema.Config
+	var trial schema.Config // candidate-scan scratch, reused across rounds
 	cur := WhatIfCost(e, w, cfg)
 	for {
 		// Candidate pool: unused single-column indexes plus one-attribute
@@ -64,24 +65,36 @@ func (a *Extend) Recommend(e *engine.Engine, w *workload.Workload, c Constraint)
 		}
 		type scored struct {
 			ix    schema.Index
+			base  schema.Index
+			repl  bool
 			ratio float64
-			next  schema.Config
 			cost  float64
 		}
 		best := scored{ratio: 0}
+		// trial is rebuilt in place per candidate; what-if costing does
+		// not retain the slice, and only the winning move is materialized
+		// as a fresh Config after the scan, so the greedy inner loop
+		// allocates no configurations.
 		for _, ix := range pool {
-			next := cfg.Add(ix)
+			trial = trial[:0]
 			// Extension replaces its base index.
+			repl := false
+			var base schema.Index
 			if len(ix.Columns) > 1 {
-				base := schema.Index{Table: ix.Table, Columns: ix.Columns[:len(ix.Columns)-1]}
-				if cfg.Contains(base) {
-					next = cfg.Remove(base).Add(ix)
-				}
+				base = schema.Index{Table: ix.Table, Columns: ix.Columns[:len(ix.Columns)-1]}
+				repl = cfg.Contains(base)
 			}
-			if !c.Satisfied(s, next) {
+			for _, have := range cfg {
+				if repl && have.Equal(base) {
+					continue
+				}
+				trial = append(trial, have)
+			}
+			trial = append(trial, ix)
+			if !c.Satisfied(s, trial) {
 				continue
 			}
-			nc := WhatIfCost(e, w, next)
+			nc := WhatIfCost(e, w, trial)
 			ben := cur - nc
 			if !opt.Interaction {
 				// Isolation pricing (Figure 14 ablation): each index is
@@ -94,13 +107,16 @@ func (a *Extend) Recommend(e *engine.Engine, w *workload.Workload, c Constraint)
 			}
 			ratio := ben / size
 			if ratio > best.ratio {
-				best = scored{ix: ix, ratio: ratio, next: next, cost: nc}
+				best = scored{ix: ix, base: base, repl: repl, ratio: ratio, cost: nc}
 			}
 		}
 		if best.ratio <= 0 {
 			break
 		}
-		cfg = best.next
+		if best.repl {
+			cfg = cfg.Remove(best.base)
+		}
+		cfg = cfg.Add(best.ix)
 		cur = best.cost
 	}
 	return validate(a.Name(), s, cfg, c)
@@ -108,14 +124,10 @@ func (a *Extend) Recommend(e *engine.Engine, w *workload.Workload, c Constraint)
 
 // relevantColumnsByTable lists each table's syntactically relevant columns.
 func relevantColumnsByTable(w *workload.Workload) map[string][]string {
+	// Workload.Columns already returns distinct refs, so no extra dedup.
 	m := map[string][]string{}
-	seen := map[string]bool{}
 	for _, col := range w.Columns() {
-		k := col.String()
-		if !seen[k] {
-			seen[k] = true
-			m[col.Table] = append(m[col.Table], col.Column)
-		}
+		m[col.Table] = append(m[col.Table], col.Column)
 	}
 	return m
 }

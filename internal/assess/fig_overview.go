@@ -35,12 +35,14 @@ func Tab1(s *Suite) (*Table, error) {
 	t := NewTable("Table I: example perturbations per constraint", "constraint", "query")
 	q := s.Gen.Workload(1).Items[0].Query
 	t.Add("Original", q.String())
+	g := nn.NewGraph(false)
 	for _, pc := range core.AllConstraints {
 		rng := rand.New(rand.NewSource(s.Seed + int64(pc)))
 		var pert *sqlx.Query
 		// Search a few seeds for an example that actually changed.
 		for try := 0; try < 20; try++ {
-			r, err := core.Decode(nn.NewGraph(false), core.RandomModel{}, s.Vocab, q, pc, s.P.Eps, true, rng)
+			g.Reset()
+			r, err := core.Decode(g, core.RandomModel{}, s.Vocab, q, pc, s.P.Eps, true, rng)
 			if err != nil {
 				return nil, err
 			}

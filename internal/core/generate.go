@@ -62,6 +62,7 @@ func Decode(g *nn.Graph, m Scorer, v *Vocab, q *sqlx.Query, c PerturbConstraint,
 		st = m.Advance(g, st, chosenID)
 	}
 	out, edits := sess.Result()
+	sess.Release()
 	if err := out.Validate(); err != nil {
 		return nil, fmt.Errorf("core: generated invalid query: %w", err)
 	}
@@ -111,6 +112,7 @@ func Replay(g *nn.Graph, m Scorer, v *Vocab, q *sqlx.Query, c PerturbConstraint,
 		st = m.Advance(g, st, chosenID)
 	}
 	out, edits := sess.Result()
+	sess.Release()
 	res.Query = out
 	res.Edits = edits
 	return res, nil
@@ -118,12 +120,20 @@ func Replay(g *nn.Graph, m Scorer, v *Vocab, q *sqlx.Query, c PerturbConstraint,
 
 // PerturbWorkload decodes every query of w, preserving weights.
 // Cancellation is honored between queries.
-func PerturbWorkload(ctx context.Context, m Scorer, v *Vocab, w *workload.Workload, c PerturbConstraint, eps int, sample bool, rng *rand.Rand) (out *workload.Workload, err error) {
+func PerturbWorkload(ctx context.Context, m Scorer, v *Vocab, w *workload.Workload, c PerturbConstraint, eps int, sample bool, rng *rand.Rand) (*workload.Workload, error) {
+	return perturbWorkloadOn(ctx, nn.NewGraph(false), m, v, w, c, eps, sample, rng)
+}
+
+// perturbWorkloadOn is PerturbWorkload decoding on a caller-owned graph,
+// so hot callers (the framework's Generate paths) keep one persistent
+// inference graph whose arena stays warm across calls. The graph is
+// reset between queries and left reset on return.
+func perturbWorkloadOn(ctx context.Context, g *nn.Graph, m Scorer, v *Vocab, w *workload.Workload, c PerturbConstraint, eps int, sample bool, rng *rand.Rand) (out *workload.Workload, err error) {
 	ctx, tsp := trace.Start(ctx, "core.perturb_workload")
 	tsp.Int("queries", int64(len(w.Items)))
 	tsp.Bool("sampled", sample)
 	defer func() { tsp.Fail(err); tsp.End() }()
-	g := nn.NewGraph(false)
+	defer g.Reset()
 	out = &workload.Workload{}
 	for _, it := range w.Items {
 		if err := ctx.Err(); err != nil {

@@ -43,11 +43,14 @@ type Sizes struct {
 // training and all sizes are configurable).
 func DefaultSizes() Sizes { return Sizes{Embed: 48, Hidden: 48} }
 
-// trapState is the decoding state of the attention models.
+// trapState is the decoding state of the attention models: the packed
+// encoder state matrix (inside the attention cache, whose Wh·H
+// projection is computed once per sequence on the first Score) plus the
+// decoder state.
 type trapState struct {
-	encStates []*nn.Tensor
-	s         *nn.Tensor
-	prev      int
+	att  *nn.AttCache
+	s    *nn.Tensor
+	prev int
 }
 
 // TRAPModel is the paper's generator (Section IV-A): Bi-GRU encoder, GRU
@@ -120,15 +123,15 @@ func (m *TRAPModel) Begin(g *nn.Graph, input []int) DecState {
 	for i, id := range input {
 		xs[i] = m.emb.Lookup(g, clampID(id, m.embRows))
 	}
-	enc := m.enc.Encode(g, xs)
-	s0 := g.Tanh(m.bridge.Apply(g, enc[len(enc)-1]))
-	return &trapState{encStates: enc, s: s0, prev: 0}
+	H := m.enc.EncodePacked(g, xs)
+	s0 := g.Tanh(m.bridge.Apply(g, g.Col(H, H.C-1)))
+	return &trapState{att: &nn.AttCache{H: H}, s: s0, prev: 0}
 }
 
 // Score implements Scorer: Equation 4 restricted to the candidate region.
 func (m *TRAPModel) Score(g *nn.Graph, st DecState, cands []int) *nn.Tensor {
 	t := st.(*trapState)
-	ctx, _ := m.att.Context(g, t.encStates, t.s)
+	ctx, _ := m.att.ContextPre(g, t.att, t.s)
 	prevEmb := m.decEmb.Lookup(g, clampID(t.prev, m.embRows))
 	x := g.Concat(ctx, t.s, prevEmb)
 	rows := make([]int, len(cands))
@@ -138,11 +141,15 @@ func (m *TRAPModel) Score(g *nn.Graph, st DecState, cands []int) *nn.Tensor {
 	return g.SelectedAffine(m.outW, m.outB, x, rows)
 }
 
-// Advance implements Scorer.
+// Advance implements Scorer. Decoding consumes states linearly (callers
+// always replace the old state with the returned one), so the state is
+// mutated in place instead of allocating one struct per step.
 func (m *TRAPModel) Advance(g *nn.Graph, st DecState, chosen int) DecState {
 	t := st.(*trapState)
 	x := m.decEmb.Lookup(g, clampID(chosen, m.embRows))
-	return &trapState{encStates: t.encStates, s: m.dec.Step(g, x, t.s), prev: chosen}
+	t.s = m.dec.Step(g, x, t.s)
+	t.prev = chosen
+	return t
 }
 
 func clampID(id, rows int) int {
@@ -157,15 +164,14 @@ func clampID(id, rows int) int {
 func (m *TRAPModel) EncodeVector(v *Vocab, q *sqlx.Query) []float64 {
 	g := nn.NewGraph(false)
 	st := m.Begin(g, v.Encode(q)).(*trapState)
-	dim := st.encStates[0].R
-	out := make([]float64, dim)
-	for _, h := range st.encStates {
-		for i := 0; i < dim; i++ {
-			out[i] += h.W[i]
-		}
-	}
+	H := st.att.H
+	out := make([]float64, H.R)
 	for i := range out {
-		out[i] /= float64(len(st.encStates))
+		var s float64
+		for j := 0; j < H.C; j++ {
+			s += H.W[i*H.C+j]
+		}
+		out[i] = s / float64(H.C)
 	}
 	return out
 }
@@ -189,7 +195,7 @@ func (m *Seq2SeqModel) Name() string { return "Seq2Seq" }
 // encoder state for every step.
 func (m *Seq2SeqModel) Score(g *nn.Graph, st DecState, cands []int) *nn.Tensor {
 	t := st.(*trapState)
-	ctx := t.encStates[len(t.encStates)-1]
+	ctx := g.Col(t.att.H, t.att.H.C-1)
 	prevEmb := m.decEmb.Lookup(g, clampID(t.prev, m.embRows))
 	x := g.Concat(ctx, t.s, prevEmb)
 	rows := make([]int, len(cands))
@@ -238,9 +244,10 @@ func (m *GRUModel) Params() *nn.Params { return m.params }
 // baseline has nothing to transfer, so this is a no-op).
 func (m *GRUModel) ResetDecoder(*rand.Rand) {}
 
-// Begin implements Scorer (the input is ignored: no encoder).
+// Begin implements Scorer (the input is ignored: no encoder). The zero
+// initial state lives in the graph's arena, not the heap.
 func (m *GRUModel) Begin(g *nn.Graph, input []int) DecState {
-	return &gruState{s: m.cell.InitState(), prev: 0}
+	return &gruState{s: g.Alloc(m.cell.Hidden, 1), prev: 0}
 }
 
 // Score implements Scorer.
@@ -255,11 +262,14 @@ func (m *GRUModel) Score(g *nn.Graph, st DecState, cands []int) *nn.Tensor {
 	return g.SelectedAffine(m.outW, m.outB, x, rows)
 }
 
-// Advance implements Scorer.
+// Advance implements Scorer, mutating the state in place (decoding uses
+// states linearly; see TRAPModel.Advance).
 func (m *GRUModel) Advance(g *nn.Graph, st DecState, chosen int) DecState {
 	t := st.(*gruState)
 	x := m.emb.Lookup(g, clampID(chosen, m.embRows))
-	return &gruState{s: m.cell.Step(g, x, t.s), prev: chosen}
+	t.s = m.cell.Step(g, x, t.s)
+	t.prev = chosen
+	return t
 }
 
 // RandomModel scores every candidate equally: uniform sampling through

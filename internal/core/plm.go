@@ -113,14 +113,15 @@ func (m *PLMModel) Begin(g *nn.Graph, input []int) DecState {
 		xs[i] = m.inProj.Apply(g, m.emb.Lookup(g, clampID(id, m.embRows)))
 	}
 	enc := m.enc.Encode(g, xs)
-	s0 := g.Tanh(m.bridge.Apply(g, enc[len(enc)-1]))
-	return &trapState{encStates: enc, s: s0, prev: 0}
+	H := g.PackCols(enc...)
+	s0 := g.Tanh(m.bridge.Apply(g, g.Col(H, H.C-1)))
+	return &trapState{att: &nn.AttCache{H: H}, s: s0, prev: 0}
 }
 
 // Score implements Scorer.
 func (m *PLMModel) Score(g *nn.Graph, st DecState, cands []int) *nn.Tensor {
 	t := st.(*trapState)
-	ctx, _ := m.att.Context(g, t.encStates, t.s)
+	ctx, _ := m.att.ContextPre(g, t.att, t.s)
 	prevEmb := m.decEmb.Lookup(g, clampID(t.prev, m.embRows))
 	x := g.Concat(ctx, t.s, prevEmb)
 	rows := make([]int, len(cands))
@@ -130,11 +131,14 @@ func (m *PLMModel) Score(g *nn.Graph, st DecState, cands []int) *nn.Tensor {
 	return g.SelectedAffine(m.outW, m.outB, x, rows)
 }
 
-// Advance implements Scorer.
+// Advance implements Scorer, mutating the state in place (decoding uses
+// states linearly; see TRAPModel.Advance).
 func (m *PLMModel) Advance(g *nn.Graph, st DecState, chosen int) DecState {
 	t := st.(*trapState)
 	x := m.decEmb.Lookup(g, clampID(chosen, m.embRows))
-	return &trapState{encStates: t.encStates, s: m.dec.Step(g, x, t.s), prev: chosen}
+	t.s = m.dec.Step(g, x, t.s)
+	t.prev = chosen
+	return t
 }
 
 // GenericPretrain simulates the PLM's generic-corpus pretraining: next

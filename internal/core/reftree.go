@@ -2,6 +2,9 @@ package core
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
+	"sync"
 
 	"github.com/trap-repro/trap/internal/sqlx"
 )
@@ -66,18 +69,40 @@ type Session struct {
 	// stopID is the token closing an extension slot without insertion.
 	stopID int
 
-	// origColumns is the original query's column set (for ColumnConsistent).
-	origColumns map[string]bool
+	// origCols caches the original query's column-token ids in
+	// first-appearance order, built lazily on the first column slot of a
+	// column-set-restricted constraint.
+	origCols      []int
+	origColsBuilt bool
 
-	// usedCols masks per-clause duplicate columns.
-	usedCols map[clause]map[string]bool
+	// usedCols masks per-clause duplicate columns (inner maps lazily
+	// allocated, cleared on session reuse).
+	usedCols [clOrderBy + 1]map[string]bool
 
 	// pendingForcedValue marks filter indices whose column changed so the
 	// upcoming value leaf must be re-sampled (its old literal is invalid).
 	pendingForcedValue map[int]bool
 
 	current *Step
+
+	// stepBox backs every Step the session hands out: a step is only
+	// alive between Next and the matching Choose (nothing downstream
+	// retains the struct — the model captures only the Candidates slice),
+	// so one reusable box replaces a per-slot allocation. forcedBuf is
+	// the singleton candidate list of forced slots, which never reaches
+	// the model at all.
+	stepBox   Step
+	forcedBuf [1]int
+
+	// poolBuf is scratch for assembling column-candidate pools.
+	poolBuf []int
 }
+
+// sessionPool recycles session shells — the slot queue, candidate
+// scratch and mask maps — across decodes. A decode allocates only what
+// escapes it: the perturbed query and the candidate slices the model's
+// tape captures.
+var sessionPool = sync.Pool{New: func() any { return new(Session) }}
 
 // Step is the decoding decision at one position: the candidate token ids
 // (singleton when the token is forced) and the index within Candidates of
@@ -92,24 +117,33 @@ type Step struct {
 // Forced reports whether the step offers no real choice.
 func (st *Step) Forced() bool { return len(st.Candidates) == 1 }
 
-// NewSession starts a perturbation session for q.
+// NewSession starts a perturbation session for q, reusing a pooled
+// session shell when one is available.
 func NewSession(v *Vocab, q *sqlx.Query, c PerturbConstraint, eps int) *Session {
-	s := &Session{
-		v:                  v,
-		constraint:         c,
-		eps:                eps,
-		orig:               q,
-		q:                  q.Clone(),
-		stopID:             v.ID(sqlx.Token{Type: sqlx.TokReserved, Text: "<stop>"}),
-		origColumns:        map[string]bool{},
-		usedCols:           map[clause]map[string]bool{},
-		pendingForcedValue: map[int]bool{},
+	s := sessionPool.Get().(*Session)
+	s.v, s.constraint, s.eps = v, c, eps
+	s.orig, s.q = q, q.Clone()
+	s.queue = s.queue[:0]
+	s.pos, s.edits = 0, 0
+	s.stopID = v.ID(sqlx.Token{Type: sqlx.TokReserved, Text: "<stop>"})
+	s.origCols = s.origCols[:0]
+	s.origColsBuilt = false
+	for _, m := range s.usedCols {
+		clear(m)
 	}
-	for _, col := range q.Columns() {
-		s.origColumns[col.String()] = true
-	}
+	clear(s.pendingForcedValue)
+	s.current = nil
 	s.buildQueue()
 	return s
+}
+
+// Release returns the session shell to the pool. Callers must be done
+// with every Step the session handed out; the perturbed query returned
+// by Result is independently allocated and unaffected.
+func (s *Session) Release() {
+	s.v, s.orig, s.q = nil, nil, nil
+	s.current = nil
+	sessionPool.Put(s)
 }
 
 func res(text string) sqlx.Token { return sqlx.Token{Type: sqlx.TokReserved, Text: text} }
@@ -258,6 +292,14 @@ func (s *Session) origToken(sl slot) sqlx.Token {
 	panic("core: unhandled slot")
 }
 
+// forced fills the session's step box with the single-candidate step of
+// a slot offering no choice.
+func (s *Session) forced(id int, sl slot) *Step {
+	s.forcedBuf[0] = id
+	s.stepBox = Step{Candidates: s.forcedBuf[:1], KeepIdx: 0, slotRef: sl}
+	return &s.stepBox
+}
+
 // stepFor computes the candidate set of a slot, applying the constraint
 // rules of Table I, the remaining edit budget, and the dynamic masks.
 func (s *Session) stepFor(sl slot) *Step {
@@ -266,7 +308,7 @@ func (s *Session) stepFor(sl slot) *Step {
 	}
 	orig := s.origToken(sl)
 	origID := s.v.ID(orig)
-	single := &Step{Candidates: []int{origID}, KeepIdx: 0, slotRef: sl}
+	single := s.forced(origID, sl)
 
 	if sl.role == roleReserved || sl.role == roleTable || sl.clause == clJoin {
 		return single
@@ -286,8 +328,9 @@ func (s *Session) stepFor(sl slot) *Step {
 		if s.pendingForcedValue[sl.idx] && sl.clause == clWhere {
 			// Look-ahead re-typing: the column changed, the old literal is
 			// invalid, a new value must be drawn (edit already accounted).
-			st := &Step{Candidates: region, KeepIdx: -1, slotRef: sl}
-			return st
+			// The region slice is vocab-owned and read-only downstream.
+			s.stepBox = Step{Candidates: region, KeepIdx: -1, slotRef: sl}
+			return &s.stepBox
 		}
 	case roleColumn:
 		if !s.constraint.allowsColumns() {
@@ -329,15 +372,23 @@ func (s *Session) stepFor(sl slot) *Step {
 		return single
 	}
 	// Candidates: the region with the original token included (kept
-	// choices are free; any other choice costs edits).
+	// choices are free; any other choice costs edits). The slice is
+	// freshly allocated per step — the model's tape captures it. Vocab
+	// regions are duplicate-free by construction, so the linear dup scan
+	// only guards the multi-table column pools.
 	cands := make([]int, 0, len(region)+1)
 	keep := -1
-	seen := map[int]bool{}
 	for _, id := range region {
-		if seen[id] {
+		dup := false
+		for _, c := range cands {
+			if c == id {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		seen[id] = true
 		cands = append(cands, id)
 		if id == origID {
 			keep = len(cands) - 1
@@ -347,7 +398,8 @@ func (s *Session) stepFor(sl slot) *Step {
 		cands = append(cands, origID)
 		keep = len(cands) - 1
 	}
-	return &Step{Candidates: cands, KeepIdx: keep, slotRef: sl}
+	s.stepBox = Step{Candidates: cands, KeepIdx: keep, slotRef: sl}
+	return &s.stepBox
 }
 
 // columnCandidates returns the legal replacement columns for a column
@@ -355,21 +407,28 @@ func (s *Session) stepFor(sl slot) *Step {
 // the query's tables under SharedTable, minus columns already used in the
 // same clause.
 func (s *Session) columnCandidates(sl slot) []int {
-	var pool []int
+	pool := s.poolBuf[:0]
 	if s.constraint.columnSetRestricted() {
-		for text := range s.origColumns {
-			pool = append(pool, s.v.ID(sqlx.Token{Type: sqlx.TokColumn, Text: text}))
+		if !s.origColsBuilt {
+			s.origColsBuilt = true
+			for _, col := range s.orig.Columns() {
+				s.origCols = append(s.origCols,
+					s.v.ID(sqlx.Token{Type: sqlx.TokColumn, Text: col.String()}))
+			}
 		}
+		pool = append(pool, s.origCols...)
 	} else {
-		for _, t := range s.q.Tables() {
-			pool = append(pool, s.v.ColumnsRegion(t)...)
+		for _, t := range s.q.From {
+			pool = append(pool, s.v.ColumnsRegion(t.Name)...)
 		}
 	}
+	s.poolBuf = pool
+	// Filter in place: out trails pool, so this reuses the same scratch.
+	// The result is copied into the step's candidate slice by stepFor.
 	used := s.usedCols[sl.clause]
-	var out []int
+	out := pool[:0]
 	for _, id := range pool {
-		tok := s.v.Token(id)
-		if used != nil && used[tok.Text] {
+		if used != nil && used[s.v.Token(id).Text] {
 			continue
 		}
 		out = append(out, id)
@@ -381,32 +440,34 @@ func (s *Session) columnCandidates(sl slot) []int {
 // predicate) or emit <stop>. Insertions cost 2 tokens in SELECT (comma +
 // column) and 4 in WHERE (conjunction + column + operator + value).
 func (s *Session) extensionStep(sl slot) *Step {
-	stop := &Step{Candidates: []int{s.stopID}, KeepIdx: 0, slotRef: sl}
 	need := 2
 	if sl.clause == clWhere {
 		need = 4
 	}
 	if s.budget() < need {
-		return stop
+		return s.forced(s.stopID, sl)
 	}
 	// A new plain payload column in a grouped query would violate strict
 	// SQL grouping.
 	if sl.clause == clSelect && len(s.q.GroupBy) > 0 {
-		return stop
+		return s.forced(s.stopID, sl)
 	}
-	var pool []int
-	for _, t := range s.q.Tables() {
-		pool = append(pool, s.v.ColumnsRegion(t)...)
+	pool := s.poolBuf[:0]
+	for _, t := range s.q.From {
+		pool = append(pool, s.v.ColumnsRegion(t.Name)...)
 	}
+	s.poolBuf = pool
 	used := s.usedCols[sl.clause]
-	cands := []int{s.stopID}
+	cands := make([]int, 1, len(pool)+1)
+	cands[0] = s.stopID
 	for _, id := range pool {
 		if used != nil && used[s.v.Token(id).Text] {
 			continue
 		}
 		cands = append(cands, id)
 	}
-	return &Step{Candidates: cands, KeepIdx: 0, slotRef: sl}
+	s.stepBox = Step{Candidates: cands, KeepIdx: 0, slotRef: sl}
+	return &s.stepBox
 }
 
 // Choose applies the token with the given id (which must be one of the
@@ -468,7 +529,7 @@ func (s *Session) applyChange(sl slot, tok sqlx.Token) {
 		q.Conjs[sl.idx-1] = sqlx.Conj(tok.Text)
 	case sl.clause == clWhere && sl.role == roleColumn:
 		q.Filters[sl.idx].Col = mustColRef(tok.Text)
-		s.pendingForcedValue[sl.idx] = true
+		s.setPendingForced(sl.idx)
 		s.edits++ // the forced value change is paid for here
 	case sl.clause == clWhere && sl.role == roleOperator:
 		q.Filters[sl.idx].Op = tok.Text
@@ -524,7 +585,16 @@ func (s *Session) applyExtension(sl slot, id int, tok sqlx.Token) {
 	}, s.queue[s.pos+1:]...)
 	s.queue = append(s.queue[:s.pos+1], rest...)
 	// The operator/value slots may refine the defaults without extra cost.
-	s.pendingForcedValue[fi] = true
+	s.setPendingForced(fi)
+}
+
+// setPendingForced lazily allocates the pending-value mask: most decodes
+// never change a predicate column, so the map usually stays nil.
+func (s *Session) setPendingForced(i int) {
+	if s.pendingForcedValue == nil {
+		s.pendingForcedValue = map[int]bool{}
+	}
+	s.pendingForcedValue[i] = true
 }
 
 // Result returns the perturbed query and the edits consumed. It panics if
@@ -545,10 +615,15 @@ func mustColRef(text string) sqlx.ColumnRef {
 	panic("core: malformed column token " + text)
 }
 
+// mustDatum inverts Datum.String: value tokens are rendered SQL
+// literals — quoted strings with ” escapes, or bare numbers.
 func mustDatum(text string) sqlx.Datum {
-	q, err := sqlx.Parse("SELECT x.x FROM x WHERE x.x = " + text)
+	if len(text) >= 2 && text[0] == '\'' && text[len(text)-1] == '\'' {
+		return sqlx.StrDatum(strings.ReplaceAll(text[1:len(text)-1], "''", "'"))
+	}
+	n, err := strconv.ParseFloat(text, 64)
 	if err != nil {
 		panic("core: malformed value token " + text)
 	}
-	return q.Filters[0].Val
+	return sqlx.NumDatum(n)
 }

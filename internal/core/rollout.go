@@ -24,6 +24,9 @@ func init() {
 		_, m := nn.ArenaStats()
 		return float64(m)
 	})
+	obs.Default().GaugeFunc("trap_nn_arena_retained_bytes", func() float64 {
+		return float64(nn.ArenaRetainedBytes())
+	})
 }
 
 // rollout is one sampled trajectory's contribution, produced by a worker
@@ -55,23 +58,17 @@ func (f *Framework) rolloutWorkers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// getGraph takes a graph from the framework's pool (or builds one), so
-// tensor arenas stay warm across workloads and epochs.
-func (f *Framework) getGraph(needsGrad bool) *nn.Graph {
-	g, _ := f.graphs.Get().(*nn.Graph)
-	if g == nil {
-		return nn.NewGraph(needsGrad)
+// rollGraphs returns the framework's persistent trajectory graphs,
+// grown to n entries. Unlike a sync.Pool — whose contents every GC
+// cycle discards, re-triggering arena warm-up allocations mid-training
+// — these graphs live as long as the framework, so steady-state
+// training reuses the same arena memory for every epoch and the
+// per-step allocation count is flat in the worker count. Callers must
+// hold f.mu; during a rollout fan-out, worker b exclusively owns
+// rollGraphs(batch)[b].
+func (f *Framework) rollGraphs(n int) []*nn.Graph {
+	for len(f.rollG) < n {
+		f.rollG = append(f.rollG, nn.NewGraph(true))
 	}
-	g.NeedsGrad = needsGrad
-	return g
-}
-
-// putGraph resets a graph (recycling its arena tensors and dropping any
-// un-run tape) and returns it to the pool. nil is ignored.
-func (f *Framework) putGraph(g *nn.Graph) {
-	if g == nil {
-		return
-	}
-	g.Reset()
-	f.graphs.Put(g)
+	return f.rollG[:n]
 }

@@ -108,9 +108,16 @@ type Framework struct {
 	// training steps and concurrent Generate calls.
 	mu sync.Mutex
 
-	// graphs pools rollout graphs so their tensor arenas stay warm
-	// across workloads and epochs (see internal/nn's Graph arena).
-	graphs sync.Pool
+	// Persistent graphs (a sync.Pool is cleared by every GC cycle, which
+	// re-triggered the arena's warm-up allocations mid-training): greedyG
+	// serves the sequential greedy prologue and genG the Generate calls,
+	// both under mu; rollG[b] is sampled trajectory b's private tape —
+	// during a rollout fan-out each worker owns exactly the entries it
+	// was dealt, so the hot path shares no allocator state across
+	// workers and allocation volume does not scale with worker count.
+	greedyG *nn.Graph
+	genG    *nn.Graph
+	rollG   []*nn.Graph
 
 	// uCache memoizes the advisor's utility on original workloads during
 	// RL training (deterministic, so safe to reuse across trajectories).
@@ -375,17 +382,20 @@ func (f *Framework) RLTrain(ctx context.Context, e *engine.Engine, adv advisor.A
 		// registers any unseen vocabulary tokens, triggers lazy advisor
 		// initialization and fills the utility cache deterministically,
 		// so the fanned-out rollouts below only read that shared state.
-		gb := f.getGraph(false)
+		if f.greedyG == nil {
+			f.greedyG = nn.NewGraph(false)
+		}
+		gb := f.greedyG
 		greedy := &workload.Workload{}
 		for _, it := range w.Items {
 			r, err := Decode(gb, f.Model, f.Vocab, it.Query, f.Constraint, f.Eps, false, f.rng)
 			if err != nil {
-				f.putGraph(gb)
+				gb.Reset()
 				return 0, 0, nil
 			}
 			greedy.Items = append(greedy.Items, workload.Item{Query: r.Query, Weight: it.Weight})
 		}
-		f.putGraph(gb)
+		gb.Reset()
 		u, uErr := f.originalUtility(ctx, e, adv, baseAdv, c, w)
 		if uErr != nil {
 			// Below-θ workloads are skipped entirely (Definition 3.3).
@@ -401,6 +411,7 @@ func (f *Framework) RLTrain(ctx context.Context, e *engine.Engine, adv advisor.A
 		// a failed decode or reward skips that trajectory (ok stays
 		// false), mirroring the sequential behavior.
 		rolls := make([]rollout, batch)
+		graphs := f.rollGraphs(batch)
 		es := f.epochSeed(epoch)
 		ctx, bsp := trace.Start(ctx, "rl.rollout_batch")
 		bsp.Int("workload", int64(wi))
@@ -411,7 +422,7 @@ func (f *Framework) RLTrain(ctx context.Context, e *engine.Engine, adv advisor.A
 			if err := faultinject.Fire(f.Inject, faultinject.PointRollout); err != nil {
 				return err
 			}
-			g := f.getGraph(true)
+			g := graphs[b]
 			rolls[b].g = g
 			rng := rand.New(rand.NewSource(trajSeed(es, int64(wi), int64(b))))
 			pert := &workload.Workload{}
@@ -456,7 +467,9 @@ func (f *Framework) RLTrain(ctx context.Context, e *engine.Engine, adv advisor.A
 				sum += ro.r
 				n++
 			}
-			f.putGraph(ro.g) // Reset drops any half-built tape
+			if ro.g != nil {
+				ro.g.Reset() // drops any half-built tape, recycles the arena
+			}
 		}
 		bsp.Int("ok", int64(n))
 		bsp.Fail(rerr)
@@ -562,7 +575,16 @@ func (f *Framework) Generate(ctx context.Context, w *workload.Workload) (*worklo
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return PerturbWorkload(ctx, f.Model, f.Vocab, w, f.Constraint, f.Eps, false, f.rng)
+	return perturbWorkloadOn(ctx, f.generateGraph(), f.Model, f.Vocab, w, f.Constraint, f.Eps, false, f.rng)
+}
+
+// generateGraph lazily builds the persistent inference graph shared by
+// the Generate paths. Callers must hold f.mu.
+func (f *Framework) generateGraph() *nn.Graph {
+	if f.genG == nil {
+		f.genG = nn.NewGraph(false)
+	}
+	return f.genG
 }
 
 // GenerateSampled produces a randomized perturbation (used by the Random
@@ -574,7 +596,7 @@ func (f *Framework) GenerateSampled(ctx context.Context, w *workload.Workload) (
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return PerturbWorkload(ctx, f.Model, f.Vocab, w, f.Constraint, f.Eps, true, f.rng)
+	return perturbWorkloadOn(ctx, f.generateGraph(), f.Model, f.Vocab, w, f.Constraint, f.Eps, true, f.rng)
 }
 
 // GenerateSeeded is GenerateSampled with a private RNG stream derived
@@ -590,5 +612,5 @@ func (f *Framework) GenerateSeeded(ctx context.Context, w *workload.Workload, sa
 	rng := rand.New(rand.NewSource(trajSeed(f.seed, salt, 0)))
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return PerturbWorkload(ctx, f.Model, f.Vocab, w, f.Constraint, f.Eps, true, rng)
+	return perturbWorkloadOn(ctx, f.generateGraph(), f.Model, f.Vocab, w, f.Constraint, f.Eps, true, rng)
 }

@@ -33,9 +33,13 @@ type Vocab struct {
 	ids    map[sqlx.Token]int
 
 	// regions maps a region key to the ids it contains:
-	//   "operator", "aggregator", "conjunction", "table",
-	//   "columns:<table>", "values:<table>.<column>".
-	regions map[string][]int
+	//   "operator", "aggregator", "conjunction", "table", "reserved".
+	// The per-table column and per-column value regions live in their
+	// own maps keyed without string assembly, so the decoder's per-slot
+	// region probes cost no allocation.
+	regions    map[string][]int
+	colRegions map[string][]int         // table name -> column-token ids
+	valRegions map[sqlx.ColumnRef][]int // column -> value-token ids
 }
 
 // valuesPerColumn is how many representative values are sampled per column
@@ -47,21 +51,39 @@ const valuesPerColumn = 8
 // paper: "legitimate tokens for predicate values are sampled from the
 // current dataset and workloads").
 func BuildVocab(s *schema.Schema, ws []*workload.Workload) *Vocab {
-	v := &Vocab{ids: map[sqlx.Token]int{}, regions: map[string][]int{}}
-	addTo := func(region string, t sqlx.Token) int {
+	v := &Vocab{
+		ids:        map[sqlx.Token]int{},
+		regions:    map[string][]int{},
+		colRegions: map[string][]int{},
+		valRegions: map[sqlx.ColumnRef][]int{},
+	}
+	add := func(t sqlx.Token) int {
 		id, ok := v.ids[t]
 		if !ok {
 			id = len(v.tokens)
 			v.tokens = append(v.tokens, t)
 			v.ids[t] = id
 		}
-		for _, have := range v.regions[region] {
+		return id
+	}
+	appendUnique := func(ids []int, id int) []int {
+		for _, have := range ids {
 			if have == id {
-				return id
+				return ids
 			}
 		}
-		v.regions[region] = append(v.regions[region], id)
+		return append(ids, id)
+	}
+	addTo := func(region string, t sqlx.Token) int {
+		id := add(t)
+		v.regions[region] = appendUnique(v.regions[region], id)
 		return id
+	}
+	addColTo := func(table string, t sqlx.Token) {
+		v.colRegions[table] = appendUnique(v.colRegions[table], add(t))
+	}
+	addValTo := func(col sqlx.ColumnRef, t sqlx.Token) {
+		v.valRegions[col] = appendUnique(v.valRegions[col], add(t))
 	}
 	for _, kw := range []string{"SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", ",", "(", ")"} {
 		addTo("reserved", sqlx.Token{Type: sqlx.TokReserved, Text: kw})
@@ -80,20 +102,18 @@ func BuildVocab(s *schema.Schema, ws []*workload.Workload) *Vocab {
 		for ci := range t.Columns {
 			col := &t.Columns[ci]
 			ref := sqlx.ColumnRef{Table: t.Name, Column: col.Name}
-			addTo("columns:"+t.Name, sqlx.Token{Type: sqlx.TokColumn, Text: ref.String()})
-			region := "values:" + ref.String()
+			addColTo(t.Name, sqlx.Token{Type: sqlx.TokColumn, Text: ref.String()})
 			for k := 0; k < valuesPerColumn; k++ {
 				q := (float64(k) + 0.5) / valuesPerColumn
 				idx := col.Dist.IndexOf(col.Dist.Quantile(q))
-				addTo(region, sqlx.Token{Type: sqlx.TokValue, Text: col.DatumOf(idx).String()})
+				addValTo(ref, sqlx.Token{Type: sqlx.TokValue, Text: col.DatumOf(idx).String()})
 			}
 		}
 	}
 	for _, w := range ws {
 		for _, it := range w.Items {
 			for _, p := range it.Query.Filters {
-				region := "values:" + p.Col.String()
-				addTo(region, sqlx.Token{Type: sqlx.TokValue, Text: p.Val.String()})
+				addValTo(p.Col, sqlx.Token{Type: sqlx.TokValue, Text: p.Val.String()})
 			}
 		}
 	}
@@ -144,10 +164,18 @@ func (v *Vocab) Region(key string) []int {
 }
 
 // ColumnsRegion returns the column-token ids for a table.
-func (v *Vocab) ColumnsRegion(table string) []int { return v.Region("columns:" + table) }
+func (v *Vocab) ColumnsRegion(table string) []int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.colRegions[table]
+}
 
 // ValuesRegion returns the value-token ids for a column.
-func (v *Vocab) ValuesRegion(col sqlx.ColumnRef) []int { return v.Region("values:" + col.String()) }
+func (v *Vocab) ValuesRegion(col sqlx.ColumnRef) []int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.valRegions[col]
+}
 
 // SetValuesRegion replaces the legitimate value tokens of a column. This
 // is the paper's periodic-template adaptation: given the variants
@@ -156,8 +184,7 @@ func (v *Vocab) ValuesRegion(col sqlx.ColumnRef) []int { return v.Region("values
 func (v *Vocab) SetValuesRegion(col sqlx.ColumnRef, values []sqlx.Datum) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	key := "values:" + col.String()
-	v.regions[key] = nil
+	v.valRegions[col] = nil
 	for _, d := range values {
 		t := sqlx.Token{Type: sqlx.TokValue, Text: d.String()}
 		id, ok := v.ids[t]
@@ -166,7 +193,7 @@ func (v *Vocab) SetValuesRegion(col sqlx.ColumnRef, values []sqlx.Datum) {
 			v.tokens = append(v.tokens, t)
 			v.ids[t] = id
 		}
-		v.regions[key] = append(v.regions[key], id)
+		v.valRegions[col] = append(v.valRegions[col], id)
 	}
 }
 
@@ -182,9 +209,15 @@ func (v *Vocab) EmbeddingRows() int {
 func (v *Vocab) RegionKeys() []string {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
-	keys := make([]string, 0, len(v.regions))
+	keys := make([]string, 0, len(v.regions)+len(v.colRegions)+len(v.valRegions))
 	for k := range v.regions {
 		keys = append(keys, k)
+	}
+	for t := range v.colRegions {
+		keys = append(keys, "columns:"+t)
+	}
+	for c := range v.valRegions {
+		keys = append(keys, "values:"+c.String())
 	}
 	sort.Strings(keys)
 	return keys
@@ -204,5 +237,6 @@ func (v *Vocab) Encode(q *sqlx.Query) []int {
 func (v *Vocab) String() string {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
-	return fmt.Sprintf("Vocab{%d tokens, %d regions}", len(v.tokens), len(v.regions))
+	return fmt.Sprintf("Vocab{%d tokens, %d regions}",
+		len(v.tokens), len(v.regions)+len(v.colRegions)+len(v.valRegions))
 }

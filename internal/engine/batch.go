@@ -2,28 +2,72 @@ package engine
 
 import (
 	"context"
+	"sync"
 
 	"github.com/trap-repro/trap/internal/par"
+	"github.com/trap-repro/trap/internal/schema"
 )
 
-// forEachItem runs fn(i) for every i in [0, n) and returns the results
-// in index order, fanning out over par.ForEach's bounded worker pool.
-// The caller reduces the returned slice sequentially, which keeps
-// parallel cost totals bit-identical to sequential execution (see
-// internal/par for the cancellation, error-selection and panic
-// re-raise semantics).
-func forEachItem(ctx context.Context, workers, n int, fn func(i int) (float64, error)) ([]float64, error) {
-	out := make([]float64, n)
-	err := par.ForEach(ctx, workers, n, func(i int) error {
-		c, err := fn(i)
+// batchScratch is the reusable per-batch state: the indexed cost slice
+// and one plan-key buffer per worker. Pooled so steady-state
+// CostBatch/RuntimeBatch calls allocate only the item closure.
+type batchScratch struct {
+	out []float64
+	kbs []*keyBuf
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// weightedBatch prices every item (with queryCost, or runtimeCost when
+// runtime is set), fanning out over par.ForEachWorker's bounded pool,
+// then reduces the weighted total sequentially in item order — which
+// keeps parallel totals bit-identical to sequential execution. Each
+// worker borrows one plan-key buffer for its whole run — exclusive to
+// it by the ForEachWorker contract — so batch costing builds cache keys
+// with no cross-worker scratch sharing and no steady-state allocation
+// beyond the single fan-out closure (see internal/par for the
+// cancellation, error-selection and panic re-raise semantics).
+func (e *Engine) weightedBatch(ctx context.Context, items []CostItem, cfg schema.Config, mode Mode, runtime bool) (float64, error) {
+	n := len(items)
+	workers := e.BatchWorkers()
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	sc := batchScratchPool.Get().(*batchScratch)
+	if cap(sc.out) < n {
+		sc.out = make([]float64, n)
+	}
+	out := sc.out[:n]
+	for len(sc.kbs) < workers {
+		sc.kbs = append(sc.kbs, new(keyBuf))
+	}
+	kbs := sc.kbs
+	err := par.ForEachWorker(ctx, workers, n, func(w, i int) error {
+		var c float64
+		var err error
+		if runtime {
+			c, err = e.runtimeCost(kbs[w], items[i].Q, cfg)
+		} else {
+			c, err = e.queryCost(kbs[w], items[i].Q, cfg, mode)
+		}
 		if err != nil {
 			return err
 		}
 		out[i] = c
 		return nil
 	})
-	if err != nil {
-		return nil, err
+	var total float64
+	if err == nil {
+		for i, it := range items {
+			total += out[i] * it.Weight
+		}
 	}
-	return out, nil
+	batchScratchPool.Put(sc)
+	if err != nil {
+		return 0, err
+	}
+	return total, nil
 }

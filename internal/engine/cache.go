@@ -33,13 +33,23 @@ type cacheShard struct {
 	hits, misses, evicted, dedup atomic.Uint64
 
 	mu     sync.RWMutex
-	m      map[string]*PlanNode
-	flight map[string]*flightCall
+	m      map[uint64]cacheEntry
+	flight map[uint64]*flightCall
+}
+
+// cacheEntry stores the full rendered key alongside the plan: the maps
+// are keyed by the key's 64-bit FNV hash (computed incrementally from
+// the memoized query-text hash, so probes never re-hash the long key),
+// and the stored key verifies the hit against hash collisions.
+type cacheEntry struct {
+	key string
+	p   *PlanNode
 }
 
 // flightCall is one in-progress plan build; waiters block on wg and read
 // p/err afterwards (the WaitGroup provides the happens-before edge).
 type flightCall struct {
+	key string
 	wg  sync.WaitGroup
 	p   *PlanNode
 	err error
@@ -48,14 +58,14 @@ type flightCall struct {
 func (c *planCache) init(limit int) {
 	c.limit.Store(int64(limit))
 	for i := range c.shards {
-		c.shards[i].m = map[string]*PlanNode{}
-		c.shards[i].flight = map[string]*flightCall{}
+		c.shards[i].m = map[uint64]cacheEntry{}
+		c.shards[i].flight = map[uint64]*flightCall{}
 	}
 }
 
-// fnv1a is the 64-bit FNV-1a hash of s (inlined to keep the lookup path
-// allocation-free).
-func fnv1a(s string) uint64 {
+// fnv1aString is the 64-bit FNV-1a hash of a string (used to memoize
+// the query-text hash on the query's analysis).
+func fnv1aString(s string) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(s); i++ {
 		h ^= uint64(s[i])
@@ -64,8 +74,20 @@ func fnv1a(s string) uint64 {
 	return h
 }
 
-func (c *planCache) shardFor(key string) *cacheShard {
-	return &c.shards[fnv1a(key)%cacheShards]
+// fnv1aSeed continues an FNV-1a hash from seed over b. Shard selection
+// hashes only the short mode/config suffix of a plan key this way,
+// seeded with the memoized hash of the (often long) query text.
+func fnv1aSeed(seed uint64, b []byte) uint64 {
+	h := seed
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (c *planCache) shardOf(hash uint64) *cacheShard {
+	return &c.shards[hash%cacheShards]
 }
 
 // shardLimit is the per-shard entry bound derived from the total limit.
@@ -97,7 +119,7 @@ func (c *planCache) clear() {
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
-		sh.m = map[string]*PlanNode{}
+		sh.m = map[uint64]cacheEntry{}
 		sh.mu.Unlock()
 	}
 }
@@ -118,42 +140,65 @@ func (c *planCache) stats() CacheStats {
 	return st
 }
 
-// lookup is the fast path: a read-locked probe of one shard.
-func (s *cacheShard) lookup(key string) (*PlanNode, bool) {
+// lookup is the fast path: a read-locked probe of one shard by the
+// precomputed key hash, verified against the stored key. The byte key is
+// only compared via the string conversion expression, which Go compiles
+// without a heap copy, so hits allocate nothing.
+func (s *cacheShard) lookup(hash uint64, key []byte) (*PlanNode, bool) {
 	s.mu.RLock()
-	p, ok := s.m[key]
+	e, ok := s.m[hash]
 	s.mu.RUnlock()
-	if ok {
-		s.hits.Add(1)
-		mCacheHits.Inc()
+	if !ok || e.key != string(key) {
+		return nil, false
 	}
-	return p, ok
+	s.hits.Add(1)
+	mCacheHits.Inc()
+	return e.p, true
 }
 
 // do resolves a miss: it re-checks the map, joins an in-flight build of
 // the same key if one exists (singleflight), or runs fn itself and
 // publishes the result. Plans that fail are delivered to all waiters but
 // never cached.
-func (s *cacheShard) do(key string, limit int, fn func() (*PlanNode, error)) (*PlanNode, error) {
+// Only the miss path clones the key to a heap string (for the flight
+// registry and the cache insert); re-check and join probes use the
+// allocation-free map index conversion.
+func (s *cacheShard) do(hash uint64, key []byte, limit int, fn func() (*PlanNode, error)) (*PlanNode, error) {
 	s.mu.Lock()
-	if p, ok := s.m[key]; ok {
+	if e, ok := s.m[hash]; ok && e.key == string(key) {
 		s.mu.Unlock()
 		s.hits.Add(1)
 		mCacheHits.Inc()
-		return p, nil
+		return e.p, nil
 	}
-	if f, ok := s.flight[key]; ok {
+	if f, ok := s.flight[hash]; ok {
+		if f.key == string(key) {
+			s.mu.Unlock()
+			s.misses.Add(1)
+			s.dedup.Add(1)
+			mCacheMisses.Inc()
+			mSingleflightDedup.Inc()
+			f.wg.Wait()
+			return f.p, f.err
+		}
+		// A different key is in flight under the same 64-bit hash — an
+		// astronomically rare collision. Plan without singleflight; the
+		// insert below simply overwrites the colliding slot.
 		s.mu.Unlock()
 		s.misses.Add(1)
-		s.dedup.Add(1)
 		mCacheMisses.Inc()
-		mSingleflightDedup.Inc()
-		f.wg.Wait()
-		return f.p, f.err
+		p, err := fn()
+		if err == nil {
+			s.mu.Lock()
+			s.evictLocked(limit)
+			s.m[hash] = cacheEntry{key: string(key), p: p}
+			s.mu.Unlock()
+		}
+		return p, err
 	}
-	f := &flightCall{}
+	f := &flightCall{key: string(key)}
 	f.wg.Add(1)
-	s.flight[key] = f
+	s.flight[hash] = f
 	s.mu.Unlock()
 
 	s.misses.Add(1)
@@ -162,10 +207,10 @@ func (s *cacheShard) do(key string, limit int, fn func() (*PlanNode, error)) (*P
 	f.p, f.err = p, err
 
 	s.mu.Lock()
-	delete(s.flight, key)
+	delete(s.flight, hash)
 	if err == nil {
 		s.evictLocked(limit)
-		s.m[key] = p
+		s.m[hash] = cacheEntry{key: f.key, p: p}
 	}
 	s.mu.Unlock()
 	f.wg.Done()

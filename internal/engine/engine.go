@@ -53,8 +53,11 @@ type Engine struct {
 	schema *schema.Schema
 	estErr stats.EstimationError
 
+	// hists is keyed by the ColumnRef struct itself (comparable) so the
+	// per-lookup key is free; building a "t.c" string here dominated the
+	// selectivity path's allocation profile.
 	histMu sync.RWMutex
-	hists  map[string]stats.Histogram
+	hists  map[sqlx.ColumnRef]stats.Histogram
 
 	cache planCache
 
@@ -82,7 +85,7 @@ func NewWithError(s *schema.Schema, e stats.EstimationError) *Engine {
 	eng := &Engine{
 		schema: s,
 		estErr: e,
-		hists:  map[string]stats.Histogram{},
+		hists:  map[sqlx.ColumnRef]stats.Histogram{},
 	}
 	eng.cache.init(defaultCacheLimit)
 	return eng
@@ -153,29 +156,87 @@ func (e *Engine) ClearCache() {
 	e.cache.clear()
 }
 
-// planKeyPrefix is the (mode, config) part of a plan-cache key; batch
-// paths compute it once per batch instead of once per query.
-func planKeyPrefix(cfg schema.Config, mode Mode) string {
-	return mode.String() + "|" + cfg.Key() + "|"
+// keyBuf is the reusable scratch for rendering one plan-cache key: the
+// key bytes and the per-table index sort scratch. Batch paths hand one
+// to each worker (par.ForEachWorker), single-query paths borrow one
+// from keyBufPool, so steady-state key building allocates nothing.
+type keyBuf struct {
+	buf []byte
+	ixs []schema.Index
+}
+
+var keyBufPool = sync.Pool{New: func() any { return new(keyBuf) }}
+
+// planKey renders the cache key of (q, cfg, mode) into kb: the mode,
+// the canonical query text and, per table the query references (in the
+// query's stable table order), the sorted identities of the indexes cfg
+// holds on that table. Indexes on tables the query never touches cannot
+// affect its plan — plan() consults cfg only through cfg.OnTable for
+// the query's tables — so they are excluded: configurations that differ
+// only in irrelevant indexes share one cache entry instead of each
+// missing, which is what lets the advisor's what-if loop (which probes
+// hundreds of configurations against the same queries) run mostly on
+// cache hits.
+// It also returns the key's shard hash, continued from the memoized
+// hash of the query text so only the short mode/config suffix is
+// re-hashed per call.
+func planKey(kb *keyBuf, q *sqlx.Query, cfg schema.Config, mode Mode) ([]byte, uint64) {
+	qa := analysisOf(q)
+	b := kb.buf[:0]
+	b = append(b, byte('0'+int(mode)))
+	b = append(b, q.String()...)
+	suffix := len(b)
+	for _, t := range qa.tables {
+		b = append(b, '|')
+		ixs := kb.ixs[:0]
+		for _, ix := range cfg {
+			if ix.Table == t {
+				ixs = append(ixs, ix)
+			}
+		}
+		// Insertion sort: per-table subsets are tiny and this avoids the
+		// sort.Slice interface allocation.
+		for i := 1; i < len(ixs); i++ {
+			for j := i; j > 0 && ixs[j].Less(ixs[j-1]); j-- {
+				ixs[j], ixs[j-1] = ixs[j-1], ixs[j]
+			}
+		}
+		for _, ix := range ixs {
+			for _, c := range ix.Columns {
+				b = append(b, c...)
+				b = append(b, ',')
+			}
+			b = append(b, ';')
+		}
+		kb.ixs = ixs[:0]
+	}
+	kb.buf = b
+	h := qa.textHash
+	h ^= uint64(b[0]) // mode byte
+	h *= 1099511628211
+	return b, fnv1aSeed(h, b[suffix:])
 }
 
 // Plan returns the cheapest plan for q under the index configuration cfg,
 // priced with the given statistics mode. Results are cached; the returned
 // node is shared and must not be mutated.
 func (e *Engine) Plan(q *sqlx.Query, cfg schema.Config, mode Mode) (*PlanNode, error) {
-	return e.planCached(planKeyPrefix(cfg, mode), q, cfg, mode)
+	kb := keyBufPool.Get().(*keyBuf)
+	defer keyBufPool.Put(kb)
+	return e.planCached(kb, q, cfg, mode)
 }
 
 // planCached looks the plan up in the sharded cache and, on a miss,
 // builds it under singleflight: concurrent misses on the same key plan
-// once and share the resulting node.
-func (e *Engine) planCached(prefix string, q *sqlx.Query, cfg schema.Config, mode Mode) (*PlanNode, error) {
-	key := prefix + q.String()
-	sh := e.cache.shardFor(key)
-	if p, ok := sh.lookup(key); ok {
+// once and share the resulting node. The key is rendered into kb and
+// only cloned to a heap string when a miss actually inserts it.
+func (e *Engine) planCached(kb *keyBuf, q *sqlx.Query, cfg schema.Config, mode Mode) (*PlanNode, error) {
+	key, hash := planKey(kb, q, cfg, mode)
+	sh := e.cache.shardOf(hash)
+	if p, ok := sh.lookup(hash, key); ok {
 		return p, nil
 	}
-	return sh.do(key, e.cache.shardLimit(), func() (*PlanNode, error) {
+	return sh.do(hash, key, e.cache.shardLimit(), func() (*PlanNode, error) {
 		sp := obs.StartSpan(mPlanSeconds)
 		defer sp.End()
 		return e.plan(q, cfg, mode)
@@ -196,11 +257,14 @@ func (e *Engine) SetInjector(in faultinject.Injector) {
 // ModeEstimated this is the engine's what-if interface — the call
 // advisors are billed for.
 func (e *Engine) QueryCost(q *sqlx.Query, cfg schema.Config, mode Mode) (float64, error) {
-	return e.queryCost(planKeyPrefix(cfg, mode), q, cfg, mode)
+	kb := keyBufPool.Get().(*keyBuf)
+	defer keyBufPool.Put(kb)
+	return e.queryCost(kb, q, cfg, mode)
 }
 
-// queryCost is QueryCost with the batch-hoisted cache-key prefix.
-func (e *Engine) queryCost(prefix string, q *sqlx.Query, cfg schema.Config, mode Mode) (float64, error) {
+// queryCost is QueryCost with a caller-owned key buffer (batch paths
+// keep one per worker).
+func (e *Engine) queryCost(kb *keyBuf, q *sqlx.Query, cfg schema.Config, mode Mode) (float64, error) {
 	if mode == ModeEstimated {
 		mWhatIfCalls.Inc()
 	} else {
@@ -211,7 +275,7 @@ func (e *Engine) queryCost(prefix string, q *sqlx.Query, cfg schema.Config, mode
 			return 0, err
 		}
 	}
-	p, err := e.planCached(prefix, q, cfg, mode)
+	p, err := e.planCached(kb, q, cfg, mode)
 	if err != nil {
 		return 0, err
 	}
@@ -235,20 +299,10 @@ func (e *Engine) CostBatch(ctx context.Context, items []CostItem, cfg schema.Con
 	ctx, tsp, finish := e.batchSpan(ctx, "engine.cost_batch", len(items))
 	sp := obs.StartSpan(mBatchSecs)
 	mBatchQueries.Add(int64(len(items)))
-	prefix := planKeyPrefix(cfg, mode)
-	costs, err := forEachItem(ctx, e.BatchWorkers(), len(items), func(i int) (float64, error) {
-		return e.queryCost(prefix, items[i].Q, cfg, mode)
-	})
+	total, err := e.weightedBatch(ctx, items, cfg, mode, false)
 	sp.EndExemplar(tsp.TraceID())
 	finish(err)
-	if err != nil {
-		return 0, err
-	}
-	total := 0.0
-	for i, it := range items {
-		total += costs[i] * it.Weight
-	}
-	return total, nil
+	return total, err
 }
 
 // batchSpan opens the per-batch trace span of CostBatch/RuntimeBatch
@@ -278,11 +332,13 @@ func (e *Engine) batchSpan(ctx context.Context, name string, items int) (context
 // RuntimeCost is the stand-in for actual query runtime: the true-statistics
 // cost with a small deterministic per-query execution noise.
 func (e *Engine) RuntimeCost(q *sqlx.Query, cfg schema.Config) (float64, error) {
-	return e.runtimeCost(planKeyPrefix(cfg, ModeTrue), q, cfg)
+	kb := keyBufPool.Get().(*keyBuf)
+	defer keyBufPool.Put(kb)
+	return e.runtimeCost(kb, q, cfg)
 }
 
-func (e *Engine) runtimeCost(prefix string, q *sqlx.Query, cfg schema.Config) (float64, error) {
-	c, err := e.queryCost(prefix, q, cfg, ModeTrue)
+func (e *Engine) runtimeCost(kb *keyBuf, q *sqlx.Query, cfg schema.Config) (float64, error) {
+	c, err := e.queryCost(kb, q, cfg, ModeTrue)
 	if err != nil {
 		return 0, err
 	}
@@ -296,20 +352,10 @@ func (e *Engine) RuntimeBatch(ctx context.Context, items []CostItem, cfg schema.
 	ctx, tsp, finish := e.batchSpan(ctx, "engine.runtime_batch", len(items))
 	sp := obs.StartSpan(mBatchSecs)
 	mBatchQueries.Add(int64(len(items)))
-	prefix := planKeyPrefix(cfg, ModeTrue)
-	costs, err := forEachItem(ctx, e.BatchWorkers(), len(items), func(i int) (float64, error) {
-		return e.runtimeCost(prefix, items[i].Q, cfg)
-	})
+	total, err := e.weightedBatch(ctx, items, cfg, ModeTrue, true)
 	sp.EndExemplar(tsp.TraceID())
 	finish(err)
-	if err != nil {
-		return 0, err
-	}
-	total := 0.0
-	for i, it := range items {
-		total += it.Weight * costs[i]
-	}
-	return total, nil
+	return total, err
 }
 
 // accessPath is a candidate scan of one base table.
@@ -341,6 +387,9 @@ type queryAnalysis struct {
 	columns   []sqlx.ColumnRef
 	statics   map[string]*tableStatic
 	topGroups []predGroup // groups spanning several tables
+	// textHash is the FNV-1a hash of the canonical query text, the seed
+	// for plan-key shard hashing (so lookups only hash the short suffix).
+	textHash uint64
 }
 
 // analysisOf returns the memoized analysis of q, computing and caching
@@ -350,7 +399,7 @@ func analysisOf(q *sqlx.Query) *queryAnalysis {
 	if qa, ok := q.PlanInfo().(*queryAnalysis); ok {
 		return qa
 	}
-	qa := &queryAnalysis{tables: q.Tables(), columns: q.Columns()}
+	qa := &queryAnalysis{tables: q.Tables(), columns: q.Columns(), textHash: fnv1aString(q.String())}
 	qa.statics = make(map[string]*tableStatic, len(qa.tables))
 	for _, t := range qa.tables {
 		qa.statics[t] = &tableStatic{reqCols: map[string]bool{}, joinCols: map[string]bool{}}

@@ -108,8 +108,9 @@ func TestCostBatchCancellation(t *testing.T) {
 // is counted as a dedup.
 func TestSingleflightDedup(t *testing.T) {
 	var sh cacheShard
-	sh.m = map[string]*PlanNode{}
-	sh.flight = map[string]*flightCall{}
+	sh.m = map[uint64]cacheEntry{}
+	sh.flight = map[uint64]*flightCall{}
+	kHash := fnv1aString("k")
 
 	const waiters = 8
 	node := &PlanNode{Type: SeqScan, Cost: 42}
@@ -123,7 +124,7 @@ func TestSingleflightDedup(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			p, err := sh.do("k", 100, func() (*PlanNode, error) {
+			p, err := sh.do(kHash, []byte("k"), 100, func() (*PlanNode, error) {
 				calls++ // single-writer by construction; -race verifies
 				close(started)
 				<-release
@@ -163,7 +164,7 @@ func TestSingleflightDedup(t *testing.T) {
 	if len(sh.flight) != 0 {
 		t.Fatalf("flight registry not drained: %d entries", len(sh.flight))
 	}
-	if sh.m["k"] != node {
+	if e := sh.m[kHash]; e.key != "k" || e.p != node {
 		t.Fatal("result was not cached")
 	}
 }
@@ -172,10 +173,10 @@ func TestSingleflightDedup(t *testing.T) {
 // the caller but never inserted into the cache.
 func TestSingleflightErrorNotCached(t *testing.T) {
 	var sh cacheShard
-	sh.m = map[string]*PlanNode{}
-	sh.flight = map[string]*flightCall{}
+	sh.m = map[uint64]cacheEntry{}
+	sh.flight = map[uint64]*flightCall{}
 	boom := errors.New("boom")
-	if _, err := sh.do("k", 100, func() (*PlanNode, error) { return nil, boom }); !errors.Is(err, boom) {
+	if _, err := sh.do(fnv1aString("k"), []byte("k"), 100, func() (*PlanNode, error) { return nil, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
 	}
 	if len(sh.m) != 0 {

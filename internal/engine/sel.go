@@ -157,9 +157,8 @@ func (e *Engine) columnNDV(ref sqlx.ColumnRef, mode Mode) float64 {
 }
 
 func (e *Engine) hist(ref sqlx.ColumnRef) stats.Histogram {
-	key := ref.String()
 	e.histMu.RLock()
-	h, ok := e.hists[key]
+	h, ok := e.hists[ref]
 	e.histMu.RUnlock()
 	if ok {
 		return h
@@ -168,9 +167,9 @@ func (e *Engine) hist(ref sqlx.ColumnRef) stats.Histogram {
 	if col == nil {
 		return stats.Histogram{}
 	}
-	h = stats.BuildHistogramErr(key, col.Dist, stats.DefaultBuckets, e.estErr)
+	h = stats.BuildHistogramErr(ref.String(), col.Dist, stats.DefaultBuckets, e.estErr)
 	e.histMu.Lock()
-	e.hists[key] = h
+	e.hists[ref] = h
 	e.histMu.Unlock()
 	return h
 }

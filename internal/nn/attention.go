@@ -1,6 +1,9 @@
 package nn
 
-import "math/rand"
+import (
+	"math"
+	"math/rand"
+)
 
 // Attention implements the SQL context attention of Equation 3:
 // e_i = v^T tanh(Wh·h_i + Ws·s_t + b), a = softmax(e), c_t = Σ a_i h_i.
@@ -35,4 +38,119 @@ func (a *Attention) Context(g *Graph, encStates []*Tensor, s *Tensor) (*Tensor, 
 		scores[i] = e
 	}
 	return g.Attend(scores, encStates)
+}
+
+// AttCache holds the per-sequence half of an attention computation: the
+// packed encoder state matrix H (encDim × T, column i = h_i) and the
+// projection P = Wh·H, computed lazily on the first ContextPre call and
+// shared by every later decode step of the same sequence. Decoders that
+// never attend (e.g. the vanilla seq2seq baseline) pay nothing for P.
+type AttCache struct {
+	H *Tensor // encDim × T packed encoder states
+	P *Tensor // dim × T, Wh·H (nil until first ContextPre)
+}
+
+// ContextPre is Context over a packed encoder matrix with the Wh·h_i
+// projections hoisted out of the per-step loop: one dim×encDim×T GEMM
+// per sequence instead of T dim×encDim mat-vecs per decode step. The
+// whole score/softmax/mix computation is a single fused op with one
+// backward closure; all accumulations run in fixed ascending order, so
+// results are bit-identical across rollout worker counts.
+func (a *Attention) ContextPre(g *Graph, ac *AttCache, s *Tensor) (*Tensor, []float64) {
+	if ac.P == nil {
+		ac.P = g.Mul(a.Wh, ac.H)
+	}
+	u := g.Mul(a.Ws, s)
+	dim := a.B.R
+	encDim := ac.H.R
+	T := ac.H.C
+	P, H, B, V := ac.P, ac.H, a.B, a.V
+	ctx := g.allocOut(encDim, 1)
+	ta := g.floatsRaw(dim * T) // tanh activations, row d = score dim, col j = position
+	w := g.floatsRaw(T)        // softmax weights
+	for d := 0; d < dim; d++ {
+		prow := P.W[d*T : d*T+T]
+		tarow := ta[d*T : d*T+T]
+		ub := u.W[d] + B.W[d]
+		for j, pv := range prow {
+			tarow[j] = math.Tanh(pv + ub)
+		}
+	}
+	// e_j = Σ_d V[d]·ta[d,j], d ascending; softmax into w.
+	var maxE float64
+	for j := 0; j < T; j++ {
+		var e float64
+		for d := 0; d < dim; d++ {
+			e += V.W[d] * ta[d*T+j]
+		}
+		w[j] = e
+		if j == 0 || e > maxE {
+			maxE = e
+		}
+	}
+	var sumE float64
+	for j, e := range w {
+		ex := math.Exp(e - maxE)
+		w[j] = ex
+		sumE += ex
+	}
+	for j := range w {
+		w[j] /= sumE
+	}
+	for i := 0; i < encDim; i++ {
+		hrow := H.W[i*T : i*T+T]
+		var cv float64
+		for j, hv := range hrow {
+			cv += w[j] * hv
+		}
+		ctx.W[i] = cv
+	}
+	if !g.NeedsGrad {
+		return ctx, w
+	}
+	// Backward scratch: de is assigned before use and dots is zeroed
+	// explicitly inside the closure.
+	de := g.floatsRaw(T)
+	dots := g.floatsRaw(T)
+	g.addBack(func() {
+		if allZeroF(ctx.G) {
+			return
+		}
+		// dots[j] = Σ_i ctx.G[i]·H[i,j]; H.G[i,j] += w[j]·ctx.G[i].
+		zeroFloats(dots)
+		for i := 0; i < encDim; i++ {
+			cg := ctx.G[i]
+			hrow := H.W[i*T : i*T+T]
+			grow := H.G[i*T : i*T+T]
+			for j, hv := range hrow {
+				dots[j] += cg * hv
+				grow[j] += w[j] * cg
+			}
+		}
+		// Softmax backward: de[j] = w[j]·(dots[j] − Σ_k w[k]·dots[k]).
+		var avg float64
+		for j, wv := range w {
+			avg += wv * dots[j]
+		}
+		for j, wv := range w {
+			de[j] = wv * (dots[j] - avg)
+		}
+		for d := 0; d < dim; d++ {
+			tarow := ta[d*T : d*T+T]
+			prow := P.G[d*T : d*T+T]
+			vd := V.W[d]
+			var vg, ug float64
+			for j, dej := range de {
+				t := tarow[j]
+				vg += dej * t
+				dp := dej * vd * (1 - t*t)
+				prow[j] += dp
+				ug += dp
+			}
+			V.G[d] += vg
+			u.G[d] += ug
+			B.G[d] += ug
+		}
+	})
+	return ctx, w
 }

@@ -169,11 +169,72 @@ func NewGRUCell(p *Params, name string, in, hidden int, rng *rand.Rand) *GRUCell
 }
 
 // Step advances the cell one timestep: h_t = GRU(x_t, h_{t-1}).
+//
+// The whole cell is one fused op: the gate pre-activations are computed
+// with the deterministic row-dot kernels of gemm.go into arena scratch
+// and a single backward closure propagates every gradient, replacing
+// the ~17 tensors and ~15 tape entries the op-composed formulation
+// recorded per step. Accumulation order inside both passes is fixed, so
+// results are bit-identical across rollout worker counts.
 func (c *GRUCell) Step(g *Graph, x, hPrev *Tensor) *Tensor {
-	z := g.Sigmoid(g.Add(g.Add(g.Mul(c.Wz, x), g.Mul(c.Uz, hPrev)), c.Bz))
-	r := g.Sigmoid(g.Add(g.Add(g.Mul(c.Wr, x), g.Mul(c.Ur, hPrev)), c.Br))
-	hTilde := g.Tanh(g.Add(g.Add(g.Mul(c.Wh, x), g.Mul(c.Uh, g.Hadamard(r, hPrev))), c.Bh))
-	return g.Add(g.Hadamard(g.OneMinus(z), hPrev), g.Hadamard(z, hTilde))
+	h := c.Hidden
+	in := x.R
+	out := g.allocOut(h, 1)
+	z := g.floatsRaw(h)
+	r := g.floatsRaw(h)
+	ht := g.floatsRaw(h)
+	rh := g.floatsRaw(h)
+	for i := 0; i < h; i++ {
+		az := dot(c.Wz.W[i*in:i*in+in], x.W) + dot(c.Uz.W[i*h:i*h+h], hPrev.W) + c.Bz.W[i]
+		ar := dot(c.Wr.W[i*in:i*in+in], x.W) + dot(c.Ur.W[i*h:i*h+h], hPrev.W) + c.Br.W[i]
+		z[i] = 1 / (1 + math.Exp(-az))
+		r[i] = 1 / (1 + math.Exp(-ar))
+		rh[i] = r[i] * hPrev.W[i]
+	}
+	for i := 0; i < h; i++ {
+		ah := dot(c.Wh.W[i*in:i*in+in], x.W) + dot(c.Uh.W[i*h:i*h+h], rh) + c.Bh.W[i]
+		ht[i] = math.Tanh(ah)
+		out.W[i] = (1-z[i])*hPrev.W[i] + z[i]*ht[i]
+	}
+	if !g.NeedsGrad {
+		return out
+	}
+	// Backward scratch: daz/dar/dah are assigned before use and drh is
+	// zeroed explicitly inside the closure, so none needs a zeroed carve.
+	daz := g.floatsRaw(h)
+	dar := g.floatsRaw(h)
+	dah := g.floatsRaw(h)
+	drh := g.floatsRaw(h)
+	g.addBack(func() {
+		dh := out.G
+		for i := 0; i < h; i++ {
+			dah[i] = dh[i] * z[i] * (1 - ht[i]*ht[i])
+			daz[i] = dh[i] * (ht[i] - hPrev.W[i]) * z[i] * (1 - z[i])
+			hPrev.G[i] += dh[i] * (1 - z[i])
+		}
+		// drh = Uhᵀ·dah, split into the reset gate and the carry path.
+		zeroFloats(drh)
+		addMulTvec(drh, c.Uh.W, dah, h, h)
+		for i := 0; i < h; i++ {
+			hPrev.G[i] += drh[i] * r[i]
+			dar[i] = drh[i] * hPrev.W[i] * r[i] * (1 - r[i])
+		}
+		addOuter(c.Wz.G, daz, x.W)
+		addOuter(c.Wr.G, dar, x.W)
+		addOuter(c.Wh.G, dah, x.W)
+		addOuter(c.Uz.G, daz, hPrev.W)
+		addOuter(c.Ur.G, dar, hPrev.W)
+		addOuter(c.Uh.G, dah, rh)
+		addVec(c.Bz.G, daz)
+		addVec(c.Br.G, dar)
+		addVec(c.Bh.G, dah)
+		addMulTvec(x.G, c.Wz.W, daz, h, in)
+		addMulTvec(x.G, c.Wr.W, dar, h, in)
+		addMulTvec(x.G, c.Wh.W, dah, h, in)
+		addMulTvec(hPrev.G, c.Uz.W, daz, h, h)
+		addMulTvec(hPrev.G, c.Ur.W, dar, h, h)
+	})
+	return out
 }
 
 // InitState returns a zero hidden state.
@@ -214,4 +275,25 @@ func (b *BiGRU) Encode(g *Graph, xs []*Tensor) []*Tensor {
 		out[i] = g.Concat(fw[i], bw[i])
 	}
 	return out
+}
+
+// EncodePacked is Encode returning the packed per-position state matrix
+// H (2·hidden × n) whose column i is [h^f_i ; h^b_i] — the layout the
+// prepared attention (AttCache) and the decoder bridge consume
+// directly, replacing n per-position Concat tensors with one matrix.
+func (b *BiGRU) EncodePacked(g *Graph, xs []*Tensor) *Tensor {
+	n := len(xs)
+	fw := make([]*Tensor, n)
+	bw := make([]*Tensor, n)
+	h := g.Alloc(b.Fwd.Hidden, 1)
+	for i := 0; i < n; i++ {
+		h = b.Fwd.Step(g, xs[i], h)
+		fw[i] = h
+	}
+	h = g.Alloc(b.Bwd.Hidden, 1)
+	for i := n - 1; i >= 0; i-- {
+		h = b.Bwd.Step(g, xs[i], h)
+		bw[i] = h
+	}
+	return g.PackColsPair(fw, bw)
 }

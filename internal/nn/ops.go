@@ -5,38 +5,166 @@ import (
 	"sync"
 )
 
-// Mul returns the matrix product a·b.
+// Mul returns the matrix product a·b through the blocked deterministic
+// kernels of gemm.go (matvec when b is a column vector).
 func (g *Graph) Mul(a, b *Tensor) *Tensor {
 	if a.C != b.R {
 		panic("nn: Mul shape mismatch")
 	}
-	out := g.Alloc(a.R, b.C)
-	for i := 0; i < a.R; i++ {
-		for k := 0; k < a.C; k++ {
-			av := a.W[i*a.C+k]
-			if av == 0 {
-				continue
-			}
-			for j := 0; j < b.C; j++ {
-				out.W[i*out.C+j] += av * b.W[k*b.C+j]
-			}
+	out := g.allocOut(a.R, b.C)
+	if b.C == 1 {
+		matvecTo(out.W, a.W, b.W, a.R, a.C)
+	} else {
+		mulTo(out.W, a.W, b.W, a.R, a.C, b.C)
+	}
+	g.addBack(func() {
+		if allZeroF(out.G) {
+			return
+		}
+		if b.C == 1 {
+			addOuter(a.G, out.G, b.W)
+			addMulTvec(b.G, a.W, out.G, a.R, a.C)
+		} else {
+			addMulNT(a.G, out.G, b.W, a.R, a.C, b.C)
+			addMulTN(b.G, a.W, out.G, a.R, a.C, b.C)
+		}
+	})
+	return out
+}
+
+// PackCols stacks n equal-length column vectors side by side into a d×n
+// matrix, turning a sequence of per-position vectors into one operand
+// for a real GEMM.
+func (g *Graph) PackCols(parts ...*Tensor) *Tensor {
+	n := len(parts)
+	if n == 0 {
+		panic("nn: PackCols needs at least one column")
+	}
+	d := parts[0].R
+	out := g.allocOut(d, n)
+	for j, p := range parts {
+		if p.R != d || p.C != 1 {
+			panic("nn: PackCols expects equal-length column vectors")
+		}
+		for i := 0; i < d; i++ {
+			out.W[i*n+j] = p.W[i]
 		}
 	}
 	g.addBack(func() {
-		for i := 0; i < a.R; i++ {
-			for j := 0; j < b.C; j++ {
-				d := out.G[i*out.C+j]
-				if d == 0 {
-					continue
-				}
-				for k := 0; k < a.C; k++ {
-					a.G[i*a.C+k] += d * b.W[k*b.C+j]
-					b.G[k*b.C+j] += d * a.W[i*a.C+k]
-				}
+		for j, p := range parts {
+			for i := 0; i < d; i++ {
+				p.G[i] += out.G[i*n+j]
 			}
 		}
 	})
 	return out
+}
+
+// PackColsPair packs two equal-length vector sequences into one matrix
+// whose column t is [top[t]; bot[t]] — the bidirectional encoder's
+// per-position state matrix, built without a per-position Concat.
+func (g *Graph) PackColsPair(top, bot []*Tensor) *Tensor {
+	n := len(top)
+	if n == 0 || n != len(bot) {
+		panic("nn: PackColsPair needs matching non-empty sequences")
+	}
+	dt, db := top[0].R, bot[0].R
+	out := g.allocOut(dt+db, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < dt; i++ {
+			out.W[i*n+j] = top[j].W[i]
+		}
+		for i := 0; i < db; i++ {
+			out.W[(dt+i)*n+j] = bot[j].W[i]
+		}
+	}
+	g.addBack(func() {
+		for j := 0; j < n; j++ {
+			for i := 0; i < dt; i++ {
+				top[j].G[i] += out.G[i*n+j]
+			}
+			for i := 0; i < db; i++ {
+				bot[j].G[i] += out.G[(dt+i)*n+j]
+			}
+		}
+	})
+	return out
+}
+
+// Col returns column j of m as a column vector.
+func (g *Graph) Col(m *Tensor, j int) *Tensor {
+	out := g.allocOut(m.R, 1)
+	for i := 0; i < m.R; i++ {
+		out.W[i] = m.W[i*m.C+j]
+	}
+	g.addBack(func() {
+		for i := 0; i < m.R; i++ {
+			m.G[i*m.C+j] += out.G[i]
+		}
+	})
+	return out
+}
+
+// VStack stacks equal-width matrices vertically (by rows).
+func (g *Graph) VStack(parts ...*Tensor) *Tensor {
+	if len(parts) == 0 {
+		panic("nn: VStack needs at least one part")
+	}
+	c := parts[0].C
+	rows := 0
+	for _, p := range parts {
+		if p.C != c {
+			panic("nn: VStack width mismatch")
+		}
+		rows += p.R
+	}
+	out := g.allocOut(rows, c)
+	off := 0
+	for _, p := range parts {
+		copy(out.W[off:off+len(p.W)], p.W)
+		off += len(p.W)
+	}
+	g.addBack(func() {
+		off := 0
+		for _, p := range parts {
+			addVec(p.G, out.G[off:off+len(p.W)])
+			off += len(p.W)
+		}
+	})
+	return out
+}
+
+// AddColBias adds a column vector b to every column of m.
+func (g *Graph) AddColBias(m, b *Tensor) *Tensor {
+	if b.R != m.R || b.C != 1 {
+		panic("nn: AddColBias shape mismatch")
+	}
+	out := g.allocOut(m.R, m.C)
+	n := m.C
+	for i := 0; i < m.R; i++ {
+		bv := b.W[i]
+		row := m.W[i*n : i*n+n]
+		orow := out.W[i*n : i*n+n]
+		for j, v := range row {
+			orow[j] = v + bv
+		}
+	}
+	g.addBack(func() {
+		addVec(m.G, out.G)
+		for i := 0; i < m.R; i++ {
+			b.G[i] += sum(out.G[i*n : i*n+n])
+		}
+	})
+	return out
+}
+
+// sum adds a slice in ascending index order.
+func sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
 }
 
 // Add returns a + b (same shape).
@@ -44,7 +172,7 @@ func (g *Graph) Add(a, b *Tensor) *Tensor {
 	if a.R != b.R || a.C != b.C {
 		panic("nn: Add shape mismatch")
 	}
-	out := g.Alloc(a.R, a.C)
+	out := g.allocOut(a.R, a.C)
 	for i := range out.W {
 		out.W[i] = a.W[i] + b.W[i]
 	}
@@ -62,7 +190,7 @@ func (g *Graph) Hadamard(a, b *Tensor) *Tensor {
 	if a.R != b.R || a.C != b.C {
 		panic("nn: Hadamard shape mismatch")
 	}
-	out := g.Alloc(a.R, a.C)
+	out := g.allocOut(a.R, a.C)
 	for i := range out.W {
 		out.W[i] = a.W[i] * b.W[i]
 	}
@@ -77,7 +205,7 @@ func (g *Graph) Hadamard(a, b *Tensor) *Tensor {
 
 // Scale returns s·a for a constant s.
 func (g *Graph) Scale(a *Tensor, s float64) *Tensor {
-	out := g.Alloc(a.R, a.C)
+	out := g.allocOut(a.R, a.C)
 	for i := range out.W {
 		out.W[i] = a.W[i] * s
 	}
@@ -91,7 +219,7 @@ func (g *Graph) Scale(a *Tensor, s float64) *Tensor {
 
 // AddConst returns a + c elementwise for a constant c.
 func (g *Graph) AddConst(a *Tensor, c float64) *Tensor {
-	out := g.Alloc(a.R, a.C)
+	out := g.allocOut(a.R, a.C)
 	for i := range out.W {
 		out.W[i] = a.W[i] + c
 	}
@@ -105,7 +233,7 @@ func (g *Graph) AddConst(a *Tensor, c float64) *Tensor {
 
 // OneMinus returns 1 - a elementwise.
 func (g *Graph) OneMinus(a *Tensor) *Tensor {
-	out := g.Alloc(a.R, a.C)
+	out := g.allocOut(a.R, a.C)
 	for i := range out.W {
 		out.W[i] = 1 - a.W[i]
 	}
@@ -119,7 +247,7 @@ func (g *Graph) OneMinus(a *Tensor) *Tensor {
 
 // Tanh applies tanh elementwise.
 func (g *Graph) Tanh(a *Tensor) *Tensor {
-	out := g.Alloc(a.R, a.C)
+	out := g.allocOut(a.R, a.C)
 	for i := range out.W {
 		out.W[i] = math.Tanh(a.W[i])
 	}
@@ -133,7 +261,7 @@ func (g *Graph) Tanh(a *Tensor) *Tensor {
 
 // Sigmoid applies the logistic function elementwise.
 func (g *Graph) Sigmoid(a *Tensor) *Tensor {
-	out := g.Alloc(a.R, a.C)
+	out := g.allocOut(a.R, a.C)
 	for i := range out.W {
 		out.W[i] = 1 / (1 + math.Exp(-a.W[i]))
 	}
@@ -147,10 +275,12 @@ func (g *Graph) Sigmoid(a *Tensor) *Tensor {
 
 // Relu applies max(0, x) elementwise.
 func (g *Graph) Relu(a *Tensor) *Tensor {
-	out := g.Alloc(a.R, a.C)
+	out := g.allocOut(a.R, a.C)
 	for i := range out.W {
 		if a.W[i] > 0 {
 			out.W[i] = a.W[i]
+		} else {
+			out.W[i] = 0
 		}
 	}
 	g.addBack(func() {
@@ -172,7 +302,7 @@ func (g *Graph) Concat(parts ...*Tensor) *Tensor {
 		}
 		total += p.R
 	}
-	out := g.Alloc(total, 1)
+	out := g.allocOut(total, 1)
 	off := 0
 	for _, p := range parts {
 		copy(out.W[off:off+p.R], p.W)
@@ -190,16 +320,22 @@ func (g *Graph) Concat(parts ...*Tensor) *Tensor {
 	return out
 }
 
-// Lookup returns row `row` of the embedding matrix m as a column vector.
+// Lookup returns row `row` of the embedding matrix m as a column
+// vector. The result is a view sharing m's weight (and, when recording,
+// gradient) storage for that row: a lookup costs one tensor header, no
+// copy and no backward closure. This relies on every op accumulating
+// into its inputs' G with += — consumer gradients land directly in m's
+// gradient row, still in deterministic reverse-tape order.
 func (g *Graph) Lookup(m *Tensor, row int) *Tensor {
-	out := g.Alloc(m.C, 1)
-	copy(out.W, m.W[row*m.C:(row+1)*m.C])
-	g.addBack(func() {
-		for j := 0; j < m.C; j++ {
-			m.G[row*m.C+j] += out.G[j]
-		}
-	})
-	return out
+	t := g.hdr()
+	t.R, t.C = m.C, 1
+	t.W = m.W[row*m.C : (row+1)*m.C]
+	if g.NeedsGrad && m.G != nil {
+		t.G = m.G[row*m.C : (row+1)*m.C]
+	} else {
+		t.G = nil
+	}
+	return t
 }
 
 // SelectedAffine computes out[k] = W[rows[k], :]·x + b[rows[k]] for a
@@ -209,7 +345,7 @@ func (g *Graph) SelectedAffine(w, b, x *Tensor, rows []int) *Tensor {
 	if w.C != x.R || x.C != 1 {
 		panic("nn: SelectedAffine shape mismatch")
 	}
-	out := g.Alloc(len(rows), 1)
+	out := g.allocOut(len(rows), 1)
 	for k, r := range rows {
 		s := b.W[r]
 		for j := 0; j < w.C; j++ {
@@ -242,7 +378,7 @@ func (g *Graph) Attend(scores []*Tensor, values []*Tensor) (*Tensor, []float64) 
 	if n == 0 || n != len(values) {
 		panic("nn: Attend needs matching non-empty scores/values")
 	}
-	a := g.floats(n)
+	a := g.floatsRaw(n)
 	maxs := math.Inf(-1)
 	for i, s := range scores {
 		if s.W[0] > maxs {
@@ -265,7 +401,7 @@ func (g *Graph) Attend(scores []*Tensor, values []*Tensor) (*Tensor, []float64) 
 			ctx.W[j] += a[i] * v.W[j]
 		}
 	}
-	dots := g.floats(n) // backward scratch, preallocated on the forward pass
+	dots := g.floatsRaw(n) // backward scratch, zeroed explicitly before use
 	g.addBack(func() {
 		// dot[i] = dctx · values[i]
 		zeroFloats(dots)

@@ -70,27 +70,30 @@ func (t *Tensor) CopyFrom(o *Tensor) {
 // Graph is a reverse-mode autodiff tape. Build the forward computation
 // through Graph ops, seed gradients (e.g. via a loss), then call Backward.
 //
-// Every graph owns a tensor arena: op outputs come from a size-keyed
-// free list that Reset recycles, so a graph reused across tape runs
-// reaches a steady state with near-zero heap allocation. The lifetime
-// rule is: tensors (and scratch slices) returned by graph ops are valid
-// until the next Reset of the graph that produced them. A graph that is
-// never Reset behaves exactly like the pre-arena implementation, except
-// that its tensors are retained until the graph itself is unreachable.
-// Graphs are not safe for concurrent use; use one per goroutine.
+// Every graph owns a contiguous bump arena (see arena.go): op outputs
+// and scratch slices are carved front to back from retained blocks, and
+// Reset rewinds the cursor, so a graph reused across tape runs reaches
+// a steady state with zero heap allocation and replayed cycles receive
+// the same backing memory in the same order. The lifetime rule is:
+// tensors (and scratch slices) returned by graph ops are valid until
+// the next Reset of the graph that produced them. A graph that is never
+// Reset retains everything until the graph itself is unreachable.
+// Graphs are not safe for concurrent use; use one per goroutine — the
+// rollout pool gives every worker its own graph so the hot path shares
+// no allocator state across workers.
 type Graph struct {
 	// NeedsGrad disables tape recording when false (pure inference).
+	// Inference tensors carry no G buffer; flip this only right after
+	// a Reset.
 	NeedsGrad bool
 	tape      []func()
 
-	// Tensor arena: free holds recycled tensors keyed by element count,
-	// live tracks every arena tensor handed out since the last Reset.
-	free map[int][]*Tensor
-	live []*Tensor
-	// Scratch float64 arena with the same recycling discipline (used by
-	// Attend weights, LayerNorm normalization buffers, ...).
-	freeF map[int][][]float64
-	liveF [][]float64
+	// ar backs tensor values, gradients and op scratch; hdrs is the
+	// tensor-header slab recycled the same way (nHdr headers handed out
+	// since the last Reset).
+	ar   arena
+	hdrs []*Tensor
+	nHdr int
 }
 
 // NewGraph returns a graph; pass needsGrad=false for inference-only runs.

@@ -55,13 +55,13 @@ func (ln *LayerNorm) Apply(g *Graph, x *Tensor) *Tensor {
 	}
 	variance /= n
 	std := math.Sqrt(variance + 1e-5)
-	xhat := g.floats(x.R)
-	out := g.Alloc(x.R, 1)
+	xhat := g.floatsRaw(x.R)
+	out := g.allocOut(x.R, 1)
 	for i, v := range x.W {
 		xhat[i] = (v - mu) / std
 		out.W[i] = ln.Gamma.W[i]*xhat[i] + ln.Beta.W[i]
 	}
-	dxhat := g.floats(x.R) // backward scratch, preallocated forward
+	dxhat := g.floatsRaw(x.R) // backward scratch, zeroed explicitly in the closure
 	g.addBack(func() {
 		var meanDx, meanDxX float64
 		zeroFloats(dxhat)
@@ -117,41 +117,127 @@ func NewTransformerLayer(p *Params, name string, dim, heads, ffDim int, rng *ran
 
 func itoa(i int) string { return string(rune('0' + i%10)) }
 
-// Apply runs the block over the sequence of position vectors.
+// Apply runs the block over the sequence of position vectors. The whole
+// sequence is packed into one dim×n matrix so every projection is a
+// single GEMM and each head's attention is one fused op, instead of the
+// O(n²·heads) per-pair Dot tensors the per-vector formulation recorded.
 func (l *TransformerLayer) Apply(g *Graph, xs []*Tensor) []*Tensor {
 	n := len(xs)
 	scale := 1 / math.Sqrt(float64(l.headDim))
-	attOut := make([]*Tensor, n)
-	// Per-head projections.
-	type proj struct{ q, k, v []*Tensor }
-	projs := make([]proj, l.heads)
+	X := g.PackCols(xs...)
+	heads := make([]*Tensor, l.heads)
 	for h := 0; h < l.heads; h++ {
-		pr := proj{make([]*Tensor, n), make([]*Tensor, n), make([]*Tensor, n)}
-		for i := 0; i < n; i++ {
-			pr.q[i] = l.Wq[h].Apply(g, xs[i])
-			pr.k[i] = l.Wk[h].Apply(g, xs[i])
-			pr.v[i] = l.Wv[h].Apply(g, xs[i])
-		}
-		projs[h] = pr
+		q := g.AddColBias(g.Mul(l.Wq[h].W, X), l.Wq[h].B)
+		k := g.AddColBias(g.Mul(l.Wk[h].W, X), l.Wk[h].B)
+		v := g.AddColBias(g.Mul(l.Wv[h].W, X), l.Wv[h].B)
+		heads[h] = g.ScaledDotAttendCols(q, k, v, scale)
 	}
+	merged := g.AddColBias(g.Mul(l.Wo.W, g.VStack(heads...)), l.Wo.B)
+	attOut := make([]*Tensor, n)
 	for i := 0; i < n; i++ {
-		var headOuts []*Tensor
-		for h := 0; h < l.heads; h++ {
-			scores := make([]*Tensor, n)
-			for j := 0; j < n; j++ {
-				scores[j] = g.Scale(g.Dot(projs[h].q[i], projs[h].k[j]), scale)
-			}
-			ctx, _ := g.Attend(scores, projs[h].v)
-			headOuts = append(headOuts, ctx)
-		}
-		merged := l.Wo.Apply(g, g.Concat(headOuts...))
-		attOut[i] = l.LN1.Apply(g, g.Add(xs[i], merged))
+		attOut[i] = l.LN1.Apply(g, g.Add(xs[i], g.Col(merged, i)))
 	}
+	A := g.PackCols(attOut...)
+	F := g.AddColBias(g.Mul(l.FF2.W, g.Relu(g.AddColBias(g.Mul(l.FF1.W, A), l.FF1.B))), l.FF2.B)
 	out := make([]*Tensor, n)
 	for i := 0; i < n; i++ {
-		ff := l.FF2.Apply(g, g.Relu(l.FF1.Apply(g, attOut[i])))
-		out[i] = l.LN2.Apply(g, g.Add(attOut[i], ff))
+		out[i] = l.LN2.Apply(g, g.Add(attOut[i], g.Col(F, i)))
 	}
+	return out
+}
+
+// ScaledDotAttendCols is fused scaled-dot-product self-attention over
+// column-packed projections: for each query column i it scores every
+// key column j (scale·kᵀ_j·q_i), softmaxes over j, and mixes the value
+// columns. One op and one backward closure per head per layer. All
+// reductions run in fixed ascending order (queries outer), so gradients
+// are bit-identical regardless of scheduling.
+func (g *Graph) ScaledDotAttendCols(q, k, v *Tensor, scale float64) *Tensor {
+	if q.R != k.R || q.R != v.R || q.C != k.C || q.C != v.C {
+		panic("nn: ScaledDotAttendCols shape mismatch")
+	}
+	d, n := q.R, q.C
+	out := g.allocOut(d, n)
+	aw := g.floatsRaw(n * n) // aw[i*n+j]: weight on key j for query i
+	for i := 0; i < n; i++ {
+		row := aw[i*n : i*n+n]
+		for j := 0; j < n; j++ {
+			var s float64
+			for p := 0; p < d; p++ {
+				s += k.W[p*n+j] * q.W[p*n+i]
+			}
+			row[j] = s * scale
+		}
+		maxS := row[0]
+		for _, sv := range row[1:] {
+			if sv > maxS {
+				maxS = sv
+			}
+		}
+		var sum float64
+		for j, sv := range row {
+			e := math.Exp(sv - maxS)
+			row[j] = e
+			sum += e
+		}
+		for j := range row {
+			row[j] /= sum
+		}
+	}
+	for p := 0; p < d; p++ {
+		vrow := v.W[p*n : p*n+n]
+		orow := out.W[p*n : p*n+n]
+		for i := 0; i < n; i++ {
+			arow := aw[i*n : i*n+n]
+			var cv float64
+			for j, av := range arow {
+				cv += av * vrow[j]
+			}
+			orow[i] = cv
+		}
+	}
+	if !g.NeedsGrad {
+		return out
+	}
+	// Backward scratch: both rows are fully assigned per query before use.
+	da := g.floatsRaw(n)
+	ds := g.floatsRaw(n)
+	g.addBack(func() {
+		if allZeroF(out.G) {
+			return
+		}
+		for i := 0; i < n; i++ {
+			arow := aw[i*n : i*n+n]
+			for j := 0; j < n; j++ {
+				var s float64
+				for p := 0; p < d; p++ {
+					s += out.G[p*n+i] * v.W[p*n+j]
+				}
+				da[j] = s
+			}
+			var avg float64
+			for j, av := range arow {
+				avg += av * da[j]
+			}
+			for j, av := range arow {
+				ds[j] = av * (da[j] - avg)
+			}
+			for p := 0; p < d; p++ {
+				krow := k.W[p*n : p*n+n]
+				kg := k.G[p*n : p*n+n]
+				vg := v.G[p*n : p*n+n]
+				qv := q.W[p*n+i]
+				og := out.G[p*n+i]
+				var qg float64
+				for j, dsj := range ds {
+					qg += krow[j] * dsj
+					kg[j] += scale * dsj * qv
+					vg[j] += arow[j] * og
+				}
+				q.G[p*n+i] += scale * qg
+			}
+		}
+	})
 	return out
 }
 

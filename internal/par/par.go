@@ -28,6 +28,17 @@ type panicBox struct{ v any }
 // fault-injected panics keep their synchronous crash semantics instead
 // of killing the process from an anonymous worker.
 func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	return ForEachWorker(ctx, workers, n, func(_, i int) error { return fn(i) })
+}
+
+// ForEachWorker is ForEach with the worker's identity passed to fn:
+// worker w (0 <= w < workers) never runs two fn calls concurrently, so
+// callers can hand each worker exclusive scratch (arenas, key buffers)
+// indexed by w instead of sharing pooled state across the fan-out.
+// Items are still claimed dynamically, so which items a worker receives
+// is schedule-dependent — only the scratch-exclusivity guarantee holds.
+// In the sequential path (workers <= 1) every call sees worker 0.
+func ForEachWorker(ctx context.Context, workers, n int, fn func(worker, i int) error) error {
 	if workers > n {
 		workers = n
 	}
@@ -36,7 +47,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(i); err != nil {
+			if err := fn(0, i); err != nil {
 				return err
 			}
 		}
@@ -50,7 +61,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 		wg   sync.WaitGroup
 	)
 	errs := make([]error, n)
-	worker := func() {
+	worker := func(w int) {
 		defer wg.Done()
 		defer func() {
 			if r := recover(); r != nil {
@@ -68,7 +79,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 				stop.Store(true)
 				return
 			}
-			if err := fn(i); err != nil {
+			if err := fn(w, i); err != nil {
 				errs[i] = err
 				stop.Store(true)
 				return
@@ -77,7 +88,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go worker()
+		go worker(w)
 	}
 	wg.Wait()
 	if p := pan.Load(); p != nil {

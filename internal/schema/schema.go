@@ -276,8 +276,39 @@ func (ix Index) Key() string {
 	return ix.Table + "(" + strings.Join(ix.Columns, ",") + ")"
 }
 
-// Equal reports whether two indexes are identical.
-func (ix Index) Equal(o Index) bool { return ix.Key() == o.Key() }
+// Equal reports whether two indexes are identical. It compares fields
+// directly rather than rendered keys: Contains/Add/Remove run on the
+// advisor's what-if hot path, where building two strings per comparison
+// dominated the allocation profile.
+func (ix Index) Equal(o Index) bool {
+	if ix.Table != o.Table || len(ix.Columns) != len(o.Columns) {
+		return false
+	}
+	for i, c := range ix.Columns {
+		if o.Columns[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// Less orders indexes by their canonical identity (table, then column
+// list lexicographically) without rendering the key strings.
+func (ix Index) Less(o Index) bool {
+	if ix.Table != o.Table {
+		return ix.Table < o.Table
+	}
+	n := len(ix.Columns)
+	if len(o.Columns) < n {
+		n = len(o.Columns)
+	}
+	for i := 0; i < n; i++ {
+		if ix.Columns[i] != o.Columns[i] {
+			return ix.Columns[i] < o.Columns[i]
+		}
+	}
+	return len(ix.Columns) < len(o.Columns)
+}
 
 // IsPrefixOf reports whether ix's column list is a prefix of o's on the
 // same table.

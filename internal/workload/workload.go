@@ -9,6 +9,7 @@ package workload
 import (
 	"context"
 	"strings"
+	"sync"
 
 	"github.com/trap-repro/trap/internal/engine"
 	"github.com/trap-repro/trap/internal/schema"
@@ -103,14 +104,34 @@ func Cost(e *engine.Engine, w *Workload, cfg schema.Config, mode engine.Mode) (f
 	return CostCtx(context.Background(), e, w, cfg, mode)
 }
 
-// CostCtx is Cost with cooperative cancellation: costing stops at the
-// next query boundary once ctx is done.
-func CostCtx(ctx context.Context, e *engine.Engine, w *Workload, cfg schema.Config, mode engine.Mode) (float64, error) {
-	items := make([]engine.CostItem, len(w.Items))
+// costItemsPool recycles the per-call CostItem slices of CostCtx and
+// RuntimeCostCtx: the advisor's greedy what-if loop prices the same
+// workload hundreds of times, and a fresh conversion slice per call
+// dominated this package's allocation profile. The engine does not
+// retain the slice past the batch call, so pooling is safe.
+var costItemsPool = sync.Pool{New: func() any { return new([]engine.CostItem) }}
+
+func costItems(w *Workload) *[]engine.CostItem {
+	p := costItemsPool.Get().(*[]engine.CostItem)
+	items := *p
+	if cap(items) < len(w.Items) {
+		items = make([]engine.CostItem, len(w.Items))
+	}
+	items = items[:len(w.Items)]
 	for i, it := range w.Items {
 		items[i] = engine.CostItem{Q: it.Query, Weight: it.Weight}
 	}
-	return e.CostBatch(ctx, items, cfg, mode)
+	*p = items
+	return p
+}
+
+// CostCtx is Cost with cooperative cancellation: costing stops at the
+// next query boundary once ctx is done.
+func CostCtx(ctx context.Context, e *engine.Engine, w *Workload, cfg schema.Config, mode engine.Mode) (float64, error) {
+	p := costItems(w)
+	c, err := e.CostBatch(ctx, *p, cfg, mode)
+	costItemsPool.Put(p)
+	return c, err
 }
 
 // RuntimeCost evaluates the workload with the actual-runtime stand-in.
@@ -122,11 +143,10 @@ func RuntimeCost(e *engine.Engine, w *Workload, cfg schema.Config) (float64, err
 // stops at the next query boundary once ctx is done, so a canceled
 // assessment does not drain the whole runtime-costing loop.
 func RuntimeCostCtx(ctx context.Context, e *engine.Engine, w *Workload, cfg schema.Config) (float64, error) {
-	items := make([]engine.CostItem, len(w.Items))
-	for i, it := range w.Items {
-		items[i] = engine.CostItem{Q: it.Query, Weight: it.Weight}
-	}
-	return e.RuntimeBatch(ctx, items, cfg)
+	p := costItems(w)
+	c, err := e.RuntimeBatch(ctx, *p, cfg)
+	costItemsPool.Put(p)
+	return c, err
 }
 
 // Utility computes the index utility of Definition 3.2:
