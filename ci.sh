@@ -61,6 +61,11 @@ go test -run='^$' -bench=CostBatch -benchtime=1x -timeout 120s ./internal/engine
 # allocs-per-decode budget (the tensor arena's dividend) and fails the
 # build if a change regresses past it.
 go test -run='^$' -bench=Rollout -benchtime=1x -timeout 120s ./internal/core
+# Telemetry allocation gates: the disabled path (no scope in context)
+# and the enabled steady-state append must both stay zero-alloc, so
+# instrumented hot loops cost nothing when nobody is looking.
+go test -run='^$' -bench=Telemetry -benchtime=100x -timeout 120s ./internal/telemetry
+go test -timeout 120s -count=1 -run 'TestAppendZeroAlloc' ./internal/telemetry
 
 echo "== fault-injection smoke =="
 # Drive the deterministic fault harness end to end: panic isolation,
@@ -96,6 +101,18 @@ echo "== SSE smoke =="
 # resume from Last-Event-ID without gaps or duplicates.
 go test -race -timeout 300s -count=1 \
     -run 'TestSSEStreamAndResume' \
+    ./internal/service
+
+echo "== telemetry smoke =="
+# The observability surface end to end: a real TRAP assessment must
+# yield training/attack series over /v1/jobs/{id}/telemetry (JSON and
+# CSV) with monotonic steps and per-epoch SSE telemetry events; a
+# two-node drill must federate node metric snapshots into
+# /v1/cluster/metrics and turn a killed node's row stale; the
+# continuous profiler must capture, serve and prune slow-span profiles;
+# and /version must report the build provenance.
+go test -race -timeout 600s -count=1 \
+    -run 'TestJobTelemetryEndToEnd|TestClusterMetricsFederation|TestProfilerCapturesSlowSpan|TestVersionEndpoint' \
     ./internal/service
 
 echo "== chaos smoke =="

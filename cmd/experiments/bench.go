@@ -26,6 +26,7 @@ import (
 	"github.com/trap-repro/trap/internal/advisor"
 	"github.com/trap-repro/trap/internal/assess"
 	"github.com/trap-repro/trap/internal/bench"
+	"github.com/trap-repro/trap/internal/buildinfo"
 	"github.com/trap-repro/trap/internal/core"
 	"github.com/trap-repro/trap/internal/engine"
 	"github.com/trap-repro/trap/internal/nn"
@@ -48,9 +49,13 @@ type benchRecord struct {
 	Gomaxprocs  int    `json:"gomaxprocs,omitempty"`
 }
 
-// gitRev returns the short hash of the working tree's HEAD, or
-// "unknown" outside a git checkout.
+// gitRev returns the binary's stamped revision, falling back to asking
+// the working tree's git directly (benches usually run via `go run`,
+// where no VCS stamp is embedded), or "unknown" outside a checkout.
 func gitRev() string {
+	if rev := buildinfo.Get().GitRev; rev != "unknown" {
+		return rev
+	}
 	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
 	if err != nil {
 		return "unknown"

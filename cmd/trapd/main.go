@@ -106,6 +106,11 @@ func main() {
 	traceRecent := flag.Int("trace-recent", 0, "recency ring size of the trace store (default 64)")
 	traceSlow := flag.Int("trace-slow", 0, "slowest traces kept per operation (default 8)")
 	traceEvery := flag.Int("trace-every", 1, "head-sampling stride: trace every Nth job (1 = all)")
+	profileDir := flag.String("profile-dir", "", "continuous-profiling capture directory (empty disables)")
+	profileThreshold := flag.Duration("profile-threshold", 0, "span duration that triggers a profile capture (default 1s)")
+	profileKeep := flag.Int("profile-keep", 0, "profile captures retained before the oldest is pruned (default 8)")
+	profileCPUWindow := flag.Duration("profile-cpu-window", 0, "CPU-profile window captured after a slow span (default 1s)")
+	metricsInterval := flag.Duration("metrics-interval", 0, "fleet metrics publish interval (cluster mode; default 5s)")
 	flag.Parse()
 
 	level, err := olog.ParseLevel(*logLevel)
@@ -176,6 +181,11 @@ func main() {
 		PriorityQueue:     *priorityQueue,
 		Injector:          injector,
 		EnablePprof:       *enablePprof,
+		ProfileDir:        *profileDir,
+		ProfileThreshold:  *profileThreshold,
+		ProfileKeep:       *profileKeep,
+		ProfileCPUWindow:  *profileCPUWindow,
+		MetricsInterval:   *metricsInterval,
 		Logger:            logger,
 		Tracer: trace.New(trace.Options{
 			Recent: *traceRecent, SlowPerOp: *traceSlow, Every: *traceEvery,

@@ -96,6 +96,13 @@ type report struct {
 	TenantMaxDone int     `json:"tenant_max_done"`
 	FairnessRatio float64 `json:"fairness_ratio"` // max/min done per tenant
 
+	// Telemetry-scrape latency: GET /v1/jobs/{id}/telemetry issued
+	// continuously while the job fleet runs, measuring how expensive the
+	// observability read path is under load.
+	TelemetryScrapes     int     `json:"telemetry_scrapes"`
+	TelemetryScrapeP50Ms float64 `json:"telemetry_scrape_p50_ms"`
+	TelemetryScrapeP99Ms float64 `json:"telemetry_scrape_p99_ms"`
+
 	MaxRetryAfterSec int  `json:"max_retry_after_sec"`
 	SLOViolated      bool `json:"slo_violated"`
 }
@@ -242,6 +249,33 @@ func run(jobs, clients, tenants, workers, queue int, tenantQPS float64, tenantBu
 	fmt.Fprintf(os.Stderr, "trapload: submitted %d jobs in %.1fs (quota sheds %d, capacity sheds %d, retries %d)\n",
 		accepted.Load(), time.Since(start).Seconds(), shedQuota.Load(), shedCapacity.Load(), retries.Load())
 
+	// Scrape job telemetry continuously while the fleet drains, so the
+	// report captures the observability read path's latency under load.
+	var scrapeLat []time.Duration
+	scrapeStop := make(chan struct{})
+	scrapeDone := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		for k := 0; ; k++ {
+			select {
+			case <-scrapeStop:
+				return
+			default:
+			}
+			if len(ids) == 0 {
+				return
+			}
+			req := httptest.NewRequest("GET", "/v1/jobs/"+ids[k%len(ids)]+"/telemetry", nil)
+			rec := httptest.NewRecorder()
+			t0 := time.Now()
+			h.ServeHTTP(rec, req)
+			if rec.Code == http.StatusOK {
+				scrapeLat = append(scrapeLat, time.Since(t0))
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
 	// Wait for every accepted job to reach a terminal state.
 	finals := make(map[string]service.Job, len(ids))
 	pendingIDs := append([]string(nil), ids...)
@@ -274,6 +308,8 @@ func run(jobs, clients, tenants, workers, queue int, tenantQPS float64, tenantBu
 		}
 	}
 	wall := time.Since(start)
+	close(scrapeStop)
+	<-scrapeDone
 
 	// Fold the terminal snapshots into the report.
 	var queueWait, exec []time.Duration
@@ -323,7 +359,10 @@ func run(jobs, clients, tenants, workers, queue int, tenantQPS float64, tenantBu
 		WallSeconds:   wall.Seconds(),
 		JobsPerSecond: float64(done) / wall.Seconds(),
 		TenantMinDone: minDone, TenantMaxDone: maxDone, FairnessRatio: fairness,
-		MaxRetryAfterSec: int(maxRetryAfter.Load()),
+		TelemetryScrapes:     len(scrapeLat),
+		TelemetryScrapeP50Ms: ms(pct(scrapeLat, 0.50)),
+		TelemetryScrapeP99Ms: ms(pct(scrapeLat, 0.99)),
+		MaxRetryAfterSec:     int(maxRetryAfter.Load()),
 	}
 	r.SLOViolated = failed > 0 || giveUps.Load() > 0 || badShed.Load() > 0 ||
 		done != jobs || pct(admitLat, 0.99) > sloAdmitP99
@@ -336,8 +375,9 @@ func run(jobs, clients, tenants, workers, queue int, tenantQPS float64, tenantBu
 		return err
 	}
 	fmt.Fprintf(os.Stderr,
-		"trapload: %d/%d done in %.1fs (%.1f jobs/s), admit p99 %.2fms, queue-wait p99 %.0fms, fairness %.2f\n",
-		done, jobs, wall.Seconds(), r.JobsPerSecond, r.AdmitP99Ms, r.QueueWaitP99Ms, fairness)
+		"trapload: %d/%d done in %.1fs (%.1f jobs/s), admit p99 %.2fms, queue-wait p99 %.0fms, fairness %.2f, telemetry-scrape p99 %.2fms (%d scrapes)\n",
+		done, jobs, wall.Seconds(), r.JobsPerSecond, r.AdmitP99Ms, r.QueueWaitP99Ms, fairness,
+		r.TelemetryScrapeP99Ms, r.TelemetryScrapes)
 	fmt.Fprintf(os.Stderr, "trapload: wrote %s\n", out)
 
 	if badShed.Load() > 0 {

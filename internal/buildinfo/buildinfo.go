@@ -1,0 +1,73 @@
+// Package buildinfo resolves the binary's provenance — git revision and
+// Go toolchain version — once, for use by the trap_build_info metric,
+// GET /version, and the benchmark provenance records.
+//
+// The revision resolves in priority order:
+//
+//  1. the -ldflags override (go build -ldflags "-X .../buildinfo.gitRev=abc123"),
+//  2. the vcs.revision setting stamped by `go build` in a git checkout,
+//  3. "unknown".
+//
+// Callers that can do better at runtime (cmd/experiments execs git when
+// building benches from a dirty tree) should treat "unknown" as the cue.
+package buildinfo
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// gitRev is the -ldflags injection point; leave empty to fall back to
+// the build-stamped VCS revision.
+var gitRev string
+
+// Info is the binary's resolved provenance.
+type Info struct {
+	// GitRev is the short (12-char) git revision, or "unknown".
+	GitRev string `json:"gitRev"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"goVersion"`
+	// Module is the main module path when stamped, else "".
+	Module string `json:"module,omitempty"`
+	// Dirty marks a build from a tree with uncommitted changes (only
+	// known when the VCS stamp carries vcs.modified).
+	Dirty bool `json:"dirty,omitempty"`
+}
+
+var (
+	once sync.Once
+	info Info
+)
+
+// Get resolves the binary's provenance (cached after the first call).
+func Get() Info {
+	once.Do(func() {
+		info = Info{GitRev: gitRev, GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			if info.GitRev == "" {
+				info.GitRev = "unknown"
+			}
+			return
+		}
+		info.Module = bi.Main.Path
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				if info.GitRev == "" {
+					info.GitRev = s.Value
+				}
+			case "vcs.modified":
+				info.Dirty = s.Value == "true"
+			}
+		}
+		if len(info.GitRev) > 12 {
+			info.GitRev = info.GitRev[:12]
+		}
+		if info.GitRev == "" {
+			info.GitRev = "unknown"
+		}
+	})
+	return info
+}

@@ -27,6 +27,12 @@ type Options struct {
 	Classify func(joblog.Record) Class
 	// Injector arms the joblog append path (see joblog.Options.Injector).
 	Injector faultinject.Injector
+	// NodeExpiry is how stale an unattached, lease-free node's heartbeat
+	// may grow before the node is dropped from the registry entirely
+	// (dead nodes should eventually disappear from /v1/nodes, not pile
+	// up as "down" rows forever). Zero means the default (10× the down
+	// threshold).
+	NodeExpiry time.Duration
 }
 
 // BusStats is a point-in-time summary of the Bus's counters.
@@ -57,6 +63,8 @@ type Bus struct {
 	jobs    map[string]*jobState
 	nodes   map[string]time.Time     // node -> last heartbeat record time
 	beats   map[string]joblog.Record // node -> last heartbeat record (survives compaction)
+	metrics map[string]joblog.Record // node -> last metrics snapshot record
+	expiry  time.Duration            // registry expiry for dead nodes
 	subs    map[string]*Sub
 	banned  map[string]bool // Kill'd nodes
 	parted  map[string]bool // Partition'd nodes
@@ -90,9 +98,14 @@ func Open(dir string, o Options) (*Bus, error) {
 		jobs:     make(map[string]*jobState),
 		nodes:    make(map[string]time.Time),
 		beats:    make(map[string]joblog.Record),
+		metrics:  make(map[string]joblog.Record),
+		expiry:   o.NodeExpiry,
 		subs:     make(map[string]*Sub),
 		banned:   make(map[string]bool),
 		parted:   make(map[string]bool),
+	}
+	if b.expiry <= 0 {
+		b.expiry = 10 * downAfter
 	}
 	l, err := joblog.Open(dir, joblog.Options{
 		SegmentBytes: o.SegmentBytes,
@@ -100,7 +113,7 @@ func Open(dir string, o Options) (*Bus, error) {
 		Injector:     o.Injector,
 		Replay: func(rec joblog.Record) error {
 			b.fold(rec)
-			if rec.Type != RecHeartbeat {
+			if rec.Type != RecHeartbeat && rec.Type != RecMetrics {
 				b.history = append(b.history, rec)
 			}
 			return nil
@@ -161,6 +174,11 @@ func (b *Bus) fold(rec joblog.Record) {
 			b.nodes[hb.Node] = rec.Time
 			b.beats[hb.Node] = rec
 		}
+	case RecMetrics:
+		var md MetricsData
+		if unmarshal(rec.Data, &md) && md.Node != "" {
+			b.metrics[md.Node] = rec
+		}
 	case RecClaim:
 		var cd ClaimData
 		if !unmarshal(rec.Data, &cd) {
@@ -220,7 +238,7 @@ func (b *Bus) append(typ, jobID string, data any) (joblog.Record, error) {
 		return joblog.Record{}, err
 	}
 	b.fold(rec)
-	if typ != RecHeartbeat {
+	if typ != RecHeartbeat && typ != RecMetrics {
 		b.history = append(b.history, rec)
 		if len(b.history) > maxHistory {
 			b.history = b.rebuild()
@@ -386,6 +404,55 @@ func (b *Bus) Heartbeat(node string) error {
 	return err
 }
 
+// PublishMetrics durably records node's current metric snapshot. Like
+// heartbeats, metric records update bus state but are excluded from
+// history, fan-out and compaction — peers query the fold via
+// NodeMetrics instead of re-folding every snapshot themselves.
+func (b *Bus) PublishMetrics(node string, metrics map[string]float64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.gate(node); err != nil {
+		return err
+	}
+	_, err := b.append(RecMetrics, "", MetricsData{Node: node, Metrics: metrics})
+	return err
+}
+
+// NodeMetrics lists the latest metric snapshot per node, sorted by node
+// name. A snapshot older than staleAfter, or from a node that has been
+// killed, is marked Stale (staleAfter <= 0 disables the age check).
+func (b *Bus) NodeMetrics(staleAfter time.Duration) []NodeMetricsInfo {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	infos := make([]NodeMetricsInfo, 0, len(b.metrics))
+	for n, rec := range b.metrics {
+		var md MetricsData
+		if !unmarshal(rec.Data, &md) {
+			continue
+		}
+		stale := b.banned[n]
+		if staleAfter > 0 && time.Since(rec.Time) > staleAfter {
+			stale = true
+		}
+		infos = append(infos, NodeMetricsInfo{
+			Node:    n,
+			At:      rec.Time,
+			Stale:   stale,
+			Metrics: md.Metrics,
+		})
+	}
+	slices.SortFunc(infos, func(a, c NodeMetricsInfo) int {
+		switch {
+		case a.Node < c.Node:
+			return -1
+		case a.Node > c.Node:
+			return 1
+		}
+		return 0
+	})
+	return infos
+}
+
 // Attach subscribes node to the record stream: fn first receives the
 // (compacted) history synchronously, then every subsequent record in
 // log order on a dedicated goroutine. fn must not block indefinitely —
@@ -511,7 +578,11 @@ func (b *Bus) CancelRequested(job string) bool {
 const downAfter = 30 * time.Second
 
 // Nodes lists every node known to the bus (heartbeats and live
-// subscriptions), sorted by name.
+// subscriptions), sorted by name, classifying each row as alive, stale
+// or down. Unattached, lease-free nodes whose last heartbeat is older
+// than the expiry window are dropped from the registry on the way —
+// lazy expiry, so dead nodes eventually disappear from /v1/nodes
+// instead of accumulating as permanent "down" rows.
 func (b *Bus) Nodes() []NodeInfo {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -532,13 +603,29 @@ func (b *Bus) Nodes() []NodeInfo {
 	for n := range names {
 		_, attached := b.subs[n]
 		beat := b.nodes[n]
+		if !attached && leases[n] == 0 && !beat.IsZero() && time.Since(beat) > b.expiry {
+			delete(b.nodes, n)
+			delete(b.beats, n)
+			delete(b.metrics, n)
+			delete(b.banned, n)
+			delete(b.parted, n)
+			continue
+		}
 		stale := !attached && !beat.IsZero() && time.Since(beat) > downAfter
+		state := StateAlive
+		switch {
+		case b.banned[n]:
+			state = StateDown
+		case stale:
+			state = StateStale
+		}
 		infos = append(infos, NodeInfo{
 			Node:     n,
 			LastBeat: beat,
 			Leases:   leases[n],
 			Attached: attached,
 			Down:     b.banned[n] || stale,
+			State:    state,
 		})
 	}
 	slices.SortFunc(infos, func(a, c NodeInfo) int {

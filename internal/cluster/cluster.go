@@ -70,6 +70,11 @@ const (
 	RecClaim = "lease-claim"
 	// RecRelease is a voluntary lease release.
 	RecRelease = "lease-release"
+	// RecMetrics is a node's periodic metric snapshot — the federation
+	// feed behind GET /v1/cluster/metrics. Like heartbeats, metric
+	// records update bus state but are excluded from history, fan-out
+	// and compaction (a restart just waits for the next snapshots).
+	RecMetrics = "node-metrics"
 )
 
 // Errors returned by Bus operations.
@@ -112,6 +117,13 @@ type ClaimData struct {
 type ReleaseData struct {
 	Node  string `json:"node"`
 	Epoch uint64 `json:"epoch"`
+}
+
+// MetricsData is the payload of a RecMetrics record: one node's
+// point-in-time dump of its local metric registry, keyed by series name.
+type MetricsData struct {
+	Node    string             `json:"node"`
+	Metrics map[string]float64 `json:"metrics"`
 }
 
 // Lease is the current ownership state of one job. A zero Node with a
@@ -158,6 +170,30 @@ type NodeInfo struct {
 	// Down marks a node torn down by Kill, or an unattached node whose
 	// last heartbeat is stale (a crashed process in a shared-log fleet).
 	Down bool `json:"down,omitempty"`
+	// State classifies the row: "alive" (attached, or heartbeat fresh),
+	// "stale" (unattached and heartbeat older than the down threshold),
+	// "down" (torn down by Kill). Nodes stale past the expiry window are
+	// dropped from the registry entirely rather than reported.
+	State string `json:"state"`
+}
+
+// Node states reported by Bus.Nodes.
+const (
+	StateAlive = "alive"
+	StateStale = "stale"
+	StateDown  = "down"
+)
+
+// NodeMetricsInfo is one node's latest federated metric snapshot as seen
+// by the Bus.
+type NodeMetricsInfo struct {
+	Node string `json:"node"`
+	// At is the record time of the snapshot.
+	At time.Time `json:"at"`
+	// Stale marks a snapshot older than the caller's freshness window, or
+	// one from a node that is down.
+	Stale   bool               `json:"stale"`
+	Metrics map[string]float64 `json:"metrics"`
 }
 
 // jobState is the Bus's per-job fold of the record stream.

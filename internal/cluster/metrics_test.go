@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/trap-repro/trap/internal/joblog"
+)
+
+func TestMetricsFederationFold(t *testing.T) {
+	b := testBus(t)
+	if err := b.PublishMetrics("a", map[string]float64{"x_total": 3, "y": 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PublishMetrics("b", map[string]float64{"x_total": 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Latest snapshot per node wins.
+	if err := b.PublishMetrics("a", map[string]float64{"x_total": 7, "y": 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	infos := b.NodeMetrics(time.Minute)
+	if len(infos) != 2 || infos[0].Node != "a" || infos[1].Node != "b" {
+		t.Fatalf("node metrics: %+v", infos)
+	}
+	if infos[0].Metrics["x_total"] != 7 || infos[0].Metrics["y"] != 0.25 {
+		t.Fatalf("latest snapshot not folded: %+v", infos[0])
+	}
+	if infos[0].Stale || infos[1].Stale {
+		t.Fatalf("fresh snapshots marked stale: %+v", infos)
+	}
+	// A killed node's snapshot is stale regardless of age.
+	b.Kill("b")
+	infos = b.NodeMetrics(time.Minute)
+	if !infos[1].Stale || infos[0].Stale {
+		t.Fatalf("kill staleness: %+v", infos)
+	}
+	// A snapshot older than the freshness window is stale.
+	time.Sleep(5 * time.Millisecond)
+	if infos = b.NodeMetrics(time.Millisecond); !infos[0].Stale {
+		t.Fatalf("aged snapshot not stale: %+v", infos[0])
+	}
+}
+
+func TestMetricsExcludedFromHistoryAndFanout(t *testing.T) {
+	b := testBus(t)
+	if err := b.PublishMetrics("a", map[string]float64{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var seen []joblog.Record
+	sub, err := b.Attach("w", func(rec joblog.Record) {
+		mu.Lock()
+		seen = append(seen, rec)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.close()
+	// The metric record must not replay into the attach history...
+	mu.Lock()
+	for _, rec := range seen {
+		if rec.Type == RecMetrics {
+			t.Fatalf("metrics record in attach history: %+v", rec)
+		}
+	}
+	mu.Unlock()
+	// ...and live metric records must not fan out either (but the fold
+	// still sees them).
+	if err := b.PublishMetrics("a", map[string]float64{"x": 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Append("a", "open", b.NextJobID(), map[string]string{}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(seen)
+		mu.Unlock()
+		if n > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	for _, rec := range seen {
+		if rec.Type == RecMetrics {
+			t.Fatalf("metrics record fanned out: %+v", rec)
+		}
+	}
+	mu.Unlock()
+	if got := b.NodeMetrics(0); len(got) != 1 || got[0].Metrics["x"] != 2 {
+		t.Fatalf("fold missed live metrics record: %+v", got)
+	}
+}
+
+func TestNodeStatesAndExpiry(t *testing.T) {
+	b, err := Open(t.TempDir(), Options{
+		Classify: testClassify, NoSync: true, NodeExpiry: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	sub, err := b.Attach("a", func(joblog.Record) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.close()
+	if err := b.Heartbeat("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Heartbeat("c"); err != nil {
+		t.Fatal(err)
+	}
+	b.Kill("c")
+
+	infos := b.Nodes()
+	if len(infos) != 3 {
+		t.Fatalf("nodes: %+v", infos)
+	}
+	if infos[0].State != StateAlive || infos[1].State != StateAlive || infos[2].State != StateDown {
+		t.Fatalf("states: %+v", infos)
+	}
+	// An unattached node whose heartbeat predates the down threshold is
+	// stale (synthesized via a direct fold of an old record — real time
+	// scales are too long for a test).
+	old, _ := json.Marshal(HeartbeatData{Node: "b"})
+	b.mu.Lock()
+	b.fold(joblog.Record{Type: RecHeartbeat, Time: time.Now().Add(-2 * downAfter), Data: old})
+	b.expiry = time.Hour // keep it from expiring under us
+	b.mu.Unlock()
+	infos = b.Nodes()
+	if infos[1].Node != "b" || infos[1].State != StateStale || !infos[1].Down {
+		t.Fatalf("stale classification: %+v", infos)
+	}
+
+	// Past the expiry window, unattached lease-free nodes (including
+	// killed ones) are dropped from the registry.
+	b.mu.Lock()
+	b.expiry = 30 * time.Millisecond
+	b.mu.Unlock()
+	time.Sleep(40 * time.Millisecond)
+	infos = b.Nodes()
+	if len(infos) != 1 || infos[0].Node != "a" || infos[0].State != StateAlive {
+		t.Fatalf("expiry: %+v", infos)
+	}
+	// The attached node never expires.
+	if got := b.Nodes(); len(got) != 1 || got[0].Node != "a" {
+		t.Fatalf("attached node expired: %+v", got)
+	}
+}

@@ -27,6 +27,14 @@ func init() {
 	obs.Default().GaugeFunc("trap_nn_arena_retained_bytes", func() float64 {
 		return float64(nn.ArenaRetainedBytes())
 	})
+	obs.Default().GaugeFunc("trap_nn_gemm_calls_total", func() float64 {
+		c, _ := nn.GEMMStats()
+		return float64(c)
+	})
+	obs.Default().GaugeFunc("trap_nn_gemm_flops_total", func() float64 {
+		_, f := nn.GEMMStats()
+		return float64(f)
+	})
 }
 
 // rollout is one sampled trajectory's contribution, produced by a worker

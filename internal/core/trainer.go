@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"sync"
 
@@ -15,6 +16,7 @@ import (
 	"github.com/trap-repro/trap/internal/par"
 	"github.com/trap-repro/trap/internal/schema"
 	"github.com/trap-repro/trap/internal/sqlx"
+	"github.com/trap-repro/trap/internal/telemetry"
 	"github.com/trap-repro/trap/internal/trace"
 	"github.com/trap-repro/trap/internal/workload"
 )
@@ -230,6 +232,7 @@ func (f *Framework) Pretrain(ctx context.Context, gen *workload.Generator, pairs
 			losses = append(losses, mean)
 			esp.Float("mean_loss", mean)
 			esp.Int("steps", int64(steps))
+			telemetry.FromContext(ctx).Series("pretrain_loss").Append(int64(ep+1), mean)
 		}
 		sp.End()
 		esp.End()
@@ -370,6 +373,25 @@ func (f *Framework) RLTrain(ctx context.Context, e *engine.Engine, adv advisor.A
 		batch = 1
 	}
 	workers := f.rolloutWorkers()
+	// Per-epoch training telemetry. tele is nil on an uninstrumented
+	// context and every accumulation below is gated on that, so the
+	// disabled path pays nothing — the rollout allocation budget and the
+	// scaling gates run uninstrumented. The reduce below is sequential,
+	// so the accumulators need no locking.
+	tele := telemetry.FromContext(ctx)
+	type epStats struct {
+		loss     float64 // advantage-weighted cross-entropy, summed
+		steps    int     // decode steps the loss covered
+		rsumsq   float64 // sum of squared rollout rewards
+		gradNorm float64 // pre-clip global gradient norms, summed
+		updates  int     // optimizer steps taken
+		entropy  float64 // policy entropy, summed over decode steps
+		entSteps int
+		ok       int // rollouts that produced a reward
+		rolls    int // rollouts attempted
+	}
+	var tstats epStats
+	var entScratch []float64
 	// step trains on one workload under the framework lock and returns
 	// its contribution to the epoch's sampled-reward mean. A non-nil
 	// error means training was canceled mid-rollout; no partial gradient
@@ -456,10 +478,31 @@ func (f *Framework) RLTrain(ctx context.Context, e *engine.Engine, adv advisor.A
 		for b := range rolls {
 			ro := &rolls[b]
 			if rerr == nil && ro.ok {
+				if tele != nil {
+					// Policy entropy, no-grad: Softmax into a reused
+					// scratch slice so instrumentation adds no steady-state
+					// allocation to the reduce.
+					for _, st := range ro.steps {
+						entScratch = nn.SoftmaxInto(entScratch, st.Logits)
+						var h float64
+						for _, p := range entScratch {
+							if p > 0 {
+								h -= p * math.Log(p)
+							}
+						}
+						tstats.entropy += h
+						tstats.entSteps++
+					}
+					tstats.rsumsq += ro.r * ro.r
+				}
 				advantage := (ro.r - rb) / float64(batch)
 				if advantage != 0 {
 					for _, st := range ro.steps {
-						nn.CrossEntropy(st.Logits, st.Chosen, advantage)
+						l := nn.CrossEntropy(st.Logits, st.Chosen, advantage)
+						if tele != nil {
+							tstats.loss += l
+							tstats.steps++
+						}
 					}
 					ro.g.Backward()
 					updated = true
@@ -481,8 +524,16 @@ func (f *Framework) RLTrain(ctx context.Context, e *engine.Engine, adv advisor.A
 			return 0, 0, rerr
 		}
 		if updated {
-			params.ClipGrads(5)
+			norm := params.ClipGrads(5)
+			if tele != nil {
+				tstats.gradNorm += norm
+				tstats.updates++
+			}
 			opt.Step(params)
+		}
+		if tele != nil {
+			tstats.ok += n
+			tstats.rolls += batch
 		}
 		return sum, n, nil
 	}
@@ -528,6 +579,33 @@ func (f *Framework) RLTrain(ctx context.Context, e *engine.Engine, adv advisor.A
 		}
 		mRLLastReward.Set(rewards[len(rewards)-1])
 		esp.Float("mean_reward", rewards[len(rewards)-1])
+		if tele != nil {
+			// Steps are 1-based epoch numbers, so a checkpoint-resumed run
+			// (StartEpoch > 0) continues every series monotonically.
+			es := int64(ep + 1)
+			mean := rewards[len(rewards)-1]
+			tele.Series("rl_mean_reward").Append(es, mean)
+			if n > 0 {
+				v := tstats.rsumsq/float64(n) - mean*mean
+				if v < 0 {
+					v = 0
+				}
+				tele.Series("rl_reward_var").Append(es, v)
+			}
+			if tstats.steps > 0 {
+				tele.Series("rl_loss").Append(es, tstats.loss/float64(tstats.steps))
+			}
+			if tstats.updates > 0 {
+				tele.Series("rl_grad_norm").Append(es, tstats.gradNorm/float64(tstats.updates))
+			}
+			if tstats.entSteps > 0 {
+				tele.Series("rl_entropy").Append(es, tstats.entropy/float64(tstats.entSteps))
+			}
+			if tstats.rolls > 0 {
+				tele.Series("rl_rollout_ok_ratio").Append(es, float64(tstats.ok)/float64(tstats.rolls))
+			}
+			tstats = epStats{}
+		}
 		sp.End()
 		esp.End()
 		mRLEpochs.Inc()

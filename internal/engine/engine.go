@@ -27,6 +27,7 @@ var (
 	mPlanSeconds  = obs.Default().Histogram("engine_plan_seconds")
 	mBatchSecs    = obs.Default().Histogram("engine_cost_batch_seconds")
 	mBatchQueries = obs.Default().Counter("engine_cost_batch_queries_total")
+	mBatches      = obs.Default().Counter("engine_cost_batches_total")
 )
 
 // defaultCacheLimit bounds the plan cache; beyond it a fraction of the
@@ -298,6 +299,7 @@ type CostItem struct {
 func (e *Engine) CostBatch(ctx context.Context, items []CostItem, cfg schema.Config, mode Mode) (float64, error) {
 	ctx, tsp, finish := e.batchSpan(ctx, "engine.cost_batch", len(items))
 	sp := obs.StartSpan(mBatchSecs)
+	mBatches.Inc()
 	mBatchQueries.Add(int64(len(items)))
 	total, err := e.weightedBatch(ctx, items, cfg, mode, false)
 	sp.EndExemplar(tsp.TraceID())
@@ -351,6 +353,7 @@ func (e *Engine) runtimeCost(kb *keyBuf, q *sqlx.Query, cfg schema.Config) (floa
 func (e *Engine) RuntimeBatch(ctx context.Context, items []CostItem, cfg schema.Config) (float64, error) {
 	ctx, tsp, finish := e.batchSpan(ctx, "engine.runtime_batch", len(items))
 	sp := obs.StartSpan(mBatchSecs)
+	mBatches.Inc()
 	mBatchQueries.Add(int64(len(items)))
 	total, err := e.weightedBatch(ctx, items, cfg, ModeTrue, true)
 	sp.EndExemplar(tsp.TraceID())

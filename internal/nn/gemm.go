@@ -1,5 +1,7 @@
 package nn
 
+import "sync/atomic"
+
 // Deterministic blocked matrix kernels. Every op in this file follows
 // one accumulation contract: each output (or gradient) element is a
 // single sum evaluated with its reduction index strictly ascending.
@@ -10,11 +12,27 @@ package nn
 // identical no matter how work is distributed across rollout workers.
 // gemm_test.go pins that contract with table and fuzz tests.
 
+// Kernel throughput counters: one atomic add per kernel call (never per
+// element), so the cost is noise against the O(m·k·n) arithmetic they
+// meter. Surfaced as trap_nn_gemm_* gauges next to the arena stats.
+var (
+	gemmCalls atomic.Int64
+	gemmFlops atomic.Int64 // multiply-add volume, 2·m·k·n per GEMM
+)
+
+// GEMMStats reports the cumulative kernel invocation count and
+// floating-point operation volume of the matrix kernels.
+func GEMMStats() (calls, flops int64) {
+	return gemmCalls.Load(), gemmFlops.Load()
+}
+
 // mulTo computes out = a·b (row-major, shapes already validated).
 // Register blocking: four rows of a share each streamed row of b, which
 // quarters the b traffic without reordering any element's k-ascending
 // accumulation.
 func mulTo(out, a, b []float64, m, k, n int) {
+	gemmCalls.Add(1)
+	gemmFlops.Add(2 * int64(m) * int64(k) * int64(n))
 	i := 0
 	for ; i+4 <= m; i += 4 {
 		r0 := out[(i+0)*n : (i+1)*n]
@@ -56,6 +74,8 @@ func mulTo(out, a, b []float64, m, k, n int) {
 // matvecTo computes out = a·x for a column vector x (n == 1). Each
 // out[i] is one contiguous dot product, k ascending.
 func matvecTo(out, a, x []float64, m, k int) {
+	gemmCalls.Add(1)
+	gemmFlops.Add(2 * int64(m) * int64(k))
 	for i := 0; i < m; i++ {
 		out[i] = dot(a[i*k:i*k+k], x)
 	}

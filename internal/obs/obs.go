@@ -294,6 +294,12 @@ func (s Span) EndExemplar(traceID string) time.Duration {
 
 // Registry is a named collection of metrics. Metrics are created on
 // first use and live for the life of the registry.
+//
+// A registry enforces a hard cardinality cap: once limit distinct
+// series exist, further creations return a detached (never-exposed)
+// metric and the Dropped counter grows, so a bug that interpolates
+// unbounded label values into metric names degrades to dropped series
+// instead of unbounded registry memory and exposition size.
 type Registry struct {
 	mu         sync.RWMutex
 	counters   map[string]*Counter
@@ -301,9 +307,16 @@ type Registry struct {
 	gaugeFuncs map[string]func() float64
 	hists      map[string]*Histogram
 	help       map[string]string
+	limit      int
+	dropped    atomic.Int64
 }
 
-// NewRegistry builds an empty registry.
+// DefaultMetricLimit is the registry cardinality cap when SetLimit was
+// never called: far above legitimate use (the whole system registers a
+// few dozen families), low enough to stop unbounded label growth.
+const DefaultMetricLimit = 4096
+
+// NewRegistry builds an empty registry with the default cardinality cap.
 func NewRegistry() *Registry {
 	return &Registry{
 		counters:   map[string]*Counter{},
@@ -311,7 +324,38 @@ func NewRegistry() *Registry {
 		gaugeFuncs: map[string]func() float64{},
 		hists:      map[string]*Histogram{},
 		help:       map[string]string{},
+		limit:      DefaultMetricLimit,
 	}
+}
+
+// SetLimit replaces the cardinality cap (n <= 0 restores the default).
+// Existing metrics are never evicted; the cap gates creation only.
+func (r *Registry) SetLimit(n int) {
+	if n <= 0 {
+		n = DefaultMetricLimit
+	}
+	r.mu.Lock()
+	r.limit = n
+	r.mu.Unlock()
+}
+
+// Dropped reports how many metric creations the cardinality cap
+// refused.
+func (r *Registry) Dropped() int64 { return r.dropped.Load() }
+
+// size counts every registered series. Caller holds r.mu.
+func (r *Registry) size() int {
+	return len(r.counters) + len(r.gauges) + len(r.gaugeFuncs) + len(r.hists)
+}
+
+// full reports (and tallies) a creation refused by the cardinality cap.
+// Caller holds r.mu for writing.
+func (r *Registry) full() bool {
+	if r.size() < r.limit {
+		return false
+	}
+	r.dropped.Add(1)
+	return true
 }
 
 // Describe attaches a # HELP string to a metric family for the
@@ -341,7 +385,9 @@ func (r *Registry) Counter(name string) *Counter {
 		return c
 	}
 	c = &Counter{}
-	r.counters[name] = c
+	if !r.full() {
+		r.counters[name] = c
+	}
 	return c
 }
 
@@ -359,7 +405,9 @@ func (r *Registry) Gauge(name string) *Gauge {
 		return g
 	}
 	g = &Gauge{}
-	r.gauges[name] = g
+	if !r.full() {
+		r.gauges[name] = g
+	}
 	return g
 }
 
@@ -368,7 +416,9 @@ func (r *Registry) Gauge(name string) *Gauge {
 // The callback must be safe for concurrent use.
 func (r *Registry) GaugeFunc(name string, fn func() float64) {
 	r.mu.Lock()
-	r.gaugeFuncs[name] = fn
+	if _, ok := r.gaugeFuncs[name]; ok || !r.full() {
+		r.gaugeFuncs[name] = fn
+	}
 	r.mu.Unlock()
 }
 
@@ -386,8 +436,49 @@ func (r *Registry) Histogram(name string) *Histogram {
 		return h
 	}
 	h = &Histogram{}
-	r.hists[name] = h
+	if !r.full() {
+		r.hists[name] = h
+	}
 	return h
+}
+
+// Values dumps every metric as a flat name → value map: counters and
+// gauges directly, histograms as _count/_sum/_p99 triples. This is the
+// snapshot shape published over the cluster bus for metric federation —
+// counters and _count/_sum sum meaningfully across nodes, while gauges
+// and quantiles are only meaningful in the per-node breakdown.
+func (r *Registry) Values() map[string]float64 {
+	r.mu.RLock()
+	out := make(map[string]float64, r.size())
+	for n, c := range r.counters {
+		out[n] = float64(c.Value())
+	}
+	for n, g := range r.gauges {
+		out[n] = g.Value()
+	}
+	fns := make(map[string]func() float64, len(r.gaugeFuncs))
+	for n, fn := range r.gaugeFuncs {
+		fns[n] = fn
+	}
+	type histEntry struct {
+		name string
+		h    *Histogram
+	}
+	hists := make([]histEntry, 0, len(r.hists))
+	for n, h := range r.hists {
+		hists = append(hists, histEntry{n, h})
+	}
+	r.mu.RUnlock()
+	// Callbacks and histogram locks are taken outside the registry lock.
+	for n, fn := range fns {
+		out[n] = fn()
+	}
+	for _, he := range hists {
+		out[he.name+"_count"] = float64(he.h.Count())
+		out[he.name+"_sum"] = he.h.Sum()
+		out[he.name+"_p99"] = he.h.Quantile(0.99)
+	}
+	return out
 }
 
 // WriteText renders every metric in a Prometheus-style one-line-per-value

@@ -65,10 +65,28 @@ func familyName(name string) string {
 	return name
 }
 
-// withLabel splices an extra label into a possibly-labeled series name:
+// labelEscaper rewrites a label value per the exposition formats:
+// backslash, double-quote and newline must be escaped inside quoted
+// label values (both text format v0.0.4 and OpenMetrics).
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// escapeLabelValue renders a raw string safe for use inside a quoted
+// label value.
+func escapeLabelValue(v string) string { return labelEscaper.Replace(v) }
+
+// helpEscaper rewrites HELP text: only backslash and newline are
+// escaped there (quotes are legal in HELP lines).
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// escapeHelp renders a raw string safe for a # HELP line.
+func escapeHelp(v string) string { return helpEscaper.Replace(v) }
+
+// withLabel splices an extra label into a possibly-labeled series name,
+// escaping the value:
 // withLabel(`m`, `le`, `1`) → `m{le="1"}`;
 // withLabel(`m{a="b"}`, `le`, `1`) → `m{a="b",le="1"}`.
 func withLabel(name, key, val string) string {
+	val = escapeLabelValue(val)
 	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
 		return name[:len(name)-1] + "," + key + "=\"" + val + "\"}"
 	}
@@ -116,6 +134,12 @@ func (r *Registry) WriteProm(w io.Writer, openMetrics bool) error {
 		fam := family(familyName(n), "counter")
 		fam.lines = append(fam.lines, fmt.Sprintf("%s %d", n, c.Value()))
 	}
+	if d := r.dropped.Load(); d > 0 {
+		// Surface cap pressure in the exposition itself: a scrape that is
+		// missing series should say why.
+		fam := family("obs_registry_dropped_total", "counter")
+		fam.lines = append(fam.lines, fmt.Sprintf("obs_registry_dropped_total %d", d))
+	}
 	for n, g := range r.gauges {
 		fam := family(familyName(n), "gauge")
 		fam.lines = append(fam.lines, fmt.Sprintf("%s %g", n, g.Value()))
@@ -153,7 +177,7 @@ func (r *Registry) WriteProm(w io.Writer, openMetrics bool) error {
 				withLabel(he.name+"_bucket", "le", formatLe(b.le)), b.cum)
 			if openMetrics && b.ex.TraceID != "" {
 				line += fmt.Sprintf(" # {trace_id=\"%s\"} %g %.3f",
-					b.ex.TraceID, b.ex.Value, float64(b.ex.Time.UnixMilli())/1000)
+					escapeLabelValue(b.ex.TraceID), b.ex.Value, float64(b.ex.Time.UnixMilli())/1000)
 			}
 			fam.lines = append(fam.lines, line)
 		}
@@ -170,7 +194,7 @@ func (r *Registry) WriteProm(w io.Writer, openMetrics bool) error {
 	for _, n := range names {
 		fam := fams[n]
 		if h := help[n]; h != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", n, h); err != nil {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", n, escapeHelp(h)); err != nil {
 				return err
 			}
 		}

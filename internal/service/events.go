@@ -28,14 +28,18 @@ type JobEvent struct {
 	Error string `json:"error,omitempty"`
 	// Result accompanies the "result" event of a successful job.
 	Result *JobResult `json:"result,omitempty"`
+	// Points accompanies "telemetry" events: the epoch's training-series
+	// values (rl_loss, rl_mean_reward, ...) keyed by series name.
+	Points map[string]float64 `json:"points,omitempty"`
 }
 
 // Progress-stream event types.
 const (
-	evState  = "state"  // lifecycle transition (pending/running/terminal)
-	evEpoch  = "epoch"  // one RL training epoch finished
-	evCell   = "cell"   // one measurement cell finished
-	evResult = "result" // final result of a successful job
+	evState     = "state"     // lifecycle transition (pending/running/terminal)
+	evEpoch     = "epoch"     // one RL training epoch finished
+	evCell      = "cell"      // one measurement cell finished
+	evResult    = "result"    // final result of a successful job
+	evTelemetry = "telemetry" // per-epoch training-series values
 )
 
 // jobHub fans one job's events out to its SSE subscribers. It keeps a

@@ -35,9 +35,13 @@ const (
 )
 
 // progressData is the payload of a recProgress record (1-based epochs
-// completed, matching JobEvent.Epoch).
+// completed, matching JobEvent.Epoch). Points carries the epoch's RL
+// telemetry values (rl_loss, rl_mean_reward, ...) so every node's fold
+// can serve the job's training curves and stream telemetry SSE events
+// with identical Seqs fleet-wide.
 type progressData struct {
-	Epoch int `json:"epoch"`
+	Epoch  int                `json:"epoch"`
+	Points map[string]float64 `json:"points,omitempty"`
 }
 
 // ClassifyJobRecord maps the service's job records onto the cluster
@@ -121,6 +125,12 @@ func (s *Server) setupCluster() error {
 	}
 	s.sub = sub
 	s.registerClusterMetrics()
+	// Metric federation: publish this node's registry snapshot on a
+	// ticker; peers serve the merged fleet view from their folds.
+	s.metricsEvery = s.cfg.MetricsInterval
+	s.metricsStop = make(chan struct{})
+	s.metricsDone = make(chan struct{})
+	go s.publishMetricsLoop()
 	s.coord.Start()
 	s.log.Info(context.Background(), "trapd: joined fleet",
 		"node", s.cfg.NodeID, "leaseTTL", s.coord.TTL, "heartbeat", s.coord.Beat)
@@ -174,12 +184,25 @@ func (s *Server) foldRecord(rec joblog.Record) {
 		// must not duplicate epoch events the stream already carried.
 		if s.jobs.advanceEpoch(rec.JobID, pd.Epoch) {
 			s.events.publish(rec.JobID, JobEvent{Type: evEpoch, Epoch: pd.Epoch})
+			if len(pd.Points) > 0 {
+				// Fold the epoch's telemetry into the local scope so
+				// GET /v1/jobs/{id}/telemetry works on every node. On the
+				// owner these re-appends hit the monotonic step gate of its
+				// own (richer) series and are dropped.
+				sc := s.tscopes.getOrCreate(rec.JobID)
+				for name, v := range pd.Points {
+					sc.Series(name).Append(int64(pd.Epoch), v)
+				}
+				s.events.publish(rec.JobID,
+					JobEvent{Type: evTelemetry, Epoch: pd.Epoch, Points: pd.Points})
+			}
 		}
 	case recCancel:
 		s.foldCancel(rec.JobID)
 	case recDrop:
 		s.jobs.remove(rec.JobID)
 		s.events.drop(rec.JobID)
+		s.tscopes.drop(rec.JobID)
 	}
 }
 
@@ -474,6 +497,18 @@ func (s *Server) registerClusterMetrics() {
 	s.reg.GaugeFunc("trapd_cluster_nodes", func() float64 {
 		return float64(len(s.bus.Nodes()))
 	})
+	for _, state := range []string{cluster.StateAlive, cluster.StateStale, cluster.StateDown} {
+		state := state
+		s.reg.GaugeFunc(fmt.Sprintf("trapd_cluster_nodes{state=%q}", state), func() float64 {
+			n := 0
+			for _, info := range s.bus.Nodes() {
+				if info.State == state {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	}
 	s.reg.GaugeFunc("trapd_cluster_leases_held", func() float64 {
 		return float64(s.coord.Leases())
 	})

@@ -14,6 +14,7 @@ import (
 
 	"github.com/trap-repro/trap/internal/admission"
 	"github.com/trap-repro/trap/internal/assess"
+	"github.com/trap-repro/trap/internal/buildinfo"
 	"github.com/trap-repro/trap/internal/engine"
 	"github.com/trap-repro/trap/internal/obs"
 	"github.com/trap-repro/trap/internal/schema"
@@ -25,6 +26,7 @@ import (
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /version", s.handleVersion)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/parse", s.handleParse)
 	s.mux.HandleFunc("POST /v1/explain", s.handleExplain)
@@ -33,10 +35,14 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobsList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/telemetry", s.handleJobTelemetry)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/nodes", s.handleNodes)
+	s.mux.HandleFunc("GET /v1/cluster/metrics", s.handleClusterMetrics)
+	s.mux.HandleFunc("GET /v1/profiles", s.handleProfiles)
+	s.mux.HandleFunc("GET /v1/profiles/{file}", s.handleProfileFile)
 	if s.cfg.EnablePprof {
 		// Profiling a live assessment: with -pprof on, e.g.
 		//   go tool pprof 'http://localhost:8080/debug/pprof/profile?seconds=30'
@@ -111,6 +117,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Datasets: s.Datasets(),
 		Uptime:   time.Since(s.start).Round(time.Millisecond).String(),
 		Jobs:     s.jobs.countByStatus(),
+	})
+}
+
+// GET /version
+
+// versionResponse is the /version envelope: the binary's provenance as
+// resolved by internal/buildinfo (also carried by the trap_build_info
+// metric and the benchmark provenance records).
+type versionResponse struct {
+	buildinfo.Info
+	Uptime string `json:"uptime"`
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, versionResponse{
+		Info:   buildinfo.Get(),
+		Uptime: time.Since(s.start).Round(time.Millisecond).String(),
 	})
 }
 

@@ -45,12 +45,14 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/trap-repro/trap/internal/admission"
 	"github.com/trap-repro/trap/internal/assess"
 	"github.com/trap-repro/trap/internal/bench"
+	"github.com/trap-repro/trap/internal/buildinfo"
 	"github.com/trap-repro/trap/internal/cluster"
 	"github.com/trap-repro/trap/internal/core"
 	"github.com/trap-repro/trap/internal/faultinject"
@@ -58,6 +60,7 @@ import (
 	"github.com/trap-repro/trap/internal/obs"
 	olog "github.com/trap-repro/trap/internal/obs/log"
 	"github.com/trap-repro/trap/internal/schema"
+	"github.com/trap-repro/trap/internal/telemetry"
 	"github.com/trap-repro/trap/internal/trace"
 )
 
@@ -163,6 +166,23 @@ type Config struct {
 	// SSEHeartbeat is the comment-heartbeat interval of idle progress
 	// streams (default 15s).
 	SSEHeartbeat time.Duration
+	// ProfileDir, when set, enables continuous profiling: every traced
+	// span that runs longer than ProfileThreshold triggers a heap + CPU
+	// profile capture into this directory, retained ProfileKeep-deep and
+	// indexed by GET /v1/profiles. Empty disables the harness.
+	ProfileDir string
+	// ProfileThreshold is the span latency that triggers a capture
+	// (default 1s).
+	ProfileThreshold time.Duration
+	// ProfileKeep bounds the rolling capture retention (default 8).
+	ProfileKeep int
+	// ProfileCPUWindow is how long the post-breach CPU profile runs
+	// (default 1s).
+	ProfileCPUWindow time.Duration
+	// MetricsInterval is the cadence of cluster metric federation: each
+	// node publishes its registry snapshot to the shared bus this often
+	// (default 5s; only meaningful in cluster mode).
+	MetricsInterval time.Duration
 	// Injector arms the fault-injection points in the suites' engines
 	// and frameworks (nil — the default — disables injection).
 	Injector faultinject.Injector
@@ -243,6 +263,18 @@ func (c *Config) fill() {
 	if c.SSEHeartbeat <= 0 {
 		c.SSEHeartbeat = 15 * time.Second
 	}
+	if c.ProfileThreshold <= 0 {
+		c.ProfileThreshold = time.Second
+	}
+	if c.ProfileKeep <= 0 {
+		c.ProfileKeep = 8
+	}
+	if c.ProfileCPUWindow <= 0 {
+		c.ProfileCPUWindow = time.Second
+	}
+	if c.MetricsInterval <= 0 {
+		c.MetricsInterval = 5 * time.Second
+	}
 }
 
 // Server is the trapd HTTP service.
@@ -273,6 +305,15 @@ type Server struct {
 	coord  *cluster.Coordinator
 	sub    *cluster.Sub
 	ownBus bool
+
+	// Telemetry: per-job time-series scopes, the continuous-profiling
+	// harness, and the cluster metric-federation publisher.
+	tscopes      *scopeStore
+	prof         *profiler // nil when ProfileDir is unset
+	metricsEvery time.Duration
+	metricsStop  chan struct{}
+	metricsDone  chan struct{}
+	metricsOnce  sync.Once
 
 	mRequests     *obs.Counter
 	mReqSecs      *obs.Histogram
@@ -309,13 +350,14 @@ const (
 func NewServer(cfg Config) (*Server, error) {
 	cfg.fill()
 	s := &Server{
-		cfg:    cfg,
-		reg:    cfg.Registry,
-		tr:     cfg.Tracer,
-		log:    cfg.Logger,
-		suites: map[string]*assess.Suite{},
-		jobs:   newJobStore(),
-		events: newEventBus(),
+		cfg:     cfg,
+		reg:     cfg.Registry,
+		tr:      cfg.Tracer,
+		log:     cfg.Logger,
+		suites:  map[string]*assess.Suite{},
+		jobs:    newJobStore(),
+		events:  newEventBus(),
+		tscopes: newScopeStore(),
 		adm: admission.New(admission.Options{
 			TenantQPS:   cfg.TenantQPS,
 			TenantBurst: cfg.TenantBurst,
@@ -391,6 +433,23 @@ func NewServer(cfg Config) (*Server, error) {
 	s.reg.GaugeFunc("trapd_admission_tenants", func() float64 {
 		return float64(s.adm.Stats().Tenants)
 	})
+	s.reg.GaugeFunc("trapd_telemetry_scopes", func() float64 {
+		return float64(s.tscopes.size())
+	})
+	bi := buildinfo.Get()
+	s.reg.GaugeFunc(
+		fmt.Sprintf("trap_build_info{git_rev=%q,go_version=%q}", bi.GitRev, bi.GoVersion),
+		func() float64 { return 1 })
+	s.reg.Describe("trap_build_info",
+		"Build provenance carried as labels; the value is always 1.")
+	if cfg.ProfileDir != "" {
+		p, err := newProfiler(cfg, s.reg, s.log)
+		if err != nil {
+			return nil, err
+		}
+		s.prof = p
+		s.tr.SetOnSpanEnd(p.onSpanEnd)
+	}
 	obs.RegisterRuntimeGauges(s.reg)
 	for name, help := range map[string]string{
 		"trapd_jobs_submitted_total":  "Assessment jobs accepted by POST /v1/assess.",
@@ -574,6 +633,12 @@ func (s *Server) publishState(id string) (rejected bool) {
 // degraded if it ever races an in-flight append (appends after close
 // fail soft).
 func (s *Server) Close() error {
+	if s.metricsStop != nil {
+		s.metricsOnce.Do(func() {
+			close(s.metricsStop)
+			<-s.metricsDone
+		})
+	}
 	if s.coord != nil {
 		s.coord.Stop()
 	}
@@ -695,6 +760,7 @@ func (s *Server) collectGarbage(ctx context.Context, now time.Time) int {
 	}
 	for _, id := range dropped {
 		s.events.drop(id)
+		s.tscopes.drop(id)
 		switch {
 		case s.bus != nil:
 			// Fleet-wide tombstone: every node's fold forgets the job
@@ -787,6 +853,11 @@ func (s *Server) runJob(id string) {
 		return
 	}
 	s.publishState(id)
+	// Telemetry scope: the training and attack loops below append their
+	// per-epoch / per-step series into it through the context. The scope
+	// survives retries — the series' monotonic step gates dedup re-run
+	// epochs — and is served by GET /v1/jobs/{id}/telemetry.
+	ctx = telemetry.NewContext(ctx, s.tscopes.getOrCreate(id))
 	// Root span of the job's trace: every span the assessment pipeline
 	// opens below (advisor/method builds, training epochs, measurement
 	// cells, cost batches) nests under it, and every log line carries the
@@ -973,6 +1044,11 @@ func (s *Server) runAssessment(ctx context.Context, j Job) (*JobResult, error) {
 		// checkpointing piggybacks on it when a spool is configured.
 		every := s.cfg.CheckpointEvery
 		mc.EpochHook = func(fw *core.Framework, epoch int) error {
+			// The epoch's telemetry rides along: the per-epoch RL series
+			// values stream to SSE subscribers and (in cluster mode)
+			// replicate fleet-wide inside the progress record, where every
+			// node's fold re-appends them into its local scope.
+			pts := rlPoints(s.tscopes.get(j.ID))
 			if s.coord != nil {
 				// Progress replicates through the shared log so every
 				// node's SSE streams carry it. A fenced append means the
@@ -980,7 +1056,7 @@ func (s *Server) runAssessment(ctx context.Context, j Job) (*JobResult, error) {
 				// burn cores on a result nobody will accept. Append comes
 				// before the checkpoint save, so a crash between the two
 				// re-runs the epoch and the fold's high-water dedups it.
-				if _, perr := s.coord.AppendOwned(recProgress, j.ID, progressData{Epoch: epoch + 1}); perr != nil {
+				if _, perr := s.coord.AppendOwned(recProgress, j.ID, progressData{Epoch: epoch + 1, Points: pts}); perr != nil {
 					if errors.Is(perr, cluster.ErrFenced) || errors.Is(perr, cluster.ErrNotOwner) {
 						return perr
 					}
@@ -989,6 +1065,9 @@ func (s *Server) runAssessment(ctx context.Context, j Job) (*JobResult, error) {
 				}
 			} else {
 				s.events.publish(j.ID, JobEvent{Type: evEpoch, Epoch: epoch + 1})
+				if len(pts) > 0 {
+					s.events.publish(j.ID, JobEvent{Type: evTelemetry, Epoch: epoch + 1, Points: pts})
+				}
 			}
 			if s.ckpt == nil || (epoch+1)%every != 0 {
 				return nil

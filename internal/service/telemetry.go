@@ -1,0 +1,204 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/trap-repro/trap/internal/telemetry"
+)
+
+// Per-job training/attack telemetry: every job gets a telemetry.Scope
+// that the domain loops (internal/core RL epochs, internal/assess
+// attack steps) append ring-buffered series into via the job context.
+// The scope lives exactly as long as the job does — created when the
+// run starts (or when the fold first delivers points in cluster mode),
+// dropped when the GC drops the job — and is served by
+// GET /v1/jobs/{id}/telemetry as JSON or CSV.
+
+// scopeStore owns the per-job telemetry scopes.
+type scopeStore struct {
+	mu sync.Mutex
+	m  map[string]*telemetry.Scope
+}
+
+func newScopeStore() *scopeStore {
+	return &scopeStore{m: map[string]*telemetry.Scope{}}
+}
+
+// getOrCreate returns the job's scope, creating it on first use. The
+// scope survives retries and (in cluster mode) takeovers on the same
+// node: the series' monotonic step gates dedup re-run epochs.
+func (st *scopeStore) getOrCreate(id string) *telemetry.Scope {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	sc, ok := st.m[id]
+	if !ok {
+		sc = telemetry.NewScope(telemetry.Options{})
+		st.m[id] = sc
+	}
+	return sc
+}
+
+// get returns the job's scope, nil when none exists yet.
+func (st *scopeStore) get(id string) *telemetry.Scope {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.m[id]
+}
+
+// drop removes a job's scope (the job was GC'd).
+func (st *scopeStore) drop(id string) {
+	st.mu.Lock()
+	delete(st.m, id)
+	st.mu.Unlock()
+}
+
+// size counts live scopes (the trapd_telemetry_scopes gauge).
+func (st *scopeStore) size() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.m)
+}
+
+// rlPoints filters a scope's latest values down to the per-epoch RL
+// series (rl_loss, rl_mean_reward, ...). These are the values that
+// replicate fleet-wide through progress records: their step is the RL
+// epoch, so a peer's fold can re-append them at the record's epoch and
+// the owner's own richer series dedup the duplicates by step.
+func rlPoints(sc *telemetry.Scope) map[string]float64 {
+	if sc == nil {
+		return nil
+	}
+	latest := sc.Latest()
+	pts := make(map[string]float64, len(latest))
+	for name, v := range latest {
+		if strings.HasPrefix(name, "rl_") {
+			pts[name] = v
+		}
+	}
+	if len(pts) == 0 {
+		return nil
+	}
+	return pts
+}
+
+// GET /v1/jobs/{id}/telemetry
+
+// telemetryResponse is the JSON envelope: every series the job has
+// recorded, each with its ring-buffer contents and current stride
+// (stride > 1 means points beyond the buffer capacity were downsampled
+// into coarser means).
+type telemetryResponse struct {
+	Job    string                 `json:"job"`
+	Series []telemetry.SeriesDump `json:"series"`
+}
+
+// handleJobTelemetry serves a job's time-series telemetry. The default
+// is JSON; ?format=csv flattens every series into series,step,value
+// rows for direct plotting.
+func (s *Server) handleJobTelemetry(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.jobs.get(id); !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	dump := s.tscopes.get(id).Snapshot() // nil-scope safe: empty dump
+	if r.URL.Query().Get("format") == "csv" {
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		fmt.Fprintf(w, "series,step,value\n")
+		for _, sd := range dump {
+			for _, p := range sd.Points {
+				fmt.Fprintf(w, "%s,%d,%g\n", sd.Name, p.Step, p.Value)
+			}
+		}
+		return
+	}
+	if dump == nil {
+		dump = []telemetry.SeriesDump{}
+	}
+	writeJSON(w, http.StatusOK, telemetryResponse{Job: id, Series: dump})
+}
+
+// GET /v1/cluster/metrics
+
+// clusterMetricsNode is one node's row in the federated view.
+type clusterMetricsNode struct {
+	Node string    `json:"node"`
+	At   time.Time `json:"at"`
+	// AgeMilli is the snapshot's age at serve time.
+	AgeMilli int64 `json:"ageMs"`
+	// Stale marks a snapshot older than the freshness window (about
+	// three publish intervals) or from a killed node; stale snapshots
+	// are excluded from the fleet aggregate.
+	Stale   bool               `json:"stale"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// clusterMetricsResponse is the /v1/cluster/metrics envelope: the
+// fleet-wide aggregate (per-metric sum over fresh nodes — meaningful
+// for counters and _count/_sum pairs; gauges and quantiles belong in
+// the per-node breakdown) plus every node's latest snapshot.
+type clusterMetricsResponse struct {
+	Node  string               `json:"node"`
+	Fleet map[string]float64   `json:"fleet"`
+	Nodes []clusterMetricsNode `json:"nodes"`
+}
+
+// metricsStaleAfter is the federation freshness window: snapshots older
+// than this are marked stale and left out of the fleet aggregate.
+func (s *Server) metricsStaleAfter() time.Duration {
+	return 3 * s.metricsEvery
+}
+
+func (s *Server) handleClusterMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.bus == nil {
+		writeError(w, http.StatusNotFound, "not running in cluster mode (no -node-id)")
+		return
+	}
+	now := time.Now()
+	resp := clusterMetricsResponse{
+		Node:  s.cfg.NodeID,
+		Fleet: map[string]float64{},
+		Nodes: []clusterMetricsNode{},
+	}
+	for _, nm := range s.bus.NodeMetrics(s.metricsStaleAfter()) {
+		row := clusterMetricsNode{
+			Node:     nm.Node,
+			At:       nm.At,
+			AgeMilli: now.Sub(nm.At).Milliseconds(),
+			Stale:    nm.Stale,
+			Metrics:  nm.Metrics,
+		}
+		resp.Nodes = append(resp.Nodes, row)
+		if nm.Stale {
+			continue
+		}
+		for name, v := range nm.Metrics {
+			resp.Fleet[name] += v
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// publishMetricsLoop is the federation publisher: every metricsEvery it
+// snapshots the local registry and appends it to the shared bus, where
+// every node's fold keeps the latest snapshot per node. Publish
+// failures (partition, kill) are silent — the peer-visible snapshot
+// just ages into staleness, which is the signal /v1/cluster/metrics
+// reports.
+func (s *Server) publishMetricsLoop() {
+	defer close(s.metricsDone)
+	t := time.NewTicker(s.metricsEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.metricsStop:
+			return
+		case <-t.C:
+			_ = s.bus.PublishMetrics(s.cfg.NodeID, s.reg.Values())
+		}
+	}
+}

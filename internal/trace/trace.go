@@ -313,6 +313,11 @@ func (s *Span) End() time.Duration {
 	if fn := s.tr.observer.Load(); fn != nil {
 		s.deliver(*fn, d)
 	}
+	if t := s.tr.tracer; t != nil {
+		if fn := t.onSpanEnd.Load(); fn != nil {
+			s.deliver(*fn, d)
+		}
+	}
 	if s.parent == 0 {
 		s.tr.dur = d
 		s.tr.done.Store(true)
@@ -347,11 +352,32 @@ type Tracer struct {
 	every    uint64
 	seq      atomic.Uint64 // trace IDs + head-sampling counter
 
+	// onSpanEnd is the tracer-global span-end callback (see SetOnSpanEnd):
+	// unlike a per-trace observer it sees every span of every trace, at
+	// the cost of one atomic load per span end when unset.
+	onSpanEnd atomic.Pointer[func(SpanEnd)]
+
 	shards [traceShards]traceShard // recency rings
 
 	slowMu  sync.Mutex
 	slowCap int
 	slow    map[string][]*Trace // per-op, ascending by duration
+}
+
+// SetOnSpanEnd installs (or, with nil, removes) a tracer-global callback
+// invoked on every span end, on the goroutine that ended the span — the
+// hook the continuous-profiling harness uses to notice latency-threshold
+// breaches the moment they happen. The callback must be fast and safe
+// for concurrent use; installing replaces any previous callback.
+func (t *Tracer) SetOnSpanEnd(fn func(SpanEnd)) {
+	if t == nil {
+		return
+	}
+	if fn == nil {
+		t.onSpanEnd.Store(nil)
+		return
+	}
+	t.onSpanEnd.Store(&fn)
 }
 
 type traceShard struct {

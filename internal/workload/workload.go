@@ -12,8 +12,19 @@ import (
 	"sync"
 
 	"github.com/trap-repro/trap/internal/engine"
+	"github.com/trap-repro/trap/internal/obs"
 	"github.com/trap-repro/trap/internal/schema"
 	"github.com/trap-repro/trap/internal/sqlx"
+)
+
+// What-if pressure metrics: how often the attack and training loops ask
+// the engine to price a whole workload. Together with the engine's
+// plan-cache counters these locate where a slow assessment burns its
+// time — in costing volume or in cache misses.
+var (
+	mCostEvals    = obs.Default().Counter("trap_workload_cost_evals_total")
+	mRuntimeEvals = obs.Default().Counter("trap_workload_runtime_evals_total")
+	mUtilityEvals = obs.Default().Counter("trap_workload_utility_evals_total")
 )
 
 // Item is one workload entry: a query and its weight (frequency). The
@@ -128,6 +139,7 @@ func costItems(w *Workload) *[]engine.CostItem {
 // CostCtx is Cost with cooperative cancellation: costing stops at the
 // next query boundary once ctx is done.
 func CostCtx(ctx context.Context, e *engine.Engine, w *Workload, cfg schema.Config, mode engine.Mode) (float64, error) {
+	mCostEvals.Inc()
 	p := costItems(w)
 	c, err := e.CostBatch(ctx, *p, cfg, mode)
 	costItemsPool.Put(p)
@@ -143,6 +155,7 @@ func RuntimeCost(e *engine.Engine, w *Workload, cfg schema.Config) (float64, err
 // stops at the next query boundary once ctx is done, so a canceled
 // assessment does not drain the whole runtime-costing loop.
 func RuntimeCostCtx(ctx context.Context, e *engine.Engine, w *Workload, cfg schema.Config) (float64, error) {
+	mRuntimeEvals.Inc()
 	p := costItems(w)
 	c, err := e.RuntimeBatch(ctx, *p, cfg)
 	costItemsPool.Put(p)
@@ -157,6 +170,7 @@ func Utility(e *engine.Engine, w *Workload, cfg, base schema.Config) (float64, e
 
 // UtilityCtx is Utility with cooperative cancellation.
 func UtilityCtx(ctx context.Context, e *engine.Engine, w *Workload, cfg, base schema.Config) (float64, error) {
+	mUtilityEvals.Inc()
 	cb, err := RuntimeCostCtx(ctx, e, w, base)
 	if err != nil {
 		return 0, err
